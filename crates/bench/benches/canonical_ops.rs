@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the canonical-form kernel — the ablation
+//! called out in DESIGN.md for the sparse-representation decision: linear
+//! combination, covariance and statistical min across term counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use varbuf_stats::{stat_min, CanonicalForm, SourceId};
+
+fn form(terms: usize, offset: u32, stride: u32) -> CanonicalForm {
+    CanonicalForm::with_terms(
+        100.0,
+        (0..terms as u32)
+            .map(|i| (SourceId(offset + i * stride), 0.3 + f64::from(i % 5)))
+            .collect(),
+    )
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical");
+    for &k in &[8usize, 64, 512, 2048] {
+        // Half-overlapping source sets: the realistic DP merge case.
+        let a = form(k, 0, 2);
+        let b = form(k, 1, 2);
+        group.bench_with_input(BenchmarkId::new("linear_combination", k), &k, |bch, _| {
+            bch.iter(|| black_box(&a).linear_combination(1.0, black_box(&b), -0.5))
+        });
+        group.bench_with_input(BenchmarkId::new("covariance", k), &k, |bch, _| {
+            bch.iter(|| black_box(&a).covariance(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("stat_min", k), &k, |bch, _| {
+            bch.iter(|| stat_min(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("prob_greater", k), &k, |bch, _| {
+            bch.iter(|| black_box(&a).prob_greater(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

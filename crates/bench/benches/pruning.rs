@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the pruning rules (the Table 2 story at
+//! the operation level): prune and merge cost of 2P/1P (linear) versus 4P
+//! (quadratic) on synthetic candidate lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use varbuf_core::prune::{prune_solutions, FourParam, OneParam, PruningRule, TwoParam};
+use varbuf_core::solution::StatSolution;
+use varbuf_stats::{CanonicalForm, SourceId};
+
+/// Builds `n` synthetic solutions along a noisy Pareto front with a few
+/// correlated variation terms each.
+fn synthetic_solutions(n: usize) -> Vec<StatSolution> {
+    (0..n)
+        .map(|i| {
+            let f = i as f64;
+            let load = CanonicalForm::with_terms(
+                10.0 + f,
+                vec![(SourceId(0), 0.5), (SourceId(1 + (i % 7) as u32), 0.8)],
+            );
+            // Mostly increasing RAT with dips so pruning has work to do.
+            let rat = CanonicalForm::with_terms(
+                -1000.0 + 2.0 * f - if i % 5 == 0 { 15.0 } else { 0.0 },
+                vec![(SourceId(0), 1.0), (SourceId(8 + (i % 5) as u32), 1.2)],
+            );
+            StatSolution::new(load, rat)
+        })
+        .collect()
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune");
+    for &n in &[64usize, 256, 1024] {
+        let sols = synthetic_solutions(n);
+        let rules: Vec<(&str, Box<dyn PruningRule>)> = vec![
+            ("2P", Box::new(TwoParam::default())),
+            ("2P-0.9", Box::new(TwoParam::new(0.9, 0.9))),
+            ("1P", Box::new(OneParam::default())),
+            ("4P", Box::new(FourParam::default())),
+        ];
+        for (name, rule) in rules {
+            group.bench_with_input(BenchmarkId::new(name, n), &sols, |b, sols| {
+                b.iter(|| prune_solutions(black_box(rule.as_ref()), black_box(sols.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

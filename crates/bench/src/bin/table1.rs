@@ -1,0 +1,31 @@
+//! Table 1 — characteristics of the benchmarks.
+//!
+//! Reproduces the sink / buffer-position counts of the paper's suite and
+//! additionally reports the refined (250 µm) variants the optimization
+//! experiments use, plus wirelength and die size for context.
+
+use varbuf_bench::{load, load_raw, SUITE};
+
+fn main() {
+    println!("Table 1: characteristics of benchmarks");
+    println!(
+        "{:<6} {:>7} {:>18} {:>18} {:>12} {:>10}",
+        "Bench", "Sinks", "Buffer Positions", "Refined(250um)", "Wire (mm)", "Die (mm)"
+    );
+    for name in SUITE {
+        let raw = load_raw(name);
+        let refined = load(name);
+        let bb = raw.bounding_box();
+        println!(
+            "{:<6} {:>7} {:>18} {:>18} {:>12.1} {:>10.1}",
+            name,
+            raw.sink_count(),
+            raw.candidate_count(),
+            refined.candidate_count(),
+            raw.total_wire_length() / 1000.0,
+            bb.width().max(bb.height()) / 1000.0,
+        );
+    }
+    println!("\npaper reference: p1 269/537, p2 603/1205, r1 267/533, r2 598/1195,");
+    println!("                 r3 862/1723, r4 1903/3805, r5 3101/6201");
+}

@@ -1,0 +1,12 @@
+//! Table 4 — RAT optimization under the **homogeneous** spatial
+//! variation model (same experiment as Table 3, uniform spatial budget
+//! and the milder radial systematic pattern).
+
+use varbuf_bench::print_rat_table;
+use varbuf_variation::SpatialKind;
+
+fn main() {
+    print_rat_table(SpatialKind::Homogeneous, "Table 4", "homogeneous");
+    println!("\npaper reference (homogeneous): NOM avg -4.8% / 45.0% yield,");
+    println!("  D2D avg -4.0% / 47.0% yield, WID 100%/100%");
+}

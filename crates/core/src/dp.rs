@@ -1,0 +1,798 @@
+//! The variation-aware dynamic program (Section 4 of the paper).
+//!
+//! Structurally identical to the deterministic van Ginneken DP in
+//! [`crate::det`], but every solution is a pair of first-order canonical
+//! forms and dominance is delegated to a [`PruningRule`]:
+//!
+//! * rules with [`MergeStrategy::SortedLinear`] (2P, 1P) keep lists sorted
+//!   by the rule's scalar key; lifting, buffering, merging and pruning are
+//!   all linear walks — Theorem 1's `O(B·N²)`;
+//! * rules with [`MergeStrategy::CrossProduct`] (4P) must form all `n·m`
+//!   pair combinations at merges and prune pairwise in `O(N²)`; the
+//!   engine enforces a per-node solution cap and a wall-clock limit so
+//!   that the blow-up surfaces as a typed error (the "-" rows of
+//!   Table 2) rather than an OOM kill.
+
+use crate::error::InsertionError;
+use crate::metrics::DpStats;
+use crate::ops::{
+    buffer_extend_stat, driver_rat_stat, merge_pair_stat, wire_extend_stat,
+};
+use crate::prune::{prune_solutions, MergeStrategy, PruningRule};
+use crate::solution::StatSolution;
+use std::time::{Duration, Instant};
+use varbuf_rctree::tree::NodeKind;
+use varbuf_rctree::{NodeId, RoutingTree};
+use varbuf_stats::CanonicalForm;
+use varbuf_variation::{BufferTypeId, ProcessModel, VariationMode};
+
+/// How the winning solution is chosen among the root's survivors.
+///
+/// Pruning keeps the rule's Pareto front; this criterion picks the single
+/// design reported to the caller. The paper's figure of merit is the RAT
+/// at 95% timing yield (Section 5.3), so the default maximizes the 5th
+/// percentile `μ − z₀.₉₅·σ`, trading a little mean for less variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RootSelection {
+    /// Maximize the mean RAT.
+    MeanRat,
+    /// Maximize the RAT achieved with the given timing yield (e.g. `0.95`
+    /// maximizes the 5th-percentile RAT).
+    YieldRat(f64),
+}
+
+impl RootSelection {
+    fn key(self, rat: &CanonicalForm) -> f64 {
+        match self {
+            RootSelection::MeanRat => rat.mean(),
+            RootSelection::YieldRat(y) => {
+                if rat.std_dev() > 0.0 {
+                    rat.percentile(1.0 - y)
+                } else {
+                    rat.mean()
+                }
+            }
+        }
+    }
+}
+
+/// Engine limits and knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpOptions {
+    /// Abort with [`InsertionError::CapacityExceeded`] when a node would
+    /// hold more candidates than this (the paper's 2 GB memory cap, in
+    /// solution-count form).
+    pub max_solutions_per_node: usize,
+    /// Abort with [`InsertionError::TimeLimitExceeded`] past this
+    /// wall-clock budget (the paper's 4-hour cutoff).
+    pub time_limit: Duration,
+    /// Drop canonical-form terms below this fraction of the form's σ
+    /// after each operation (`0.0` keeps everything).
+    pub sparsify_epsilon: f64,
+    /// Winner criterion at the root.
+    pub root_selection: RootSelection,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        Self {
+            max_solutions_per_node: 2_000_000,
+            time_limit: Duration::from_secs(4 * 3600),
+            sparsify_epsilon: 0.0,
+            root_selection: RootSelection::YieldRat(0.95),
+        }
+    }
+}
+
+/// The wire-width choice set for simultaneous buffer insertion and wire
+/// sizing (the extension of \[8\]). Width `w` scales an edge's
+/// resistance by `1/w` and capacitance by `w`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSizing {
+    widths: Vec<f64>,
+}
+
+impl WireSizing {
+    /// Buffer insertion only: every wire at default width.
+    #[must_use]
+    pub fn single() -> Self {
+        Self { widths: vec![1.0] }
+    }
+
+    /// A custom width table; index 0 should be the default (`1.0`) so
+    /// unsized evaluation remains meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, exceeds 256 entries, or contains a
+    /// non-positive or non-finite width.
+    #[must_use]
+    pub fn new(widths: Vec<f64>) -> Self {
+        assert!(
+            !widths.is_empty() && widths.len() <= 256,
+            "width table must have 1..=256 entries"
+        );
+        assert!(
+            widths.iter().all(|&w| w.is_finite() && w > 0.0),
+            "wire widths must be positive and finite"
+        );
+        Self { widths }
+    }
+
+    /// A typical three-width table: default, 2× and 4× wide.
+    #[must_use]
+    pub fn default_three() -> Self {
+        Self::new(vec![1.0, 2.0, 4.0])
+    }
+
+    /// The width table.
+    #[must_use]
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// Converts a result's `(node, width index)` choices into the
+    /// [`EdgeWidths`] map the evaluators consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a width index is out of the table's range.
+    ///
+    /// [`EdgeWidths`]: varbuf_rctree::elmore::EdgeWidths
+    #[must_use]
+    pub fn edge_widths(&self, choices: &[(NodeId, u8)]) -> varbuf_rctree::elmore::EdgeWidths {
+        let mut out = varbuf_rctree::elmore::EdgeWidths::new();
+        for &(node, wi) in choices {
+            out.set(node, self.widths[wi as usize]);
+        }
+        out
+    }
+}
+
+impl Default for WireSizing {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// Result of a statistical optimization.
+#[derive(Debug, Clone)]
+pub struct StatResult {
+    /// The canonical form of the RAT at the source (driver delay
+    /// included), ps.
+    pub root_rat: CanonicalForm,
+    /// The winning buffer placement.
+    pub assignment: Vec<(NodeId, BufferTypeId)>,
+    /// The winning non-default wire widths as `(edge's downstream node,
+    /// width-table index)` — empty unless wire sizing was enabled.
+    pub wire_widths: Vec<(NodeId, u8)>,
+    /// Run instrumentation.
+    pub stats: DpStats,
+}
+
+/// Runs variation-aware buffer insertion with an explicit pruning rule.
+///
+/// `mode` selects which variation categories the solution forms carry
+/// (D2D = random + inter-die, WID = + spatial).
+///
+/// # Errors
+///
+/// * [`InsertionError::InvalidTree`] / [`InsertionError::NoSinks`] for bad
+///   inputs;
+/// * [`InsertionError::CapacityExceeded`] /
+///   [`InsertionError::TimeLimitExceeded`] when a quadratic rule (4P)
+///   blows past the configured caps.
+///
+/// ```
+/// use varbuf_core::dp::{optimize_with_rule, DpOptions};
+/// use varbuf_core::prune::TwoParam;
+/// use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+/// use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
+///
+/// # fn main() -> Result<(), varbuf_core::InsertionError> {
+/// let tree = generate_benchmark(&BenchmarkSpec::random("demo", 24, 5));
+/// let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+/// let result = optimize_with_rule(
+///     &tree, &model, VariationMode::WithinDie, &TwoParam::default(), &DpOptions::default())?;
+/// assert!(result.root_rat.std_dev() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize_with_rule(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    rule: &dyn PruningRule,
+    options: &DpOptions,
+) -> Result<StatResult, InsertionError> {
+    optimize_with_sizing(tree, model, mode, rule, &WireSizing::single(), options)
+}
+
+/// [`optimize_with_rule`] extended with simultaneous wire sizing: every
+/// edge additionally chooses a width from `sizing`'s table, recorded in
+/// [`StatResult::wire_widths`].
+///
+/// # Errors
+///
+/// Same as [`optimize_with_rule`]; the enlarged decision space multiplies
+/// candidate counts by at most the width-table size per edge.
+pub fn optimize_with_sizing(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    rule: &dyn PruningRule,
+    sizing: &WireSizing,
+    options: &DpOptions,
+) -> Result<StatResult, InsertionError> {
+    tree.validate()?;
+    if tree.sink_count() == 0 {
+        return Err(InsertionError::NoSinks);
+    }
+    let start = Instant::now();
+    let mut stats = DpStats::default();
+    let wire = tree.wire();
+
+    let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
+
+    for id in tree.postorder() {
+        check_time(start, options)?;
+        let node = tree.node(id);
+        stats.nodes_processed += 1;
+
+        // 1. Base list for the subtree seen at this node.
+        let mut sols: Vec<StatSolution> = match node.kind {
+            NodeKind::Sink {
+                capacitance,
+                required_arrival,
+            } => vec![StatSolution::new(
+                CanonicalForm::constant(capacitance),
+                CanonicalForm::constant(required_arrival),
+            )],
+            NodeKind::Internal | NodeKind::Source { .. } => {
+                let mut acc: Option<Vec<StatSolution>> = None;
+                for &c in &node.children {
+                    let record_width = sizing.widths().len() > 1;
+                    let mut lifted: Vec<StatSolution> =
+                        Vec::with_capacity(lists[c.index()].len() * sizing.widths().len());
+                    for s in &lists[c.index()] {
+                        for (wi, &w) in sizing.widths().iter().enumerate() {
+                            let mut seg = wire.segment(tree.node(c).edge_length);
+                            seg.resistance /= w;
+                            seg.capacitance *= w;
+                            let mut out = wire_extend_stat(s, &seg);
+                            if record_width {
+                                out.trace =
+                                    crate::trace::Trace::wire(c, wi as u8, out.trace);
+                            }
+                            sparsify(&mut out, options);
+                            lifted.push(out);
+                        }
+                    }
+                    lists[c.index()].clear();
+                    stats.solutions_generated += lifted.len();
+                    let before = lifted.len();
+                    lifted = prune_solutions(rule, lifted);
+                    stats.solutions_pruned += before - lifted.len();
+
+                    acc = Some(match acc {
+                        None => lifted,
+                        Some(prev) => {
+                            merge_lists(rule, prev, lifted, id, start, options, &mut stats)?
+                        }
+                    });
+                    check_capacity(acc.as_ref().map_or(0, Vec::len), id, options)?;
+                }
+                acc.expect("validated internal nodes have children")
+            }
+        };
+
+        // 2. Offer a buffer at legal positions.
+        if node.is_candidate {
+            check_time(start, options)?;
+            let mut buffered: Vec<StatSolution> = Vec::new();
+            for (ty, _) in model.library().iter() {
+                let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
+                let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
+                let resistance = model.buffer_resistance(ty);
+                let max_load = model.library().get(ty).max_load;
+                let drivable = |s: &&StatSolution| {
+                    max_load.is_none_or(|m| s.load_mean() <= m)
+                };
+                match rule.strategy() {
+                    MergeStrategy::SortedLinear => {
+                        // All buffered options share the load form, so only
+                        // the best RAT (by the rule's scalar key) survives:
+                        // generate just that one.
+                        if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
+                            let ka = a.rat_mean() - resistance * a.load_mean();
+                            let kb = b.rat_mean() - resistance * b.load_mean();
+                            ka.total_cmp(&kb)
+                        }) {
+                            let mut s = buffer_extend_stat(
+                                best, &cap_form, &delay_form, resistance, id, ty,
+                            );
+                            sparsify(&mut s, options);
+                            buffered.push(s);
+                            stats.solutions_generated += 1;
+                        }
+                    }
+                    MergeStrategy::CrossProduct => {
+                        // A partial order may keep several incomparable
+                        // buffered options alive: generate them all.
+                        for s in sols.iter().filter(drivable) {
+                            let mut b = buffer_extend_stat(
+                                s, &cap_form, &delay_form, resistance, id, ty,
+                            );
+                            sparsify(&mut b, options);
+                            buffered.push(b);
+                            stats.solutions_generated += 1;
+                        }
+                    }
+                }
+            }
+            sols.extend(buffered);
+            check_capacity(sols.len(), id, options)?;
+            let before = sols.len();
+            sols = prune_with_limits(rule, sols, start, options)?;
+            stats.solutions_pruned += before - sols.len();
+        }
+
+        stats.max_solutions_per_node = stats.max_solutions_per_node.max(sols.len());
+        lists[id.index()] = sols;
+    }
+
+    // 3. Driver step and winner selection (by the rule's RAT key).
+    let root = tree.root();
+    let driver_res = match tree.node(root).kind {
+        NodeKind::Source { driver_resistance } => driver_resistance,
+        _ => unreachable!("validated root is a source"),
+    };
+    let winner = lists[root.index()]
+        .iter()
+        .max_by(|a, b| {
+            let ka = options.root_selection.key(&driver_rat_stat(a, driver_res));
+            let kb = options.root_selection.key(&driver_rat_stat(b, driver_res));
+            ka.total_cmp(&kb)
+        })
+        .expect("at least one candidate always survives");
+
+    stats.runtime = start.elapsed();
+    Ok(StatResult {
+        root_rat: driver_rat_stat(winner, driver_res),
+        assignment: winner.trace.collect(),
+        wire_widths: winner.trace.collect_wires(),
+        stats,
+    })
+}
+
+
+fn sparsify(s: &mut StatSolution, options: &DpOptions) {
+    if options.sparsify_epsilon > 0.0 {
+        s.load.sparsify(options.sparsify_epsilon);
+        s.rat.sparsify(options.sparsify_epsilon);
+    }
+}
+
+fn check_time(start: Instant, options: &DpOptions) -> Result<(), InsertionError> {
+    let elapsed = start.elapsed();
+    if elapsed > options.time_limit {
+        return Err(InsertionError::TimeLimitExceeded {
+            elapsed,
+            limit: options.time_limit,
+        });
+    }
+    Ok(())
+}
+
+fn check_capacity(len: usize, node: NodeId, options: &DpOptions) -> Result<(), InsertionError> {
+    if len > options.max_solutions_per_node {
+        return Err(InsertionError::CapacityExceeded {
+            node,
+            solutions: len,
+            limit: options.max_solutions_per_node,
+        });
+    }
+    Ok(())
+}
+
+/// Merges two candidate lists at a branch node.
+fn merge_lists(
+    rule: &dyn PruningRule,
+    a: Vec<StatSolution>,
+    b: Vec<StatSolution>,
+    node: NodeId,
+    start: Instant,
+    options: &DpOptions,
+    stats: &mut DpStats,
+) -> Result<Vec<StatSolution>, InsertionError> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(if a.is_empty() { b } else { a });
+    }
+    let merged = match rule.strategy() {
+        MergeStrategy::SortedLinear => {
+            // Figure 1: both lists sorted ascending in (load key, RAT key);
+            // walk both, advancing the side whose RAT constrains the min.
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            loop {
+                out.push(merge_pair_stat(&a[i], &b[j]));
+                stats.solutions_generated += 1;
+                match rule.rat_key(&a[i]).total_cmp(&rule.rat_key(&b[j])) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                }
+                if i >= a.len() || j >= b.len() {
+                    break;
+                }
+            }
+            out
+        }
+        MergeStrategy::CrossProduct => {
+            // The 4P price: all n·m combinations.
+            let needed = a.len().saturating_mul(b.len());
+            check_capacity(needed, node, options)?;
+            let mut out = Vec::with_capacity(needed);
+            for sa in &a {
+                check_time(start, options)?;
+                for sb in &b {
+                    out.push(merge_pair_stat(sa, sb));
+                }
+            }
+            stats.solutions_generated += needed;
+            out
+        }
+    };
+    let before = merged.len();
+    let pruned = prune_with_limits(rule, merged, start, options)?;
+    stats.solutions_pruned += before - pruned.len();
+    Ok(pruned)
+}
+
+/// Pruning with the engine's wall-clock limit enforced *inside* the
+/// quadratic cross-product sweep — an `O(N²)` prune on a six-figure
+/// candidate list can otherwise outlive any between-node time check.
+fn prune_with_limits(
+    rule: &dyn PruningRule,
+    mut sols: Vec<StatSolution>,
+    start: Instant,
+    options: &DpOptions,
+) -> Result<Vec<StatSolution>, InsertionError> {
+    if rule.strategy() == MergeStrategy::SortedLinear {
+        return Ok(prune_solutions(rule, sols));
+    }
+    let mut dominated = vec![false; sols.len()];
+    for i in 0..sols.len() {
+        if i % 256 == 0 {
+            check_time(start, options)?;
+        }
+        if dominated[i] {
+            continue;
+        }
+        for j in 0..sols.len() {
+            if i == j || dominated[j] {
+                continue;
+            }
+            if rule.dominates(&sols[i], &sols[j]) {
+                dominated[j] = true;
+            }
+        }
+    }
+    let mut iter = dominated.iter();
+    sols.retain(|_| !iter.next().expect("same length"));
+    sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
+    Ok(sols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::optimize_deterministic;
+    use crate::prune::{FourParam, OneParam, TwoParam};
+    use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+    use varbuf_variation::{BufferLibrary, SpatialKind, VariationBudgets};
+
+    fn model_for(tree: &RoutingTree) -> ProcessModel {
+        ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous)
+    }
+
+    #[test]
+    fn two_param_runs_and_carries_variance() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("dp", 48, 3));
+        let model = model_for(&tree);
+        let r = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("optimize");
+        assert!(r.root_rat.std_dev() > 0.0, "WID RAT must be random");
+        assert!(!r.assignment.is_empty());
+        assert_eq!(r.stats.nodes_processed, tree.len());
+    }
+
+    #[test]
+    fn zero_budget_statistical_matches_deterministic() {
+        // With all budgets at zero the statistical DP must reproduce the
+        // deterministic optimum exactly.
+        let tree = generate_benchmark(&BenchmarkSpec::random("dp0", 40, 8));
+        let library = BufferLibrary::default_65nm();
+        let zero = ProcessModel::new(
+            tree.bounding_box(),
+            SpatialKind::Homogeneous,
+            VariationBudgets::zero(),
+            library.clone(),
+        );
+        let stat = optimize_with_rule(
+            &tree,
+            &zero,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("stat");
+        let det = optimize_deterministic(&tree, &library).expect("det");
+        assert!(
+            (stat.root_rat.mean() - det.root_rat).abs() < 1e-6 * det.root_rat.abs(),
+            "stat {} vs det {}",
+            stat.root_rat.mean(),
+            det.root_rat
+        );
+        assert!(stat.root_rat.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn d2d_mode_has_no_region_terms() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("dpd", 30, 1));
+        let model = model_for(&tree);
+        let r = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::DieToDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("optimize");
+        let layout = model.layout();
+        for &(id, _) in r.root_rat.terms() {
+            assert!(
+                !layout.is_region(id),
+                "D2D form must not reference spatial regions"
+            );
+        }
+    }
+
+    #[test]
+    fn one_param_also_linear_and_close() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("dp1", 40, 5));
+        let model = model_for(&tree);
+        let two = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("2P");
+        let one = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &OneParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("1P");
+        // Different rules, same ballpark (within a few percent).
+        let rel = (two.root_rat.mean() - one.root_rat.mean()).abs() / two.root_rat.mean().abs();
+        assert!(rel < 0.05, "2P {} vs 1P {}", two.root_rat.mean(), one.root_rat.mean());
+    }
+
+    #[test]
+    fn four_param_works_on_small_trees() {
+        // Kept tiny on purpose: the 4P cross-product blows up fast — the
+        // paper's own 4P implementation topped out at 9 sinks.
+        let tree = generate_benchmark(&BenchmarkSpec::random("dp4", 6, 2));
+        let model = model_for(&tree);
+        let four = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &FourParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("4P");
+        let two = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("2P");
+        // 4P keeps a superset of solutions, so its winner can't be worse
+        // by much; means should be very close on a small tree.
+        let rel = (four.root_rat.mean() - two.root_rat.mean()).abs()
+            / two.root_rat.mean().abs().max(1.0);
+        assert!(rel < 0.05, "4P {} vs 2P {}", four.root_rat.mean(), two.root_rat.mean());
+    }
+
+    #[test]
+    fn four_param_hits_capacity_cap() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("cap", 120, 6));
+        let model = model_for(&tree);
+        let tight = DpOptions {
+            max_solutions_per_node: 200,
+            ..DpOptions::default()
+        };
+        let err = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &FourParam::default(),
+            &tight,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, InsertionError::CapacityExceeded { .. }),
+            "expected capacity error, got {err}"
+        );
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("time", 200, 6));
+        let model = model_for(&tree);
+        let opts = DpOptions {
+            time_limit: Duration::from_nanos(1),
+            ..DpOptions::default()
+        };
+        let err = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, InsertionError::TimeLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn sparsify_keeps_results_close() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("sp", 60, 13));
+        let model = model_for(&tree);
+        let exact = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("exact");
+        let sparse = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions {
+                sparsify_epsilon: 1e-3,
+                ..DpOptions::default()
+            },
+        )
+        .expect("sparse");
+        let rel_mean = (exact.root_rat.mean() - sparse.root_rat.mean()).abs()
+            / exact.root_rat.mean().abs();
+        let rel_std = (exact.root_rat.std_dev() - sparse.root_rat.std_dev()).abs()
+            / exact.root_rat.std_dev().max(1e-12);
+        assert!(rel_mean < 1e-3, "means diverged: {rel_mean}");
+        assert!(rel_std < 0.05, "sigmas diverged: {rel_std}");
+    }
+
+    #[test]
+    fn wire_sizing_never_hurts_and_records_choices() {
+        use crate::dp::{optimize_with_sizing, WireSizing};
+        let tree = generate_benchmark(&BenchmarkSpec::random("ws", 30, 4));
+        let model = model_for(&tree);
+        let plain = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("plain");
+        assert!(plain.wire_widths.is_empty());
+
+        let sizing = WireSizing::default_three();
+        let sized = optimize_with_sizing(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &sizing,
+            &DpOptions::default(),
+        )
+        .expect("sized");
+        // The sized design space is a superset, so the result should not
+        // be meaningfully worse. (The statistical DP prunes on mean and
+        // selects on the yield percentile, so it is not exactly optimal
+        // for the percentile; allow sub-0.1% inversions from that gap.)
+        let y = |r: &StatResult| r.root_rat.percentile(0.05);
+        assert!(
+            y(&sized) >= y(&plain) - 1e-3 * y(&plain).abs(),
+            "sized {} vs plain {}",
+            y(&sized),
+            y(&plain)
+        );
+        // Every edge got a recorded width choice.
+        assert!(!sized.wire_widths.is_empty());
+        assert!(sized
+            .wire_widths
+            .iter()
+            .all(|&(_, wi)| (wi as usize) < sizing.widths().len()));
+        // The edge_widths conversion produces a consistent map.
+        let map = sizing.edge_widths(&sized.wire_widths);
+        assert!(map.len() <= sized.wire_widths.len());
+    }
+
+    #[test]
+    fn sized_result_matches_sized_yield_evaluator() {
+        use crate::dp::{optimize_with_sizing, WireSizing};
+        use crate::yield_eval::YieldEvaluator;
+        let tree = generate_benchmark(&BenchmarkSpec::random("ws2", 24, 6));
+        let model = model_for(&tree);
+        let sizing = WireSizing::new(vec![1.0, 2.0]);
+        let sized = optimize_with_sizing(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &sizing,
+            &DpOptions::default(),
+        )
+        .expect("sized");
+        let ye = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+        let rat = ye.rat_form_sized(&sized.assignment, &sizing.edge_widths(&sized.wire_widths));
+        assert!(
+            (rat.mean() - sized.root_rat.mean()).abs()
+                < 1e-6 * sized.root_rat.mean().abs(),
+            "evaluator {} vs DP {}",
+            rat.mean(),
+            sized.root_rat.mean()
+        );
+    }
+
+    #[test]
+    fn threshold_sweep_changes_little() {
+        // The paper's Section 5.3 finding: p̄ in [0.5, 0.95] moves the
+        // optimal RAT by well under 0.1%.
+        let tree = generate_benchmark(&BenchmarkSpec::random("sweep", 50, 17));
+        let model = model_for(&tree);
+        let base = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("base");
+        for p in [0.6, 0.75, 0.9, 0.95] {
+            let r = optimize_with_rule(
+                &tree,
+                &model,
+                VariationMode::WithinDie,
+                &TwoParam::new(p, p),
+                &DpOptions::default(),
+            )
+            .expect("sweep");
+            let rel =
+                (r.root_rat.mean() - base.root_rat.mean()).abs() / base.root_rat.mean().abs();
+            assert!(rel < 0.01, "p={p}: relative change {rel}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type of the optimization layer.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+use varbuf_rctree::{NodeId, TreeError};
+
+/// Why an optimization run could not complete.
+#[derive(Debug)]
+pub enum InsertionError {
+    /// The routing tree failed validation.
+    InvalidTree(TreeError),
+    /// The tree has no sinks, so there is nothing to optimize.
+    NoSinks,
+    /// The candidate-solution set at some node exceeded the configured
+    /// cap — the failure mode of the 4P rule on large benchmarks
+    /// (the "-" entries of Table 2, where \[7\] exceeds 2 GB of memory).
+    CapacityExceeded {
+        /// The merge node where the cap was hit.
+        node: NodeId,
+        /// How many solutions the node would have needed.
+        solutions: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The configured wall-clock limit was exceeded (the paper's 4-hour
+    /// cutoff in Table 2).
+    TimeLimitExceeded {
+        /// Time spent before giving up.
+        elapsed: Duration,
+        /// The configured limit.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for InsertionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertionError::InvalidTree(e) => write!(f, "invalid routing tree: {e}"),
+            InsertionError::NoSinks => write!(f, "routing tree has no sinks"),
+            InsertionError::CapacityExceeded {
+                node,
+                solutions,
+                limit,
+            } => write!(
+                f,
+                "solution capacity exceeded at {node}: {solutions} candidates over the {limit} cap"
+            ),
+            InsertionError::TimeLimitExceeded { elapsed, limit } => write!(
+                f,
+                "time limit exceeded: {:.1}s elapsed over the {:.1}s cap",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl Error for InsertionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InsertionError::InvalidTree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for InsertionError {
+    fn from(e: TreeError) -> Self {
+        InsertionError::InvalidTree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(InsertionError::NoSinks.to_string().contains("no sinks"));
+        let e = InsertionError::CapacityExceeded {
+            node: NodeId(4),
+            solutions: 1_000_001,
+            limit: 1_000_000,
+        };
+        assert!(e.to_string().contains("n4"));
+        let t = InsertionError::TimeLimitExceeded {
+            elapsed: Duration::from_secs(5),
+            limit: Duration::from_secs(4),
+        };
+        assert!(t.to_string().contains("time limit"));
+        let i = InsertionError::from(TreeError::Empty);
+        assert!(i.to_string().contains("invalid routing tree"));
+        assert!(Error::source(&i).is_some());
+    }
+}

@@ -1,0 +1,60 @@
+//! Variation-aware buffer insertion.
+//!
+//! This crate implements the optimization layer of the reproduction:
+//!
+//! * [`det`] — the classic deterministic van Ginneken / Lillis dynamic
+//!   program (`O(B·N²)` with a multi-type library), the paper's **NOM**
+//!   baseline;
+//! * [`prune`] — the three statistical pruning rules the paper compares:
+//!   the proposed **two-parameter (2P)** rule with provably linear merge
+//!   and prune under joint normality (Section 2.3), the **four-parameter
+//!   (4P)** rule of the DATE 2005 paper it extends (Section 2.2), and the
+//!   **one-parameter (1P)** percentile rule of \[8\];
+//! * [`dp`] — the variation-aware dynamic program, generic over the
+//!   pruning rule, using the statistical key operations of Section 4.2
+//!   (canonical-form wire/buffer extension, tightness-probability merge);
+//! * [`driver`] — the NOM / D2D / WID optimization entry points used by
+//!   the experiments;
+//! * [`yield_eval`] — timing-yield analysis of a *fixed* buffered tree
+//!   under any variation model: canonical root-RAT form, 95%-yield RAT,
+//!   yield at a target, and Monte Carlo cross-validation (Figure 6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use varbuf_core::driver::{optimize_nominal, Options};
+//! use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+//! use varbuf_variation::{BufferLibrary, ProcessModel, SpatialKind};
+//!
+//! # fn main() -> Result<(), varbuf_core::InsertionError> {
+//! let tree = generate_benchmark(&BenchmarkSpec::random("demo", 32, 7));
+//! let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+//! let result = optimize_nominal(&tree, &model, &Options::default())?;
+//! assert!(result.assignment.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criticality;
+pub mod design;
+pub mod det;
+pub mod dp;
+pub mod driver;
+pub mod error;
+pub mod metrics;
+pub mod ops;
+pub mod prune;
+pub mod skew;
+pub mod solution;
+pub mod trace;
+pub mod yield_eval;
+
+pub use det::optimize_deterministic;
+pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
+pub use error::InsertionError;
+pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
+pub use solution::StatSolution;
+pub use yield_eval::{YieldAnalysis, YieldEvaluator};

@@ -1,0 +1,46 @@
+//! Instrumentation collected by the dynamic programs.
+
+use std::time::Duration;
+
+/// Counters describing one optimization run — the raw material for
+/// Table 2 and Figure 5 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DpStats {
+    /// Nodes processed (equals the tree size on success).
+    pub nodes_processed: usize,
+    /// Largest candidate list held at any node.
+    pub max_solutions_per_node: usize,
+    /// Candidate solutions generated across the whole run.
+    pub solutions_generated: usize,
+    /// Solutions discarded by pruning.
+    pub solutions_pruned: usize,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+impl DpStats {
+    /// Fraction of generated solutions that pruning removed.
+    #[must_use]
+    pub fn prune_ratio(&self) -> f64 {
+        if self.solutions_generated == 0 {
+            return 0.0;
+        }
+        self.solutions_pruned as f64 / self.solutions_generated as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_ratio_handles_zero() {
+        assert_eq!(DpStats::default().prune_ratio(), 0.0);
+        let s = DpStats {
+            solutions_generated: 10,
+            solutions_pruned: 4,
+            ..DpStats::default()
+        };
+        assert!((s.prune_ratio() - 0.4).abs() < 1e-12);
+    }
+}

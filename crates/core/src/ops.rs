@@ -1,0 +1,210 @@
+//! The variation-aware key operations of Section 4.2.
+//!
+//! Three operations drive the dynamic program, each mapping canonical-form
+//! solutions to canonical-form solutions:
+//!
+//! * **wire extension** (eqs. (33)–(34)): adding a wire of length `l`
+//!   above a solution;
+//! * **buffer extension** (eqs. (35)–(36)): inserting a buffer whose
+//!   `C_b`/`T_b` are themselves canonical forms;
+//! * **branch merge** (eqs. (37)–(38)): summing loads and taking the
+//!   statistical minimum of the RATs via tightness probabilities.
+
+use crate::solution::{DetSolution, StatSolution};
+use crate::trace::Trace;
+use varbuf_rctree::wire::WireSegment;
+use varbuf_rctree::NodeId;
+use varbuf_stats::{stat_min, CanonicalForm};
+use varbuf_variation::BufferTypeId;
+
+/// Wire extension, statistical (eqs. (33)–(34)):
+/// `L' = L + c·l`, `T' = T − r·l·L − ½·r·c·l²`.
+#[must_use]
+pub fn wire_extend_stat(sol: &StatSolution, seg: &WireSegment) -> StatSolution {
+    let load = sol.load.plus_constant(seg.capacitance);
+    // T' couples the load's sensitivities into the RAT: −r·l · L.
+    let mut rat = sol.rat.linear_combination(1.0, &sol.load, -seg.resistance);
+    rat.add_constant(-0.5 * seg.resistance * seg.capacitance);
+    StatSolution {
+        load,
+        rat,
+        trace: sol.trace.clone(),
+    }
+}
+
+/// Wire extension, deterministic (eqs. (25)–(26)).
+#[must_use]
+pub fn wire_extend_det(sol: &DetSolution, seg: &WireSegment) -> DetSolution {
+    DetSolution {
+        load: sol.load + seg.capacitance,
+        rat: sol.rat - seg.resistance * (sol.load + seg.capacitance / 2.0),
+        trace: sol.trace.clone(),
+    }
+}
+
+/// Buffer extension, statistical (eqs. (35)–(36)):
+/// `L' = C_b`, `T' = T − T_b − R_b·L` with `C_b`/`T_b` canonical forms.
+#[must_use]
+pub fn buffer_extend_stat(
+    sol: &StatSolution,
+    cap_form: &CanonicalForm,
+    delay_form: &CanonicalForm,
+    resistance: f64,
+    node: NodeId,
+    ty: BufferTypeId,
+) -> StatSolution {
+    let rat = sol
+        .rat
+        .linear_combination(1.0, &sol.load, -resistance)
+        .sub(delay_form);
+    StatSolution {
+        load: cap_form.clone(),
+        rat,
+        trace: Trace::buffer(node, ty, sol.trace.clone()),
+    }
+}
+
+/// Buffer extension, deterministic (eqs. (27)–(28)).
+#[must_use]
+pub fn buffer_extend_det(
+    sol: &DetSolution,
+    capacitance: f64,
+    intrinsic_delay: f64,
+    resistance: f64,
+    node: NodeId,
+    ty: BufferTypeId,
+) -> DetSolution {
+    DetSolution {
+        load: capacitance,
+        rat: sol.rat - intrinsic_delay - resistance * sol.load,
+        trace: Trace::buffer(node, ty, sol.trace.clone()),
+    }
+}
+
+/// Branch merge of one pair, statistical (eqs. (37)–(38)):
+/// `L' = L_n + L_m`, `T' = min(T_n, T_m)` via tightness probability.
+#[must_use]
+pub fn merge_pair_stat(a: &StatSolution, b: &StatSolution) -> StatSolution {
+    StatSolution {
+        load: a.load.add(&b.load),
+        rat: stat_min(&a.rat, &b.rat).form,
+        trace: Trace::join(a.trace.clone(), b.trace.clone()),
+    }
+}
+
+/// Branch merge of one pair, deterministic (eqs. (29)–(30)).
+#[must_use]
+pub fn merge_pair_det(a: &DetSolution, b: &DetSolution) -> DetSolution {
+    DetSolution {
+        load: a.load + b.load,
+        rat: a.rat.min(b.rat),
+        trace: Trace::join(a.trace.clone(), b.trace.clone()),
+    }
+}
+
+/// Final driver step: the RAT seen at the source once the driver
+/// resistance `R_d` charges the root load — statistical form.
+#[must_use]
+pub fn driver_rat_stat(sol: &StatSolution, driver_resistance: f64) -> CanonicalForm {
+    sol.rat
+        .linear_combination(1.0, &sol.load, -driver_resistance)
+}
+
+/// Final driver step, deterministic.
+#[must_use]
+pub fn driver_rat_det(sol: &DetSolution, driver_resistance: f64) -> f64 {
+    sol.rat - driver_resistance * sol.load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbuf_rctree::WireParams;
+    use varbuf_stats::SourceId;
+
+    fn wire_seg(l: f64) -> WireSegment {
+        WireParams {
+            res_per_um: 1e-3,
+            cap_per_um: 0.1,
+        }
+        .segment(l)
+    }
+
+    fn stat(load: f64, lterm: f64, rat: f64, rterm: f64) -> StatSolution {
+        StatSolution::new(
+            CanonicalForm::with_terms(load, vec![(SourceId(0), lterm)]),
+            CanonicalForm::with_terms(rat, vec![(SourceId(1), rterm)]),
+        )
+    }
+
+    #[test]
+    fn stat_wire_matches_det_on_means() {
+        let s = stat(30.0, 2.0, -100.0, 3.0);
+        let d = DetSolution::new(30.0, -100.0);
+        let seg = wire_seg(500.0);
+        let sw = wire_extend_stat(&s, &seg);
+        let dw = wire_extend_det(&d, &seg);
+        assert!((sw.load.mean() - dw.load).abs() < 1e-9);
+        assert!((sw.rat.mean() - dw.rat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_couples_load_variation_into_rat() {
+        // Eq. (34): the RAT sensitivity picks up −r·l·α from the load.
+        let s = stat(30.0, 2.0, -100.0, 0.0);
+        let seg = wire_seg(1000.0); // r·l = 1.0 kΩ
+        let sw = wire_extend_stat(&s, &seg);
+        assert!((sw.rat.coeff(SourceId(0)) + 2.0).abs() < 1e-12);
+        // Load terms are untouched by wire.
+        assert!((sw.load.coeff(SourceId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_replaces_load_with_cap_form() {
+        let s = stat(50.0, 1.0, -200.0, 1.0);
+        let cap = CanonicalForm::with_terms(20.0, vec![(SourceId(5), 1.0)]);
+        let delay = CanonicalForm::with_terms(35.0, vec![(SourceId(5), 1.8)]);
+        let out = buffer_extend_stat(&s, &cap, &delay, 0.2, NodeId(3), BufferTypeId(0));
+        assert_eq!(out.load, cap);
+        // T' = T − T_b − R·L → mean −200 − 35 − 0.2·50 = −245.
+        assert!((out.rat.mean() + 245.0).abs() < 1e-9);
+        // Sensitivities: rat gets −1.8 (delay) on S5, −0.2·1.0 on S0 (from R·L), keeps 1.0 on S1.
+        assert!((out.rat.coeff(SourceId(5)) + 1.8).abs() < 1e-12);
+        assert!((out.rat.coeff(SourceId(0)) + 0.2).abs() < 1e-12);
+        assert!((out.rat.coeff(SourceId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(out.trace.buffer_count(), 1);
+    }
+
+    #[test]
+    fn det_buffer_matches_formula() {
+        let s = DetSolution::new(50.0, -200.0);
+        let out = buffer_extend_det(&s, 20.0, 35.0, 0.2, NodeId(3), BufferTypeId(1));
+        assert_eq!(out.load, 20.0);
+        assert!((out.rat + 245.0).abs() < 1e-12);
+        assert_eq!(out.trace.collect(), vec![(NodeId(3), BufferTypeId(1))]);
+    }
+
+    #[test]
+    fn merge_sums_loads_and_mins_rats() {
+        let a = stat(10.0, 1.0, -100.0, 1.0);
+        let b = stat(20.0, 0.5, -50.0, 1.0);
+        let m = merge_pair_stat(&a, &b);
+        assert!((m.load.mean() - 30.0).abs() < 1e-12);
+        // Statistical min mean is at most min of the means.
+        assert!(m.rat.mean() <= -100.0 + 1e-9);
+        // Deterministic counterpart.
+        let dm = merge_pair_det(&DetSolution::new(10.0, -100.0), &DetSolution::new(20.0, -50.0));
+        assert_eq!(dm.load, 30.0);
+        assert_eq!(dm.rat, -100.0);
+    }
+
+    #[test]
+    fn driver_rat_subtracts_charging_delay() {
+        let s = stat(40.0, 1.0, -100.0, 0.0);
+        let rat = driver_rat_stat(&s, 0.1);
+        assert!((rat.mean() + 104.0).abs() < 1e-9);
+        assert!((rat.coeff(SourceId(0)) + 0.1).abs() < 1e-12);
+        let d = driver_rat_det(&DetSolution::new(40.0, -100.0), 0.1);
+        assert!((d + 104.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,459 @@
+//! The statistical pruning rules (Section 2 of the paper).
+//!
+//! A pruning rule decides when one random solution *dominates* another —
+//! the single design decision that determines whether the dynamic program
+//! stays polynomial:
+//!
+//! * [`TwoParam`] — the paper's contribution. Solutions are ordered by
+//!   the probability conditions (6)–(7), `P(L₁<L₂) ≥ p̄_L` and
+//!   `P(T₁>T₂) ≥ p̄_T`. Under joint normality this ordering is total and
+//!   transitive (Lemmas 2–4, Theorem 2), so merge and prune run in
+//!   **linear** time over mean-sorted lists, giving `O(B·N²)` overall
+//!   (Theorem 1).
+//! * [`FourParam`] — the rule of the DATE 2005 paper \[7\] this work
+//!   extends: interval dominance between percentile pairs. Only a partial
+//!   order, so merging needs the full `O(n·m)` cross product and pruning
+//!   `O(N²)` pairwise checks — the blow-up shown in Table 2.
+//! * [`OneParam`] — the simplified single-percentile rule of \[8\]:
+//!   deterministic dominance applied to fixed percentiles; linear, but
+//!   blind to correlations between solutions.
+
+use crate::solution::StatSolution;
+use std::fmt;
+
+/// How a rule's `merge`/`prune` must traverse solution sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// The rule induces a total, transitive order: lists stay sorted and
+    /// merge/prune are linear walks (Figure 1 of the paper).
+    SortedLinear,
+    /// The rule is only a partial order: all `n·m` combinations must be
+    /// formed and pruning is pairwise quadratic.
+    CrossProduct,
+}
+
+/// A dominance relation between statistical solutions.
+///
+/// This trait is sealed in spirit: the three implementations in this
+/// module are the rules the paper studies, and the DP engine treats them
+/// uniformly through it.
+pub trait PruningRule: fmt::Debug {
+    /// Human-readable rule name (`"2P"`, `"4P"`, `"1P"`).
+    fn name(&self) -> &'static str;
+
+    /// The traversal strategy this rule supports.
+    fn strategy(&self) -> MergeStrategy;
+
+    /// Scalar key ordering loads ascending (smaller = better).
+    fn load_key(&self, s: &StatSolution) -> f64;
+
+    /// Scalar key ordering RATs (larger = better).
+    fn rat_key(&self, s: &StatSolution) -> f64;
+
+    /// Whether `a` dominates `b` (so `b` may be discarded).
+    fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool;
+}
+
+/// The proposed two-parameter rule, eqs. (6)–(7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoParam {
+    p_load: f64,
+    p_rat: f64,
+}
+
+impl TwoParam {
+    /// Creates the rule with thresholds `p̄_L` and `p̄_T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both thresholds are in `[0.5, 1)` — values below 0.5
+    /// are meaningless for pruning (footnote 3 of the paper) and `1.0`
+    /// degenerates to the almost-sure ordering of eqs. (4)–(5).
+    #[must_use]
+    pub fn new(p_load: f64, p_rat: f64) -> Self {
+        assert!(
+            (0.5..1.0).contains(&p_load) && (0.5..1.0).contains(&p_rat),
+            "2P thresholds must be in [0.5, 1), got ({p_load}, {p_rat})"
+        );
+        Self { p_load, p_rat }
+    }
+
+    /// The thresholds `(p̄_L, p̄_T)`.
+    #[must_use]
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.p_load, self.p_rat)
+    }
+}
+
+impl Default for TwoParam {
+    /// The `p̄_L = p̄_T = 0.5` setting of Theorem 1 (pure mean ordering).
+    fn default() -> Self {
+        Self::new(0.5, 0.5)
+    }
+}
+
+impl PruningRule for TwoParam {
+    fn name(&self) -> &'static str {
+        "2P"
+    }
+
+    fn strategy(&self) -> MergeStrategy {
+        MergeStrategy::SortedLinear
+    }
+
+    fn load_key(&self, s: &StatSolution) -> f64 {
+        s.load_mean()
+    }
+
+    fn rat_key(&self, s: &StatSolution) -> f64 {
+        s.rat_mean()
+    }
+
+    fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool {
+        if self.p_load == 0.5 && self.p_rat == 0.5 {
+            // Lemma 4: the probability conditions reduce to mean ordering.
+            return a.load_mean() <= b.load_mean() && a.rat_mean() >= b.rat_mean();
+        }
+        a.load.prob_less(&b.load) >= self.p_load && a.rat.prob_greater(&b.rat) >= self.p_rat
+    }
+}
+
+/// The four-parameter rule of the DATE 2005 paper \[7\], eqs. (2)–(3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FourParam {
+    alpha_l: f64,
+    alpha_u: f64,
+    beta_l: f64,
+    beta_u: f64,
+}
+
+impl FourParam {
+    /// Creates the rule with load percentiles `(α_l, α_u)` and RAT
+    /// percentiles `(β_l, β_u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α_l < α_u < 1` and `0 < β_l < β_u < 1`.
+    #[must_use]
+    pub fn new(alpha_l: f64, alpha_u: f64, beta_l: f64, beta_u: f64) -> Self {
+        assert!(
+            0.0 < alpha_l && alpha_l < alpha_u && alpha_u < 1.0,
+            "need 0 < α_l < α_u < 1, got ({alpha_l}, {alpha_u})"
+        );
+        assert!(
+            0.0 < beta_l && beta_l < beta_u && beta_u < 1.0,
+            "need 0 < β_l < β_u < 1, got ({beta_l}, {beta_u})"
+        );
+        Self {
+            alpha_l,
+            alpha_u,
+            beta_l,
+            beta_u,
+        }
+    }
+}
+
+impl Default for FourParam {
+    /// A representative designer preference: 10%/90% intervals.
+    fn default() -> Self {
+        Self::new(0.1, 0.9, 0.1, 0.9)
+    }
+}
+
+impl PruningRule for FourParam {
+    fn name(&self) -> &'static str {
+        "4P"
+    }
+
+    fn strategy(&self) -> MergeStrategy {
+        MergeStrategy::CrossProduct
+    }
+
+    fn load_key(&self, s: &StatSolution) -> f64 {
+        s.load_mean()
+    }
+
+    fn rat_key(&self, s: &StatSolution) -> f64 {
+        s.rat_mean()
+    }
+
+    fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool {
+        // Eq. (2): π_{α_u}(L₁) < π_{α_l}(L₂);
+        // eq. (3): π_{β_l}(T₁) > π_{β_u}(T₂).
+        a.load.percentile(self.alpha_u) < b.load.percentile(self.alpha_l)
+            && a.rat.percentile(self.beta_l) > b.rat.percentile(self.beta_u)
+    }
+}
+
+/// The one-parameter percentile rule of \[8\]: deterministic dominance on
+/// fixed percentiles (load at `α`, RAT at `1−α`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneParam {
+    alpha: f64,
+}
+
+impl OneParam {
+    /// Creates the rule with percentile `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `α ∈ (0, 1)`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha) && alpha > 0.0,
+            "1P percentile must be in (0, 1), got {alpha}"
+        );
+        Self { alpha }
+    }
+}
+
+impl Default for OneParam {
+    /// The conservative 95th-percentile setting.
+    fn default() -> Self {
+        Self::new(0.95)
+    }
+}
+
+impl PruningRule for OneParam {
+    fn name(&self) -> &'static str {
+        "1P"
+    }
+
+    fn strategy(&self) -> MergeStrategy {
+        MergeStrategy::SortedLinear
+    }
+
+    fn load_key(&self, s: &StatSolution) -> f64 {
+        s.load.percentile(self.alpha)
+    }
+
+    fn rat_key(&self, s: &StatSolution) -> f64 {
+        s.rat.percentile(1.0 - self.alpha)
+    }
+
+    fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool {
+        self.load_key(a) <= self.load_key(b) && self.rat_key(a) >= self.rat_key(b)
+    }
+}
+
+/// Removes dominated solutions.
+///
+/// For [`MergeStrategy::SortedLinear`] rules this sorts by the load key
+/// and sweeps once, pruning against the last kept solution — sound by the
+/// transitivity theorems. For [`MergeStrategy::CrossProduct`] rules it
+/// falls back to pairwise `O(N²)` elimination.
+///
+/// The output is sorted by ascending load key (and, for linear rules,
+/// ascending RAT key).
+#[must_use]
+pub fn prune_solutions(
+    rule: &dyn PruningRule,
+    mut sols: Vec<StatSolution>,
+) -> Vec<StatSolution> {
+    match rule.strategy() {
+        MergeStrategy::SortedLinear => {
+            sols.sort_by(|a, b| {
+                rule.load_key(a)
+                    .total_cmp(&rule.load_key(b))
+                    .then(rule.rat_key(b).total_cmp(&rule.rat_key(a)))
+            });
+            let mut kept: Vec<StatSolution> = Vec::with_capacity(sols.len());
+            for s in sols {
+                if let Some(last) = kept.last() {
+                    if rule.dominates(last, &s) {
+                        continue;
+                    }
+                }
+                kept.push(s);
+            }
+            kept
+        }
+        MergeStrategy::CrossProduct => {
+            let mut dominated = vec![false; sols.len()];
+            for i in 0..sols.len() {
+                if dominated[i] {
+                    continue;
+                }
+                for j in 0..sols.len() {
+                    if i == j || dominated[j] {
+                        continue;
+                    }
+                    if rule.dominates(&sols[i], &sols[j]) {
+                        dominated[j] = true;
+                    }
+                }
+            }
+            let mut kept: Vec<StatSolution> = sols
+                .into_iter()
+                .zip(dominated)
+                .filter_map(|(s, d)| (!d).then_some(s))
+                .collect();
+            kept.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
+            kept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varbuf_stats::{CanonicalForm, SourceId};
+
+    fn sol(load: f64, rat: f64) -> StatSolution {
+        StatSolution::new(CanonicalForm::constant(load), CanonicalForm::constant(rat))
+    }
+
+    fn sol_var(load: f64, lsig: f64, rat: f64, rsig: f64, src: u32) -> StatSolution {
+        StatSolution::new(
+            CanonicalForm::with_terms(load, vec![(SourceId(src), lsig)]),
+            CanonicalForm::with_terms(rat, vec![(SourceId(src + 100), rsig)]),
+        )
+    }
+
+    #[test]
+    fn two_param_mean_ordering() {
+        let rule = TwoParam::default();
+        let a = sol(10.0, -50.0);
+        let b = sol(20.0, -60.0);
+        assert!(rule.dominates(&a, &b));
+        assert!(!rule.dominates(&b, &a));
+        // Incomparable pair: smaller load but worse RAT.
+        let c = sol(5.0, -100.0);
+        assert!(!rule.dominates(&a, &c));
+        assert!(!rule.dominates(&c, &a));
+    }
+
+    #[test]
+    fn two_param_high_threshold_needs_margin() {
+        let rule = TwoParam::new(0.9, 0.9);
+        // Tiny mean differences with large variance: not dominated.
+        let a = sol_var(10.0, 5.0, -50.0, 5.0, 0);
+        let b = sol_var(10.5, 5.0, -51.0, 5.0, 1);
+        assert!(!rule.dominates(&a, &b));
+        // Huge margins: dominated even at 0.9.
+        let c = sol_var(100.0, 5.0, -500.0, 5.0, 2);
+        assert!(rule.dominates(&a, &c));
+    }
+
+    #[test]
+    fn two_param_correlated_solutions_prune_easier() {
+        // Same source in both: the difference variance shrinks, so a
+        // modest margin suffices at a high threshold — the paper's
+        // argument for why 2P keeps working on real (correlated) nets.
+        let rule = TwoParam::new(0.9, 0.9);
+        let a = StatSolution::new(
+            CanonicalForm::with_terms(10.0, vec![(SourceId(0), 5.0)]),
+            CanonicalForm::with_terms(-50.0, vec![(SourceId(1), 5.0)]),
+        );
+        let b = StatSolution::new(
+            CanonicalForm::with_terms(12.0, vec![(SourceId(0), 5.0)]),
+            CanonicalForm::with_terms(-55.0, vec![(SourceId(1), 5.0)]),
+        );
+        // Differences are deterministic (perfect correlation) → P = 1.
+        assert!(rule.dominates(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "2P thresholds")]
+    fn two_param_rejects_bad_threshold() {
+        let _ = TwoParam::new(0.4, 0.5);
+    }
+
+    #[test]
+    fn four_param_interval_dominance() {
+        let rule = FourParam::default();
+        // Deterministic solutions: percentiles equal the values.
+        let a = sol(10.0, -50.0);
+        let b = sol(20.0, -60.0);
+        assert!(rule.dominates(&a, &b));
+        // Wide variance makes intervals overlap → incomparable.
+        let c = sol_var(10.0, 20.0, -50.0, 20.0, 0);
+        let d = sol_var(20.0, 20.0, -60.0, 20.0, 1);
+        assert!(!rule.dominates(&c, &d));
+        assert!(!rule.dominates(&d, &c));
+    }
+
+    #[test]
+    fn one_param_percentile_keys() {
+        let rule = OneParam::new(0.95);
+        let tight = sol_var(10.0, 0.1, -50.0, 0.1, 0);
+        let loose = sol_var(10.0, 10.0, -50.0, 10.0, 1);
+        // The loose solution's 95th-percentile load is much worse.
+        assert!(rule.load_key(&loose) > rule.load_key(&tight));
+        assert!(rule.rat_key(&loose) < rule.rat_key(&tight));
+        assert!(rule.dominates(&tight, &loose));
+        assert!(!rule.dominates(&loose, &tight));
+    }
+
+    #[test]
+    fn prune_keeps_pareto_front_two_param() {
+        let rule = TwoParam::default();
+        let sols = vec![
+            sol(10.0, -100.0),
+            sol(20.0, -80.0),
+            sol(30.0, -60.0),
+            sol(15.0, -120.0), // dominated by the first
+            sol(25.0, -90.0),  // dominated by the second
+        ];
+        let kept = prune_solutions(&rule, sols);
+        assert_eq!(kept.len(), 3);
+        // Sorted by load, RAT strictly improving.
+        for w in kept.windows(2) {
+            assert!(w[0].load_mean() < w[1].load_mean());
+            assert!(w[0].rat_mean() < w[1].rat_mean());
+        }
+    }
+
+    #[test]
+    fn prune_four_param_keeps_incomparables() {
+        let rule = FourParam::default();
+        // Same means, huge variances → intervals overlap → nothing prunes.
+        let sols = vec![
+            sol_var(10.0, 30.0, -100.0, 30.0, 0),
+            sol_var(12.0, 30.0, -95.0, 30.0, 1),
+            sol_var(14.0, 30.0, -90.0, 30.0, 2),
+        ];
+        let kept = prune_solutions(&rule, sols);
+        assert_eq!(kept.len(), 3, "4P must keep overlapping-interval solutions");
+        // The same set under 2P collapses to a single survivor chain.
+        let rule2 = TwoParam::default();
+        let sols2 = vec![
+            sol_var(10.0, 30.0, -100.0, 30.0, 0),
+            sol_var(12.0, 30.0, -95.0, 30.0, 1),
+            sol_var(14.0, 30.0, -90.0, 30.0, 2),
+        ];
+        let kept2 = prune_solutions(&rule2, sols2);
+        assert_eq!(kept2.len(), 3); // strictly increasing load AND rat: all kept
+        // But a dominated-by-mean one disappears under 2P and not under 4P.
+        let extra = vec![
+            sol_var(10.0, 30.0, -100.0, 30.0, 0),
+            sol_var(11.0, 30.0, -101.0, 30.0, 1), // worse mean load and rat
+        ];
+        assert_eq!(prune_solutions(&rule2, extra.clone()).len(), 1);
+        assert_eq!(prune_solutions(&rule, extra).len(), 2);
+    }
+
+    #[test]
+    fn prune_empty_and_singleton() {
+        let rule = TwoParam::default();
+        assert!(prune_solutions(&rule, vec![]).is_empty());
+        assert_eq!(prune_solutions(&rule, vec![sol(1.0, -1.0)]).len(), 1);
+    }
+
+    #[test]
+    fn prune_removes_exact_duplicates() {
+        let rule = TwoParam::default();
+        let kept = prune_solutions(&rule, vec![sol(5.0, -10.0), sol(5.0, -10.0)]);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn rule_names() {
+        assert_eq!(TwoParam::default().name(), "2P");
+        assert_eq!(FourParam::default().name(), "4P");
+        assert_eq!(OneParam::default().name(), "1P");
+        assert_eq!(TwoParam::default().strategy(), MergeStrategy::SortedLinear);
+        assert_eq!(FourParam::default().strategy(), MergeStrategy::CrossProduct);
+    }
+}

@@ -1,0 +1,299 @@
+//! Statistical clock-skew analysis — the extension the paper names as
+//! future work ("we intend to apply the same 2P-based pruning rule and
+//! develop efficient algorithms for clock skew minimization").
+//!
+//! For a *fixed* buffered clock tree, [`SkewAnalyzer`] propagates
+//! source-to-sink **arrival times** as first-order canonical forms (the
+//! downward analogue of the upward RAT propagation): every sink's
+//! arrival becomes `a0 + Σ aᵢ·Xᵢ`, so the skew between any two sinks is
+//! just the difference of two forms — with all the shared inter-die and
+//! spatial terms cancelling exactly as they do on silicon. The global
+//! skew (max minus min arrival) is estimated with iterated Clark
+//! max/min.
+
+use crate::ops::merge_pair_stat;
+use crate::solution::StatSolution;
+use std::collections::HashMap;
+use varbuf_rctree::tree::NodeKind;
+use varbuf_rctree::{NodeId, RoutingTree};
+use varbuf_stats::{stat_max, stat_min, CanonicalForm};
+use varbuf_variation::{BufferTypeId, ProcessModel, VariationMode};
+
+/// Per-sink arrival forms plus derived skew quantities.
+#[derive(Debug, Clone)]
+pub struct SkewAnalysis {
+    /// Arrival time of every sink, canonical form, ps.
+    pub arrivals: Vec<(NodeId, CanonicalForm)>,
+    /// The statistical latest arrival (Clark max over sinks).
+    pub latest: CanonicalForm,
+    /// The statistical earliest arrival (Clark min over sinks).
+    pub earliest: CanonicalForm,
+}
+
+impl SkewAnalysis {
+    /// The global-skew form: latest minus earliest arrival.
+    ///
+    /// Shared variation (inter-die, common spatial regions, shared
+    /// buffers on common paths) cancels in the difference — the reason a
+    /// correlation-aware model predicts far less skew than an
+    /// independent-variation one.
+    #[must_use]
+    pub fn global_skew(&self) -> CanonicalForm {
+        self.latest.sub(&self.earliest)
+    }
+
+    /// The skew form between two specific sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not a sink of the analyzed tree.
+    #[must_use]
+    pub fn pair_skew(&self, a: NodeId, b: NodeId) -> CanonicalForm {
+        let find = |id: NodeId| {
+            self.arrivals
+                .iter()
+                .find(|&&(n, _)| n == id)
+                .unwrap_or_else(|| panic!("{id} is not a sink of the analyzed tree"))
+                .1
+                .clone()
+        };
+        find(a).sub(&find(b))
+    }
+
+    /// Probability that the global skew stays below `target` ps.
+    #[must_use]
+    pub fn skew_yield(&self, target: f64) -> f64 {
+        // P(skew <= target) = P(skew - target <= 0).
+        1.0 - self.global_skew().prob_at_least(target)
+    }
+}
+
+/// Computes arrival-time forms for fixed buffer placements on one tree.
+#[derive(Debug)]
+pub struct SkewAnalyzer<'a> {
+    tree: &'a RoutingTree,
+    model: &'a ProcessModel,
+    mode: VariationMode,
+}
+
+impl<'a> SkewAnalyzer<'a> {
+    /// Creates an analyzer; `mode` selects the silicon's variation
+    /// categories (normally [`VariationMode::WithinDie`]).
+    #[must_use]
+    pub fn new(tree: &'a RoutingTree, model: &'a ProcessModel, mode: VariationMode) -> Self {
+        Self { tree, model, mode }
+    }
+
+    /// Analyzes one buffer placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has no sinks.
+    #[must_use]
+    pub fn analyze(&self, assignment: &[(NodeId, BufferTypeId)]) -> SkewAnalysis {
+        let buffers: HashMap<NodeId, BufferTypeId> = assignment.iter().copied().collect();
+        let wire = self.tree.wire();
+        let n = self.tree.len();
+
+        // Upward pass: subtree load below each node (the load any buffer
+        // placed at the node drives) and the load the node presents
+        // upward (buffer cap form when buffered).
+        let mut subtree_load: Vec<Option<CanonicalForm>> = vec![None; n];
+        let mut upward_load: Vec<Option<CanonicalForm>> = vec![None; n];
+        let postorder = self.tree.postorder();
+        for &id in &postorder {
+            let node = self.tree.node(id);
+            let mut load = match node.kind {
+                NodeKind::Sink { capacitance, .. } => CanonicalForm::constant(capacitance),
+                _ => CanonicalForm::constant(0.0),
+            };
+            for &c in &node.children {
+                let seg_cap = wire.cap_per_um * self.tree.node(c).edge_length;
+                load = load
+                    .add(upward_load[c.index()].as_ref().expect("post-order"))
+                    .plus_constant(seg_cap);
+            }
+            upward_load[id.index()] = Some(match buffers.get(&id) {
+                Some(&ty) => self
+                    .model
+                    .buffer_cap_form(ty, id, node.location, self.mode),
+                None => load.clone(),
+            });
+            subtree_load[id.index()] = Some(load);
+        }
+
+        // Downward pass: arrival forms.
+        let root = self.tree.root();
+        let driver_res = match self.tree.node(root).kind {
+            NodeKind::Source { driver_resistance } => driver_resistance,
+            _ => panic!("root must be a source"),
+        };
+        let mut arrival: Vec<Option<CanonicalForm>> = vec![None; n];
+        arrival[root.index()] = Some(
+            upward_load[root.index()]
+                .as_ref()
+                .expect("root")
+                .scaled(driver_res),
+        );
+        for &id in postorder.iter().rev() {
+            let base = arrival[id.index()].clone().expect("pre-order");
+            for &c in &self.tree.node(id).children {
+                let child = self.tree.node(c);
+                let seg = wire.segment(child.edge_length);
+                // Wire delay r·l·(c·l/2 + upward load of child).
+                let mut t = base.linear_combination(
+                    1.0,
+                    upward_load[c.index()].as_ref().expect("post-order"),
+                    seg.resistance,
+                );
+                t.add_constant(seg.resistance * seg.capacitance / 2.0);
+                if let Some(&ty) = buffers.get(&c) {
+                    let delay =
+                        self.model
+                            .buffer_delay_form(ty, c, child.location, self.mode);
+                    t = t.add(&delay).linear_combination(
+                        1.0,
+                        subtree_load[c.index()].as_ref().expect("post-order"),
+                        self.model.buffer_resistance(ty),
+                    );
+                }
+                arrival[c.index()] = Some(t);
+            }
+        }
+
+        // Collect sinks; fold Clark max/min.
+        let mut arrivals = Vec::new();
+        for (id, node) in self.tree.iter() {
+            if matches!(node.kind, NodeKind::Sink { .. }) {
+                arrivals.push((id, arrival[id.index()].clone().expect("computed")));
+            }
+        }
+        assert!(!arrivals.is_empty(), "tree must have at least one sink");
+        let mut latest = arrivals[0].1.clone();
+        let mut earliest = arrivals[0].1.clone();
+        for (_, a) in &arrivals[1..] {
+            latest = stat_max(&latest, a).form;
+            earliest = stat_min(&earliest, a).form;
+        }
+        SkewAnalysis {
+            arrivals,
+            latest,
+            earliest,
+        }
+    }
+}
+
+// merge_pair_stat and StatSolution are the RAT-side analogues; referenced
+// here so the module docs' "downward analogue" claim stays anchored.
+#[allow(unused)]
+fn _anchor(a: &StatSolution, b: &StatSolution) -> StatSolution {
+    merge_pair_stat(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{optimize_statistical, Options};
+    use varbuf_rctree::generate::{
+        generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec,
+    };
+    use varbuf_variation::SpatialKind;
+
+    #[test]
+    fn symmetric_htree_has_zero_mean_skew() {
+        let tree = generate_htree(&HTreeSpec::with_levels(6));
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+        let analyzer = SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie);
+        // Unbuffered symmetric tree: all nominal arrivals identical.
+        let analysis = analyzer.analyze(&[]);
+        let skew = analysis.global_skew();
+        // Mean skew is positive (max > min with independent terms) but
+        // small relative to arrival times.
+        let arrival_scale = analysis.arrivals[0].1.mean().abs();
+        assert!(skew.mean() >= -1e-9);
+        assert!(skew.mean() < 0.05 * arrival_scale, "skew {} vs arrival {arrival_scale}", skew.mean());
+        // Pairwise skew between mirror sinks: zero-mean.
+        let a = analysis.arrivals.first().expect("sinks").0;
+        let b = analysis.arrivals.last().expect("sinks").0;
+        let pair = analysis.pair_skew(a, b);
+        assert!(pair.mean().abs() < 1e-6);
+    }
+
+    #[test]
+    fn buffered_htree_skew_and_yield() {
+        let tree = generate_htree(&HTreeSpec::with_levels(7));
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+        let wid =
+            optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
+                .expect("optimize");
+        let analyzer = SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie);
+        let analysis = analyzer.analyze(&wid.assignment);
+        let skew = analysis.global_skew();
+        assert!(skew.mean() >= 0.0);
+        // Yield is monotone in the target and hits the extremes.
+        let tight = analysis.skew_yield(0.0);
+        let loose = analysis.skew_yield(skew.mean() + 10.0 * skew.std_dev() + 1.0);
+        assert!(tight <= 0.6, "P(skew<=0) = {tight}");
+        assert!(loose > 0.999);
+        assert!(analysis.skew_yield(skew.mean()) >= tight);
+    }
+
+    #[test]
+    fn asymmetric_tree_has_nonzero_mean_skew() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("skew", 24, 9));
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+        let analyzer = SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie);
+        let analysis = analyzer.analyze(&[]);
+        let skew = analysis.global_skew();
+        // Random trees have structurally different path lengths.
+        assert!(skew.mean() > 1.0, "skew mean {}", skew.mean());
+        // Latest >= every arrival mean; earliest <= every arrival mean.
+        for (_, a) in &analysis.arrivals {
+            assert!(analysis.latest.mean() >= a.mean() - 1e-6);
+            assert!(analysis.earliest.mean() <= a.mean() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn arrival_matches_deterministic_elmore_nominal() {
+        use crate::det::assignment_with_nominal_values;
+        use varbuf_rctree::elmore::ElmoreEvaluator;
+
+        let tree = generate_benchmark(&BenchmarkSpec::random("skewdet", 16, 4));
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+        let wid =
+            optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
+                .expect("optimize");
+        // In Nominal mode the arrival forms are deterministic and must
+        // equal the Elmore evaluator's sink delays exactly.
+        let analyzer = SkewAnalyzer::new(&tree, &model, VariationMode::Nominal);
+        let analysis = analyzer.analyze(&wid.assignment);
+        let elmore = ElmoreEvaluator::new(&tree).evaluate(&assignment_with_nominal_values(
+            &wid.assignment,
+            model.library(),
+        ));
+        for (id, form) in &analysis.arrivals {
+            let (_, d) = elmore
+                .sink_delays
+                .iter()
+                .find(|&&(s, _)| s == *id)
+                .expect("sink present");
+            assert!(
+                (form.mean() - d).abs() < 1e-6 * d.abs().max(1.0),
+                "{id}: skew-analyzer {} vs elmore {}",
+                form.mean(),
+                d
+            );
+            assert!(form.std_dev() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a sink")]
+    fn pair_skew_rejects_non_sinks() {
+        let tree = generate_htree(&HTreeSpec::with_levels(3));
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
+        let analysis = SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie).analyze(&[]);
+        let _ = analysis.pair_skew(tree.root(), tree.root());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the optimization core: DP optimality
+//! invariants against the independent Elmore evaluator, pruning
+//! soundness, and key-operation consistency.
+
+use proptest::prelude::*;
+use varbuf_core::det::{assignment_with_nominal_values, optimize_deterministic};
+use varbuf_core::dp::{optimize_with_rule, DpOptions};
+use varbuf_core::prune::{prune_solutions, OneParam, PruningRule, TwoParam};
+use varbuf_core::solution::StatSolution;
+use varbuf_rctree::elmore::ElmoreEvaluator;
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_variation::{
+    BufferLibrary, BufferTypeId, ProcessModel, SpatialKind, VariationBudgets, VariationMode,
+};
+use varbuf_stats::{CanonicalForm, SourceId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn det_dp_is_exact_per_elmore(sinks in 2usize..40, seed in 0u64..40) {
+        // The DP's claimed RAT must match an independent deterministic
+        // Elmore evaluation of its own assignment.
+        let tree = generate_benchmark(&BenchmarkSpec::random("pc", sinks, seed));
+        let lib = BufferLibrary::default_65nm();
+        let r = optimize_deterministic(&tree, &lib).expect("optimize");
+        let rep = ElmoreEvaluator::new(&tree)
+            .evaluate(&assignment_with_nominal_values(&r.assignment, &lib));
+        prop_assert!(
+            (rep.root_rat - r.root_rat).abs() < 1e-6 * rep.root_rat.abs().max(1.0),
+            "DP {} vs Elmore {}", r.root_rat, rep.root_rat
+        );
+        // And never lose to the unbuffered tree.
+        let unbuf = ElmoreEvaluator::new(&tree).evaluate_unbuffered().root_rat;
+        prop_assert!(r.root_rat >= unbuf - 1e-9);
+    }
+
+    #[test]
+    fn det_dp_beats_every_single_buffer_design(sinks in 2usize..16, seed in 0u64..20) {
+        // The optimum dominates the entire one-buffer design family.
+        let tree = generate_benchmark(&BenchmarkSpec::random("pc1", sinks, seed));
+        let lib = BufferLibrary::single_65nm();
+        let best = optimize_deterministic(&tree, &lib).expect("optimize").root_rat;
+        let eval = ElmoreEvaluator::new(&tree);
+        for (id, node) in tree.iter() {
+            if !node.is_candidate {
+                continue;
+            }
+            let one = assignment_with_nominal_values(&[(id, BufferTypeId(0))], &lib);
+            prop_assert!(eval.evaluate(&one).root_rat <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stat_dp_zero_budgets_equals_det(sinks in 2usize..30, seed in 0u64..20) {
+        let tree = generate_benchmark(&BenchmarkSpec::random("pc0", sinks, seed));
+        let lib = BufferLibrary::default_65nm();
+        let model = ProcessModel::new(
+            tree.bounding_box(),
+            SpatialKind::Heterogeneous,
+            VariationBudgets::zero(),
+            lib.clone(),
+        );
+        let s = optimize_with_rule(
+            &tree, &model, VariationMode::WithinDie,
+            &TwoParam::default(), &DpOptions::default(),
+        ).expect("stat");
+        let d = optimize_deterministic(&tree, &lib).expect("det");
+        prop_assert!(
+            (s.root_rat.mean() - d.root_rat).abs() < 1e-6 * d.root_rat.abs().max(1.0),
+            "stat {} vs det {}", s.root_rat.mean(), d.root_rat
+        );
+        prop_assert!(s.root_rat.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_set_is_mutually_nondominated(
+        loads in proptest::collection::vec((0.0f64..100.0, -500.0f64..0.0), 1..60),
+        p_idx in 0usize..3,
+    ) {
+        let rules: [Box<dyn PruningRule>; 3] = [
+            Box::new(TwoParam::default()),
+            Box::new(TwoParam::new(0.8, 0.8)),
+            Box::new(OneParam::default()),
+        ];
+        let rule = rules[p_idx].as_ref();
+        let sols: Vec<StatSolution> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, t))| {
+                StatSolution::new(
+                    CanonicalForm::with_terms(l, vec![(SourceId(i as u32 % 5), 1.0)]),
+                    CanonicalForm::with_terms(t, vec![(SourceId(5 + i as u32 % 5), 2.0)]),
+                )
+            })
+            .collect();
+        let kept = prune_solutions(rule, sols.clone());
+        prop_assert!(!kept.is_empty());
+        prop_assert!(kept.len() <= sols.len());
+        // Consecutive survivors must not dominate each other (transitive
+        // rules prune against the predecessor, so adjacency is the
+        // guarantee the algorithm gives).
+        for w in kept.windows(2) {
+            prop_assert!(!rule.dominates(&w[0], &w[1]), "adjacent domination survived");
+        }
+        // Survivors are sorted by the load key.
+        for w in kept.windows(2) {
+            prop_assert!(rule.load_key(&w[0]) <= rule.load_key(&w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prune_keeps_a_best_rat_solution(
+        loads in proptest::collection::vec((0.0f64..100.0, -500.0f64..0.0), 1..60),
+    ) {
+        // Whatever gets pruned, the best-RAT (by mean) solution survives
+        // under the 2P rule: nothing can dominate it on the RAT side.
+        let rule = TwoParam::default();
+        let sols: Vec<StatSolution> = loads
+            .iter()
+            .map(|&(l, t)| {
+                StatSolution::new(CanonicalForm::constant(l), CanonicalForm::constant(t))
+            })
+            .collect();
+        let best_rat = sols
+            .iter()
+            .map(|s| s.rat_mean())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let kept = prune_solutions(&rule, sols);
+        let kept_best = kept
+            .iter()
+            .map(|s| s.rat_mean())
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((kept_best - best_rat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_variation_never_improves_yield_rat(sinks in 4usize..24, seed in 0u64..12) {
+        // Scaling every budget up can only worsen (or preserve) the
+        // 95%-yield RAT of the optimized design.
+        let tree = generate_benchmark(&BenchmarkSpec::random("mv", sinks, seed)).subdivided(1000.0);
+        let lib = BufferLibrary::default_65nm();
+        let mut y95 = Vec::new();
+        for scale in [0.5, 2.0] {
+            let budgets = VariationBudgets {
+                random: 0.05 * scale,
+                inter_die: 0.05 * scale,
+                intra_die: 0.05 * scale,
+                systematic: 0.0,
+            };
+            let model = ProcessModel::new(
+                tree.bounding_box(),
+                SpatialKind::Homogeneous,
+                budgets,
+                lib.clone(),
+            );
+            let r = optimize_with_rule(
+                &tree, &model, VariationMode::WithinDie,
+                &TwoParam::default(), &DpOptions::default(),
+            ).expect("opt");
+            y95.push(r.root_rat.percentile(0.05));
+        }
+        prop_assert!(y95[0] >= y95[1] - 1e-9, "low-var {} vs high-var {}", y95[0], y95[1]);
+    }
+}

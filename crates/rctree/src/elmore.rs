@@ -1,0 +1,454 @@
+//! Deterministic Elmore-delay evaluation of a (possibly buffered) tree.
+//!
+//! [`ElmoreEvaluator`] computes, for a concrete buffer assignment, the
+//! downstream load everywhere, the source-to-sink Elmore delays, and the
+//! required arrival time (RAT) propagated to the root — i.e. exactly what
+//! the dynamic program optimizes, evaluated independently from first
+//! principles. It is the ground-truth checker for the DP and the inner
+//! loop of the Monte Carlo analysis (each MC sample perturbs the buffer
+//! values and re-runs this evaluator).
+
+use crate::tree::{NodeId, NodeKind, RoutingTree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Electrical values of one placed buffer instance.
+///
+/// These are *values*, not a library type: Monte Carlo analysis samples a
+/// different realization per instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferValues {
+    /// Input capacitance, fF.
+    pub capacitance: f64,
+    /// Intrinsic delay, ps.
+    pub intrinsic_delay: f64,
+    /// Output resistance, kΩ.
+    pub resistance: f64,
+}
+
+/// A concrete buffer placement: which candidate nodes host a buffer and
+/// with what electrical values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BufferAssignment {
+    buffers: HashMap<u32, BufferValues>,
+}
+
+impl BufferAssignment {
+    /// An empty (unbuffered) assignment.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places (or replaces) a buffer at `node`.
+    pub fn insert(&mut self, node: NodeId, values: BufferValues) {
+        self.buffers.insert(node.0, values);
+    }
+
+    /// The buffer at `node`, if any.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Option<&BufferValues> {
+        self.buffers.get(&node.0)
+    }
+
+    /// Number of placed buffers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether no buffer is placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Iterator over `(NodeId, &BufferValues)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &BufferValues)> {
+        self.buffers.iter().map(|(&id, v)| (NodeId(id), v))
+    }
+}
+
+/// Per-edge wire-width multipliers for sized evaluation.
+///
+/// A width `w` scales the edge's resistance by `1/w` and its capacitance
+/// by `w` (the first-order geometry scaling used by wire-sizing
+/// formulations such as \[8\]). Edges not present use width `1.0`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeWidths {
+    widths: HashMap<u32, f64>,
+}
+
+impl EdgeWidths {
+    /// All edges at default width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the width multiplier of the edge above `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn set(&mut self, node: NodeId, width: f64) {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "wire width must be positive and finite, got {width}"
+        );
+        self.widths.insert(node.0, width);
+    }
+
+    /// The width multiplier of the edge above `node` (default `1.0`).
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> f64 {
+        self.widths.get(&node.0).copied().unwrap_or(1.0)
+    }
+
+    /// Number of non-default entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Whether every edge is at default width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+}
+
+/// Result of one Elmore evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElmoreReport {
+    /// RAT at the source after subtracting the driver delay, ps.
+    pub root_rat: f64,
+    /// Load presented to the driver, fF.
+    pub root_load: f64,
+    /// Elmore delay from the source to every sink, ps.
+    pub sink_delays: Vec<(NodeId, f64)>,
+    /// The sink with the smallest slack (`rat − delay`).
+    pub critical_sink: NodeId,
+}
+
+/// Evaluates Elmore delay and root RAT for buffer assignments on one tree.
+///
+/// ```
+/// use varbuf_rctree::{RoutingTree, Point, WireParams};
+/// use varbuf_rctree::elmore::{BufferAssignment, ElmoreEvaluator};
+///
+/// let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.1, WireParams::default_65nm());
+/// let s = t.add_sink(t.root(), Point::new(1000.0, 0.0), 20.0, 0.0);
+/// let eval = ElmoreEvaluator::new(&t);
+/// let report = eval.evaluate(&BufferAssignment::new());
+/// assert!(report.root_rat < 0.0); // delay makes the root RAT negative
+/// assert_eq!(report.critical_sink, s);
+/// ```
+#[derive(Debug)]
+pub struct ElmoreEvaluator<'a> {
+    tree: &'a RoutingTree,
+    postorder: Vec<NodeId>,
+}
+
+impl<'a> ElmoreEvaluator<'a> {
+    /// Prepares an evaluator (caches the traversal order).
+    #[must_use]
+    pub fn new(tree: &'a RoutingTree) -> Self {
+        Self {
+            tree,
+            postorder: tree.postorder(),
+        }
+    }
+
+    /// The underlying tree.
+    #[must_use]
+    pub fn tree(&self) -> &RoutingTree {
+        self.tree
+    }
+
+    /// Evaluates the tree under `buffers` (all wires at default width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has no sinks (an unconnected net has no RAT).
+    #[must_use]
+    pub fn evaluate(&self, buffers: &BufferAssignment) -> ElmoreReport {
+        self.evaluate_sized(buffers, &EdgeWidths::new())
+    }
+
+    /// Evaluates the tree under `buffers` with per-edge wire widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has no sinks (an unconnected net has no RAT).
+    #[must_use]
+    pub fn evaluate_sized(&self, buffers: &BufferAssignment, widths: &EdgeWidths) -> ElmoreReport {
+        let n = self.tree.len();
+        let wire = self.tree.wire();
+
+        // Pass 1 (post-order): subtree load below each node, ignoring any
+        // buffer placed *at* the node itself (that is "the load the buffer
+        // drives"), plus the load each node presents upward (buffer cap if
+        // buffered, subtree load otherwise).
+        let mut subtree_load = vec![0.0_f64; n];
+        let mut upward_load = vec![0.0_f64; n];
+        for &id in &self.postorder {
+            let node = self.tree.node(id);
+            let mut load = match node.kind {
+                NodeKind::Sink { capacitance, .. } => capacitance,
+                _ => 0.0,
+            };
+            for &c in &node.children {
+                let seg_cap =
+                    wire.cap_per_um * self.tree.node(c).edge_length * widths.get(c);
+                load += seg_cap + upward_load[c.index()];
+            }
+            subtree_load[id.index()] = load;
+            upward_load[id.index()] = match buffers.get(id) {
+                Some(b) => b.capacitance,
+                None => load,
+            };
+        }
+
+        // Pass 2 (pre-order): accumulate delay from the source.
+        // `arrival[v]` = Elmore delay from the driver input to the point
+        // *after* any buffer at v (i.e. at v driving its subtree).
+        let mut arrival = vec![0.0_f64; n];
+        let root = self.tree.root();
+        let driver_res = match self.tree.node(root).kind {
+            NodeKind::Source { driver_resistance } => driver_resistance,
+            _ => 0.0,
+        };
+        arrival[root.index()] = driver_res * upward_load[root.index()];
+        // Pre-order = reverse post-order for this stack discipline.
+        for &id in self.postorder.iter().rev() {
+            let base = arrival[id.index()];
+            let node = self.tree.node(id);
+            for &c in &node.children {
+                let child = self.tree.node(c);
+                let w = widths.get(c);
+                let mut seg = wire.segment(child.edge_length);
+                seg.resistance /= w;
+                seg.capacitance *= w;
+                // Wire delay into the child (π-model: half cap local).
+                let mut t = base + seg.elmore_delay(upward_load[c.index()]);
+                // Buffer delay at the child, if present.
+                if let Some(b) = buffers.get(c) {
+                    t += b.intrinsic_delay + b.resistance * subtree_load[c.index()];
+                }
+                arrival[c.index()] = t;
+            }
+        }
+
+        // Collect sink slacks.
+        let mut sink_delays = Vec::new();
+        let mut root_rat = f64::INFINITY;
+        let mut critical_sink = None;
+        for (id, node) in self.tree.iter() {
+            if let NodeKind::Sink {
+                required_arrival, ..
+            } = node.kind
+            {
+                let delay = arrival[id.index()];
+                sink_delays.push((id, delay));
+                let slack = required_arrival - delay;
+                if slack < root_rat {
+                    root_rat = slack;
+                    critical_sink = Some(id);
+                }
+            }
+        }
+
+        ElmoreReport {
+            root_rat,
+            root_load: upward_load[root.index()],
+            sink_delays,
+            critical_sink: critical_sink.expect("tree must have at least one sink"),
+        }
+    }
+
+    /// Convenience: evaluate without any buffers.
+    #[must_use]
+    pub fn evaluate_unbuffered(&self) -> ElmoreReport {
+        self.evaluate(&BufferAssignment::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+    use crate::wire::WireParams;
+
+    fn wire() -> WireParams {
+        WireParams {
+            res_per_um: 1e-3, // 1 Ω/µm in kΩ
+            cap_per_um: 0.1,  // fF/µm
+        }
+    }
+
+    #[test]
+    fn single_wire_matches_hand_computation() {
+        // Source --1000µm--> sink(20fF, rat 0), driver 0.1 kΩ.
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.1, wire());
+        t.add_sink(t.root(), Point::new(1000.0, 0.0), 20.0, 0.0);
+        let eval = ElmoreEvaluator::new(&t);
+        let rep = eval.evaluate_unbuffered();
+
+        let r = 1e-3 * 1000.0; // 1 kΩ
+        let c = 0.1 * 1000.0; // 100 fF
+        let expect_delay = 0.1 * (c + 20.0) + r * (c / 2.0 + 20.0);
+        assert!((rep.sink_delays[0].1 - expect_delay).abs() < 1e-9);
+        assert!((rep.root_rat + expect_delay).abs() < 1e-9);
+        assert!((rep.root_load - (c + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_decouples_downstream_load() {
+        // Long wire with a buffer in the middle: the driver should see the
+        // buffer cap, not the full downstream capacitance.
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.1, wire());
+        let mid = t.add_internal(t.root(), Point::new(1000.0, 0.0));
+        t.add_sink(mid, Point::new(2000.0, 0.0), 20.0, 0.0);
+
+        let eval = ElmoreEvaluator::new(&t);
+        let unbuf = eval.evaluate_unbuffered();
+
+        let mut buf = BufferAssignment::new();
+        buf.insert(
+            mid,
+            BufferValues {
+                capacitance: 10.0,
+                intrinsic_delay: 30.0,
+                resistance: 0.2,
+            },
+        );
+        let with_buf = eval.evaluate(&buf);
+
+        // Root load becomes first-segment cap + buffer cap.
+        assert!((with_buf.root_load - (100.0 + 10.0)).abs() < 1e-9);
+        assert!(with_buf.root_load < unbuf.root_load);
+        // Long unbuffered wire is quadratic; one buffer should help here.
+        assert!(with_buf.root_rat > unbuf.root_rat);
+    }
+
+    #[test]
+    fn branch_takes_min_slack() {
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.05, wire());
+        let j = t.add_internal(t.root(), Point::new(100.0, 0.0));
+        let near = t.add_sink(j, Point::new(200.0, 0.0), 10.0, 0.0);
+        let far = t.add_sink(j, Point::new(100.0, 2000.0), 10.0, 0.0);
+        let eval = ElmoreEvaluator::new(&t);
+        let rep = eval.evaluate_unbuffered();
+        // The far sink dominates the root RAT.
+        assert_eq!(rep.critical_sink, far);
+        let d_near = rep.sink_delays.iter().find(|&&(s, _)| s == near).unwrap().1;
+        let d_far = rep.sink_delays.iter().find(|&&(s, _)| s == far).unwrap().1;
+        assert!(d_far > d_near);
+        assert!((rep.root_rat + d_far).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_rat_offsets_propagate() {
+        // Give the near sink a very tight (negative) RAT so it becomes
+        // critical despite its shorter delay.
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.05, wire());
+        let j = t.add_internal(t.root(), Point::new(100.0, 0.0));
+        let near = t.add_sink(j, Point::new(200.0, 0.0), 10.0, -1e6);
+        t.add_sink(j, Point::new(100.0, 2000.0), 10.0, 0.0);
+        let eval = ElmoreEvaluator::new(&t);
+        let rep = eval.evaluate_unbuffered();
+        assert_eq!(rep.critical_sink, near);
+    }
+
+    #[test]
+    fn buffer_at_branch_shields_sibling() {
+        // Buffering the heavy branch improves the light branch's delay.
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.5, wire());
+        let j = t.add_internal(t.root(), Point::new(10.0, 0.0));
+        let light = t.add_sink(j, Point::new(110.0, 0.0), 5.0, 0.0);
+        let heavy = t.add_internal(j, Point::new(10.0, 3000.0));
+        t.add_sink(heavy, Point::new(10.0, 5000.0), 50.0, 0.0);
+
+        let eval = ElmoreEvaluator::new(&t);
+        let unbuf = eval.evaluate_unbuffered();
+        let mut buf = BufferAssignment::new();
+        buf.insert(
+            heavy,
+            BufferValues {
+                capacitance: 5.0,
+                intrinsic_delay: 30.0,
+                resistance: 0.2,
+            },
+        );
+        let buffered = eval.evaluate(&buf);
+        let light_unbuf = unbuf.sink_delays.iter().find(|&&(s, _)| s == light).unwrap().1;
+        let light_buf = buffered
+            .sink_delays
+            .iter()
+            .find(|&&(s, _)| s == light)
+            .unwrap()
+            .1;
+        assert!(
+            light_buf < light_unbuf,
+            "shielding failed: {light_buf} !< {light_unbuf}"
+        );
+    }
+
+    #[test]
+    fn wider_wires_cut_resistance_delay() {
+        // A long resistive line driving a large load: widening trades
+        // higher wire cap for lower wire resistance, a net win here.
+        let mut t = RoutingTree::new(Point::new(0.0, 0.0), 0.01, wire());
+        let s = t.add_sink(t.root(), Point::new(5000.0, 0.0), 100.0, 0.0);
+        let eval = ElmoreEvaluator::new(&t);
+        let narrow = eval.evaluate_unbuffered();
+        let mut widths = EdgeWidths::new();
+        widths.set(s, 4.0);
+        let wide = eval.evaluate_sized(&BufferAssignment::new(), &widths);
+        assert!(
+            wide.root_rat > narrow.root_rat,
+            "wide {} vs narrow {}",
+            wide.root_rat,
+            narrow.root_rat
+        );
+        // Driver load grows with the wider wire's capacitance.
+        assert!(wide.root_load > narrow.root_load);
+    }
+
+    #[test]
+    fn edge_widths_default_is_one() {
+        let w = EdgeWidths::new();
+        assert!(w.is_empty());
+        assert_eq!(w.get(NodeId(5)), 1.0);
+        let mut w2 = EdgeWidths::new();
+        w2.set(NodeId(5), 2.0);
+        assert_eq!(w2.len(), 1);
+        assert_eq!(w2.get(NodeId(5)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire width must be positive")]
+    fn zero_width_rejected() {
+        let mut w = EdgeWidths::new();
+        w.set(NodeId(1), 0.0);
+    }
+
+    #[test]
+    fn assignment_accessors() {
+        let mut a = BufferAssignment::new();
+        assert!(a.is_empty());
+        a.insert(
+            NodeId(3),
+            BufferValues {
+                capacitance: 1.0,
+                intrinsic_delay: 2.0,
+                resistance: 3.0,
+            },
+        );
+        assert_eq!(a.len(), 1);
+        assert!(a.get(NodeId(3)).is_some());
+        assert!(a.get(NodeId(4)).is_none());
+        assert_eq!(a.iter().count(), 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! Seeded benchmark generators.
+//!
+//! The paper evaluates on two public benchmark suites (`p1`/`p2` and
+//! `r1`–`r5`, Table 1) plus an 8-level H-tree clock network with more than
+//! 64 000 sinks (footnote 4). The historic benchmark files are not
+//! redistributable, so — per the substitution policy in `DESIGN.md` — this
+//! module generates *seeded synthetic equivalents* with exactly the same
+//! sink counts and candidate-position counts (`2·sinks − 1`): uniformly
+//! placed sinks connected by a recursive geometric-bipartition topology
+//! that mimics a Steiner routing tree. The DP's complexity and pruning
+//! behavior depend on these size/topology statistics, not on the exact
+//! historic nets.
+
+use crate::geom::Point;
+use crate::tree::{NodeId, RoutingTree};
+use crate::wire::WireParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the random-benchmark generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name recorded on the tree.
+    pub name: String,
+    /// Number of sinks.
+    pub sinks: usize,
+    /// Die edge length, µm (sinks are placed uniformly in the square).
+    pub die_um: f64,
+    /// RNG seed (same seed ⇒ same tree).
+    pub seed: u64,
+    /// Sink capacitance range, fF.
+    pub sink_cap_range: (f64, f64),
+    /// Sink required arrival times are drawn uniformly from
+    /// `[-spread, 0]` ps (0 ⇒ every sink at RAT 0, the suite default).
+    /// Heterogeneous sink RATs make criticality structure richer.
+    pub sink_rat_spread: f64,
+    /// Driver output resistance, kΩ.
+    pub driver_resistance: f64,
+    /// Wire parameters.
+    pub wire: WireParams,
+}
+
+impl BenchmarkSpec {
+    /// The named suite from Table 1 of the paper.
+    ///
+    /// | name | sinks | candidates |
+    /// |------|-------|------------|
+    /// | p1   | 269   | 537        |
+    /// | p2   | 603   | 1205       |
+    /// | r1   | 267   | 533        |
+    /// | r2   | 598   | 1195       |
+    /// | r3   | 862   | 1723       |
+    /// | r4   | 1903  | 3805       |
+    /// | r5   | 3101  | 6201       |
+    ///
+    /// Returns `None` for an unknown name.
+    #[must_use]
+    pub fn named(name: &str) -> Option<Self> {
+        let (sinks, seed) = match name {
+            "p1" => (269, 0x7001),
+            "p2" => (603, 0x7002),
+            "r1" => (267, 0x9001),
+            "r2" => (598, 0x9002),
+            "r3" => (862, 0x9003),
+            "r4" => (1903, 0x9004),
+            "r5" => (3101, 0x9005),
+            _ => return None,
+        };
+        let mut spec = Self::random(name, sinks, seed);
+        if name.starts_with('p') {
+            // The paper's p-family nets are much slower than the r-family
+            // at similar sink counts (Table 3: p1 at −2612 ps vs r1 at
+            // −1070 ps): sparse nets spanning a full-size die.
+            spec.die_um = 25_000.0;
+        }
+        Some(spec)
+    }
+
+    /// All seven named benchmarks, in Table 1 order.
+    #[must_use]
+    pub fn suite() -> Vec<Self> {
+        ["p1", "p2", "r1", "r2", "r3", "r4", "r5"]
+            .iter()
+            .map(|n| Self::named(n).expect("known name"))
+            .collect()
+    }
+
+    /// A spec with the default electrical values and a die scaled as
+    /// `1000·√sinks` µm, capped at 25 mm (keeps wire density roughly
+    /// constant across sizes while staying within reticle-sized dies).
+    #[must_use]
+    pub fn random(name: &str, sinks: usize, seed: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            sinks,
+            die_um: (1000.0 * (sinks as f64).sqrt()).min(25_000.0),
+            seed,
+            sink_cap_range: (5.0, 30.0),
+            sink_rat_spread: 0.0,
+            driver_resistance: 0.1,
+            wire: WireParams::default_65nm(),
+        }
+    }
+}
+
+/// Generates the synthetic benchmark tree for `spec`.
+///
+/// The topology is a recursive geometric bipartition of the sink set:
+/// split the sinks along the wider axis of their bounding box at the
+/// median, place a Steiner node at the centroid, and recurse. A binary
+/// tree over `n` sinks has `n − 1` Steiner nodes and `2n − 1` edges, so
+/// the tree exposes exactly `2n − 1` candidate buffer positions.
+///
+/// # Panics
+///
+/// Panics if `spec.sinks == 0`.
+#[must_use]
+pub fn generate_benchmark(spec: &BenchmarkSpec) -> RoutingTree {
+    assert!(spec.sinks > 0, "benchmark needs at least one sink");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Sinks uniform in the die; driver at the west edge midpoint.
+    let mut sinks: Vec<(Point, f64, f64)> = (0..spec.sinks)
+        .map(|_| {
+            let p = Point::new(
+                rng.gen_range(0.0..spec.die_um),
+                rng.gen_range(0.0..spec.die_um),
+            );
+            let cap = rng.gen_range(spec.sink_cap_range.0..=spec.sink_cap_range.1);
+            let rat = if spec.sink_rat_spread > 0.0 {
+                -rng.gen_range(0.0..=spec.sink_rat_spread)
+            } else {
+                0.0
+            };
+            (p, cap, rat)
+        })
+        .collect();
+
+    let source = Point::new(0.0, spec.die_um / 2.0);
+    let mut tree = RoutingTree::new(source, spec.driver_resistance, spec.wire);
+    tree.set_name(spec.name.clone());
+    let root = tree.root();
+    build_bipartition(&mut tree, root, &mut sinks);
+    tree
+}
+
+/// Recursively attaches the sink set `pts` below `parent`.
+fn build_bipartition(tree: &mut RoutingTree, parent: NodeId, pts: &mut [(Point, f64, f64)]) {
+    match pts {
+        [] => unreachable!("recursion never reaches an empty set"),
+        [(p, cap, rat)] => {
+            tree.add_sink(parent, *p, *cap, *rat);
+        }
+        _ => {
+            // Steiner node at the centroid of the set.
+            let n = pts.len() as f64;
+            let cx = pts.iter().map(|(p, ..)| p.x).sum::<f64>() / n;
+            let cy = pts.iter().map(|(p, ..)| p.y).sum::<f64>() / n;
+            let steiner = tree.add_internal(parent, Point::new(cx, cy));
+
+            // Split along the wider axis at the median.
+            let (min_x, max_x) = min_max(pts.iter().map(|(p, ..)| p.x));
+            let (min_y, max_y) = min_max(pts.iter().map(|(p, ..)| p.y));
+            let mid = pts.len() / 2;
+            if max_x - min_x >= max_y - min_y {
+                pts.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
+            } else {
+                pts.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
+            }
+            let (left, right) = pts.split_at_mut(mid);
+            build_bipartition(tree, steiner, left);
+            build_bipartition(tree, steiner, right);
+        }
+    }
+}
+
+fn min_max(it: impl Iterator<Item = f64>) -> (f64, f64) {
+    it.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Generates a benchmark with a **rectilinear minimum spanning tree**
+/// topology instead of the default geometric bipartition: sinks are
+/// connected by Prim's algorithm under Manhattan distance and every MST
+/// edge is routed as an L-shape with a Steiner node at the bend.
+///
+/// Compared to the bipartition topology (balanced, binary), RMST trees
+/// are chainy with high-degree hubs — a usefully different stress case
+/// for the DP (same electrical model, same candidate conventions: one
+/// legal position per edge).
+///
+/// # Panics
+///
+/// Panics if `spec.sinks == 0`.
+#[must_use]
+pub fn generate_benchmark_rmst(spec: &BenchmarkSpec) -> RoutingTree {
+    assert!(spec.sinks > 0, "benchmark needs at least one sink");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let sinks: Vec<(Point, f64, f64)> = (0..spec.sinks)
+        .map(|_| {
+            let p = Point::new(
+                rng.gen_range(0.0..spec.die_um),
+                rng.gen_range(0.0..spec.die_um),
+            );
+            let cap = rng.gen_range(spec.sink_cap_range.0..=spec.sink_cap_range.1);
+            let rat = if spec.sink_rat_spread > 0.0 {
+                -rng.gen_range(0.0..=spec.sink_rat_spread)
+            } else {
+                0.0
+            };
+            (p, cap, rat)
+        })
+        .collect();
+
+    let source = Point::new(0.0, spec.die_um / 2.0);
+    let mut tree = RoutingTree::new(source, spec.driver_resistance, spec.wire);
+    tree.set_name(format!("{}-rmst", spec.name));
+
+    // Prim's algorithm over {source} ∪ sinks with Manhattan metric.
+    // Each connected sink hangs by a zero-length edge from a Steiner node
+    // at its own location; later edges attach to that Steiner node (sinks
+    // themselves can never host children).
+    let n = sinks.len();
+    let mut in_tree = vec![false; n];
+    let mut best_dist: Vec<f64> = sinks.iter().map(|&(p, ..)| p.manhattan(source)).collect();
+    let mut best_parent: Vec<NodeId> = vec![tree.root(); n];
+    let mut hub_of: Vec<Option<NodeId>> = vec![None; n];
+
+    for _ in 0..n {
+        // Pick the closest not-yet-connected sink.
+        let (i, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !in_tree[i])
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("some sink remains");
+        in_tree[i] = true;
+
+        let parent = best_parent[i];
+        let (p, cap, rat) = sinks[i];
+        let parent_loc = tree.node(parent).location;
+
+        // Route as an L: horizontal first, bend at (p.x, parent.y).
+        let bend = Point::new(p.x, parent_loc.y);
+        let attach = if bend.manhattan(parent_loc) > 0.0 && bend.manhattan(p) > 0.0 {
+            tree.add_internal(parent, bend)
+        } else {
+            parent
+        };
+        let hub = tree.add_internal(attach, p);
+        let sink = tree.add_sink(hub, p, cap, rat);
+        // The zero-length sink edge is not an interesting buffer spot.
+        tree.set_candidate(sink, false);
+        hub_of[i] = Some(hub);
+
+        // Relax distances through the freshly added hub.
+        for j in 0..n {
+            if in_tree[j] {
+                continue;
+            }
+            let d = sinks[j].0.manhattan(p);
+            if d < best_dist[j] {
+                best_dist[j] = d;
+                best_parent[j] = hub_of[i].expect("just set");
+            }
+        }
+    }
+    tree
+}
+
+/// Parameters for the H-tree clock-network generator (capacity test).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HTreeSpec {
+    /// Number of binary branching levels; the tree has `2^levels` sinks.
+    /// The paper's capacity experiment uses an "eight-level H-tree" with
+    /// more than 64 000 sinks, i.e. `levels = 16` in binary-branching
+    /// terms (each H has two binary levels).
+    pub levels: u32,
+    /// Die edge length, µm.
+    pub die_um: f64,
+    /// Sink (clock pin) capacitance, fF.
+    pub sink_cap: f64,
+    /// Driver output resistance, kΩ.
+    pub driver_resistance: f64,
+    /// Wire parameters.
+    pub wire: WireParams,
+}
+
+impl HTreeSpec {
+    /// A spec with default electricals; `levels = 16` gives 65 536 sinks.
+    #[must_use]
+    pub fn with_levels(levels: u32) -> Self {
+        Self {
+            levels,
+            die_um: 16_000.0,
+            sink_cap: 12.0,
+            driver_resistance: 0.05,
+            wire: WireParams::default_65nm(),
+        }
+    }
+}
+
+/// Generates a symmetric binary H-tree with `2^levels` sinks.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `levels > 24` (guard against accidental
+/// multi-hundred-million-node requests).
+#[must_use]
+pub fn generate_htree(spec: &HTreeSpec) -> RoutingTree {
+    assert!(
+        spec.levels >= 1 && spec.levels <= 24,
+        "H-tree levels must be in 1..=24, got {}",
+        spec.levels
+    );
+    let center = Point::new(spec.die_um / 2.0, spec.die_um / 2.0);
+    let mut tree = RoutingTree::new(center, spec.driver_resistance, spec.wire);
+    tree.set_name(format!("htree{}", spec.levels));
+
+    // Recursive construction: at each level we branch in two, alternating
+    // horizontal/vertical, with arm length halving every two levels.
+    let mut stack = vec![(
+        tree.root(),
+        center,
+        spec.die_um / 4.0,
+        0u32, // level index; even = horizontal split
+    )];
+    while let Some((parent, at, arm, level)) = stack.pop() {
+        if level == spec.levels {
+            continue;
+        }
+        let offsets = if level % 2 == 0 {
+            [Point::new(-arm, 0.0), Point::new(arm, 0.0)]
+        } else {
+            [Point::new(0.0, -arm), Point::new(0.0, arm)]
+        };
+        for off in offsets {
+            let child_at = at + off;
+            if level + 1 == spec.levels {
+                tree.add_sink(parent, child_at, spec.sink_cap, 0.0);
+            } else {
+                let child = tree.add_internal(parent, child_at);
+                let next_arm = if level % 2 == 0 { arm } else { arm / 2.0 };
+                stack.push((child, child_at, next_arm, level + 1));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_suite_matches_table1() {
+        let expected = [
+            ("p1", 269),
+            ("p2", 603),
+            ("r1", 267),
+            ("r2", 598),
+            ("r3", 862),
+            ("r4", 1903),
+            ("r5", 3101),
+        ];
+        for (name, sinks) in expected {
+            let spec = BenchmarkSpec::named(name).expect("known");
+            let tree = generate_benchmark(&spec);
+            assert_eq!(tree.sink_count(), sinks, "{name}");
+            assert_eq!(tree.candidate_count(), 2 * sinks - 1, "{name}");
+            tree.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(BenchmarkSpec::named("bogus").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchmarkSpec::named("r1").expect("known");
+        let a = generate_benchmark(&spec);
+        let b = generate_benchmark(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_benchmark(&BenchmarkSpec::random("x", 50, 1));
+        let b = generate_benchmark(&BenchmarkSpec::random("x", 50, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_sink_benchmark() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("one", 1, 7));
+        assert_eq!(tree.sink_count(), 1);
+        assert_eq!(tree.candidate_count(), 1);
+        tree.validate().expect("valid");
+    }
+
+    #[test]
+    fn sinks_inside_die() {
+        let spec = BenchmarkSpec::random("t", 200, 3);
+        let tree = generate_benchmark(&spec);
+        for id in tree.sinks() {
+            let p = tree.node(id).location;
+            assert!(p.x >= 0.0 && p.x <= spec.die_um);
+            assert!(p.y >= 0.0 && p.y <= spec.die_um);
+        }
+    }
+
+    #[test]
+    fn sink_rat_spread_produces_heterogeneous_rats() {
+        use crate::tree::NodeKind;
+        let mut spec = BenchmarkSpec::random("spread", 50, 8);
+        spec.sink_rat_spread = 200.0;
+        let tree = generate_benchmark(&spec);
+        let rats: Vec<f64> = tree
+            .sinks()
+            .map(|id| match tree.node(id).kind {
+                NodeKind::Sink {
+                    required_arrival, ..
+                } => required_arrival,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(rats.iter().all(|&r| (-200.0..=0.0).contains(&r)));
+        let distinct = rats
+            .iter()
+            .map(|r| (r * 1e6) as i64)
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 40, "RATs should spread out");
+        tree.validate().expect("valid");
+    }
+
+    #[test]
+    fn rmst_topology_is_valid_and_shorter() {
+        for seed in [1u64, 7, 23] {
+            let spec = BenchmarkSpec::random("rmst", 80, seed);
+            let rmst = generate_benchmark_rmst(&spec);
+            rmst.validate().expect("valid");
+            assert_eq!(rmst.sink_count(), 80);
+            assert!(rmst.name().ends_with("-rmst"));
+
+            // The MST topology uses (weakly) less wire than the
+            // bipartition's centroid routing on the same sink set.
+            let bipart = generate_benchmark(&spec);
+            assert!(
+                rmst.total_wire_length() <= bipart.total_wire_length(),
+                "seed {seed}: rmst {} vs bipartition {}",
+                rmst.total_wire_length(),
+                bipart.total_wire_length()
+            );
+        }
+    }
+
+    #[test]
+    fn rmst_is_deterministic_and_optimizable() {
+        let spec = BenchmarkSpec::random("rmstd", 30, 5);
+        let a = generate_benchmark_rmst(&spec);
+        let b = generate_benchmark_rmst(&spec);
+        assert_eq!(a, b);
+        // Zero-length sink edges must not confuse Elmore.
+        let rep = crate::elmore::ElmoreEvaluator::new(&a).evaluate_unbuffered();
+        assert!(rep.root_rat.is_finite() && rep.root_rat < 0.0);
+    }
+
+    #[test]
+    fn htree_sink_count_is_power_of_two() {
+        for levels in [1u32, 2, 3, 6, 10] {
+            let tree = generate_htree(&HTreeSpec::with_levels(levels));
+            assert_eq!(tree.sink_count(), 1 << levels, "levels={levels}");
+            tree.validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn htree_is_symmetric_in_wirelength() {
+        let tree = generate_htree(&HTreeSpec::with_levels(6));
+        // All sinks are equidistant from the root in an ideal H-tree —
+        // check that path lengths agree.
+        let mut lengths = Vec::new();
+        for sink in tree.sinks() {
+            let mut len = 0.0;
+            let mut cur = sink;
+            while let Some(p) = tree.node(cur).parent {
+                len += tree.node(cur).edge_length;
+                cur = p;
+            }
+            lengths.push(len);
+        }
+        let first = lengths[0];
+        assert!(lengths.iter().all(|&l| (l - first).abs() < 1e-6));
+    }
+
+    #[test]
+    fn capacity_htree_64k() {
+        // The paper's footnote-4 configuration: > 64 000 sinks.
+        let tree = generate_htree(&HTreeSpec::with_levels(16));
+        assert_eq!(tree.sink_count(), 65_536);
+        tree.validate().expect("valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24")]
+    fn htree_levels_bounded() {
+        let _ = generate_htree(&HTreeSpec::with_levels(0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Die-plane geometry in micrometers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the die, in micrometers.
+///
+/// ```
+/// use varbuf_rctree::geom::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// assert_eq!(a.euclid(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate, µm.
+    pub x: f64,
+    /// Vertical coordinate, µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Rectilinear (Manhattan) distance — the routing distance on a
+    /// Manhattan grid, which is also the wire length of an L-shaped route.
+    #[inline]
+    #[must_use]
+    pub fn manhattan(self, other: Self) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance, used by the spatial-correlation taper.
+    #[inline]
+    #[must_use]
+    pub fn euclid(self, other: Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Midpoint of the segment to `other`.
+    #[inline]
+    #[must_use]
+    pub fn midpoint(self, other: Self) -> Self {
+        Self::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// Axis-aligned bounding box of a point set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Bounding box of a non-empty point iterator; `None` when empty.
+    pub fn of(points: impl IntoIterator<Item = Point>) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox {
+            min: first,
+            max: first,
+        };
+        for p in it {
+            bb.min.x = bb.min.x.min(p.x);
+            bb.min.y = bb.min.y.min(p.y);
+            bb.max.x = bb.max.x.max(p.x);
+            bb.max.y = bb.max.y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Width in µm.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in µm.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert_eq!(b.manhattan(a), 7.0);
+        assert_eq!(a.euclid(b), 5.0);
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_ops() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+        assert_eq!(a + b, b);
+        assert_eq!(b - b, a);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = vec![
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let bb = BoundingBox::of(pts).expect("non-empty");
+        assert_eq!(bb.min, Point::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point::new(4.0, 5.0));
+        assert_eq!(bb.width(), 6.0);
+        assert_eq!(bb.height(), 6.0);
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(!bb.contains(Point::new(5.0, 0.0)));
+        assert!(BoundingBox::of(std::iter::empty()).is_none());
+    }
+}

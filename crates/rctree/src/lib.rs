@@ -1,0 +1,50 @@
+//! RC routing-tree substrate for variation-aware buffer insertion.
+//!
+//! This crate provides everything below the optimization layer:
+//!
+//! * [`geom`] — die coordinates (micrometers) and rectilinear distance.
+//! * [`tree`] — the arena-based [`RoutingTree`]: a source (driver) node,
+//!   sink nodes carrying load capacitance and required arrival times, and
+//!   internal nodes; every edge carries a wire length and offers one legal
+//!   buffer position at its downstream end (so a binary tree over `n`
+//!   sinks exposes exactly `2n − 1` candidate positions, matching Table 1
+//!   of the paper).
+//! * [`wire`] — per-unit-length electrical parameters and the Elmore
+//!   π-model quantities of a wire segment.
+//! * [`elmore`] — a deterministic Elmore-delay evaluator for a tree with a
+//!   concrete buffer assignment; this is the independent checker used to
+//!   validate the dynamic program and to drive Monte Carlo analysis.
+//! * [`generate`] — seeded benchmark generators: geometric-bipartition
+//!   Steiner-like trees matching the p1/p2/r1–r5 suite of the paper, and
+//!   H-tree clock networks for the >64k-sink capacity experiment.
+//! * [`io`] — a simple line-oriented text format for trees.
+//!
+//! Units across the workspace: distance in µm, resistance in kΩ,
+//! capacitance in fF, time in ps (so `kΩ · fF = ps` with no conversion
+//! factors).
+//!
+//! # Example
+//!
+//! ```
+//! use varbuf_rctree::generate::{BenchmarkSpec, generate_benchmark};
+//!
+//! let tree = generate_benchmark(&BenchmarkSpec::named("r1").unwrap());
+//! assert_eq!(tree.sink_count(), 267);
+//! assert_eq!(tree.candidate_count(), 533);
+//! tree.validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elmore;
+pub mod generate;
+pub mod geom;
+pub mod io;
+pub mod tree;
+pub mod wire;
+
+pub use elmore::ElmoreEvaluator;
+pub use geom::Point;
+pub use tree::{NodeId, NodeKind, RoutingTree, TreeError};
+pub use wire::WireParams;

@@ -1,0 +1,121 @@
+//! Wire electrical parameters and the Elmore π-model of a segment.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-unit-length electrical parameters of the routing layer.
+///
+/// Units: resistance kΩ/µm, capacitance fF/µm, so that `R·C` products are
+/// directly in ps. The defaults are representative 65 nm global-layer
+/// values commonly used in the buffer-insertion literature.
+///
+/// ```
+/// use varbuf_rctree::WireParams;
+/// let w = WireParams::default_65nm();
+/// let seg = w.segment(1000.0); // a 1 mm wire
+/// assert!(seg.resistance > 0.0 && seg.capacitance > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireParams {
+    /// Sheet/unit resistance, kΩ per µm.
+    pub res_per_um: f64,
+    /// Unit capacitance, fF per µm.
+    pub cap_per_um: f64,
+}
+
+impl WireParams {
+    /// Representative 65 nm global-layer values:
+    /// `r = 0.076 Ω/µm`, `c = 0.118 fF/µm`.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        Self {
+            res_per_um: 0.076e-3, // kΩ/µm
+            cap_per_um: 0.118,    // fF/µm
+        }
+    }
+
+    /// The lumped π-model of a wire of length `length_um`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_um` is negative or non-finite.
+    #[must_use]
+    pub fn segment(&self, length_um: f64) -> WireSegment {
+        assert!(
+            length_um.is_finite() && length_um >= 0.0,
+            "wire length must be finite and non-negative, got {length_um}"
+        );
+        WireSegment {
+            length: length_um,
+            resistance: self.res_per_um * length_um,
+            capacitance: self.cap_per_um * length_um,
+        }
+    }
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        Self::default_65nm()
+    }
+}
+
+/// Lumped quantities of one wire segment (π-model: half the capacitance at
+/// each end, full resistance between).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireSegment {
+    /// Length, µm.
+    pub length: f64,
+    /// Total resistance, kΩ.
+    pub resistance: f64,
+    /// Total capacitance, fF.
+    pub capacitance: f64,
+}
+
+impl WireSegment {
+    /// Elmore delay of this segment driving a downstream load `load_ff`:
+    /// `R·(C/2 + L)` in ps — equivalently the
+    /// `r·l·L + ½·r·c·l²` of eq. (26).
+    #[inline]
+    #[must_use]
+    pub fn elmore_delay(&self, load_ff: f64) -> f64 {
+        self.resistance * (self.capacitance / 2.0 + load_ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_scales_linearly() {
+        let w = WireParams::default_65nm();
+        let a = w.segment(100.0);
+        let b = w.segment(200.0);
+        assert!((b.resistance - 2.0 * a.resistance).abs() < 1e-15);
+        assert!((b.capacitance - 2.0 * a.capacitance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_segment_is_free() {
+        let seg = WireParams::default_65nm().segment(0.0);
+        assert_eq!(seg.elmore_delay(100.0), 0.0);
+    }
+
+    #[test]
+    fn elmore_matches_formula() {
+        let w = WireParams {
+            res_per_um: 1e-3,
+            cap_per_um: 0.2,
+        };
+        let l = 500.0;
+        let load = 30.0;
+        let seg = w.segment(l);
+        let expect = w.res_per_um * l * load + 0.5 * w.res_per_um * w.cap_per_um * l * l;
+        assert!((seg.elmore_delay(load) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let _ = WireParams::default_65nm().segment(-1.0);
+    }
+}

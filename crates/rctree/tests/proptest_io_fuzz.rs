@@ -1,0 +1,75 @@
+//! Robustness fuzzing of the tree text parser: arbitrary input must
+//! never panic — it either parses to a valid tree or returns a typed
+//! error.
+
+use proptest::prelude::*;
+use varbuf_rctree::io::read_tree;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Lossy conversion mirrors what a user feeding a mangled file
+        // would produce at the BufRead layer.
+        let text = String::from_utf8_lossy(&data).into_owned();
+        let _ = read_tree(text.as_bytes());
+    }
+
+    #[test]
+    fn arbitrary_token_soup_never_panics(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    Just("source".to_owned()),
+                    Just("sink".to_owned()),
+                    Just("internal".to_owned()),
+                    Just("wire".to_owned()),
+                    Just("name".to_owned()),
+                    Just("varbuf-tree".to_owned()),
+                    Just("v1".to_owned()),
+                    Just("-1".to_owned()),
+                    Just("0".to_owned()),
+                    Just("1".to_owned()),
+                    Just("1e308".to_owned()),
+                    Just("nan".to_owned()),
+                    Just("inf".to_owned()),
+                    Just("0.5".to_owned()),
+                ],
+                0..10,
+            ),
+            0..30,
+        ),
+    ) {
+        let mut text = String::from("varbuf-tree v1\n");
+        for line in &lines {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+        if let Ok(tree) = read_tree(text.as_bytes()) {
+            prop_assert!(tree.validate().is_ok(), "parser returned invalid tree");
+        }
+    }
+
+    #[test]
+    fn mutated_valid_file_never_panics(
+        sinks in 1usize..20,
+        seed in 0u64..20,
+        flip_at in 0usize..4000,
+        flip_to in any::<u8>(),
+    ) {
+        use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+        use varbuf_rctree::io::write_tree;
+        let tree = generate_benchmark(&BenchmarkSpec::random("fuzz", sinks, seed));
+        let mut buf = Vec::new();
+        write_tree(&tree, &mut buf).expect("write");
+        if !buf.is_empty() {
+            let idx = flip_at % buf.len();
+            buf[idx] = flip_to;
+        }
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        if let Ok(t) = read_tree(text.as_bytes()) {
+            prop_assert!(t.validate().is_ok());
+        }
+    }
+}

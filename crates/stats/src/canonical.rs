@@ -1,0 +1,442 @@
+//! Sparse first-order canonical forms over independent standard normals.
+//!
+//! Every statistical quantity in the dynamic program — loading capacitance
+//! `L`, required arrival time `T`, device characteristics — is represented
+//! as a **first-order canonical form** (eqs. (31)–(32) of the paper):
+//!
+//! ```text
+//! v = v0 + Σᵢ aᵢ · Xᵢ         with  Xᵢ ~ N(0, 1)  i.i.d.
+//! ```
+//!
+//! The sensitivities `aᵢ` already absorb the standard deviation of the
+//! physical parameter, so variance and covariance reduce to dot products of
+//! the coefficient vectors. Terms are stored sparsely, sorted by
+//! [`SourceId`], which keeps every operation `O(k)` in the number of live
+//! terms and makes merging two forms a single sorted walk.
+
+use crate::gaussian::{norm_cdf, norm_quantile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one independent `N(0, 1)` variation source.
+///
+/// Ids are allocated by the process-variation model: id conventions (global
+/// inter-die source, spatial region sources, per-device random sources) live
+/// in `varbuf-variation`; this crate treats ids as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A sparse first-order canonical form `v0 + Σ aᵢ·Xᵢ`.
+///
+/// Invariant: `terms` is sorted by [`SourceId`] with no duplicate ids and no
+/// exactly-zero coefficients.
+///
+/// ```
+/// use varbuf_stats::canonical::{CanonicalForm, SourceId};
+/// let a = CanonicalForm::with_terms(1.0, vec![(SourceId(0), 3.0), (SourceId(2), 4.0)]);
+/// assert!((a.variance() - 25.0).abs() < 1e-12);
+/// assert!((a.std_dev() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalForm {
+    nominal: f64,
+    terms: Vec<(SourceId, f64)>,
+}
+
+impl CanonicalForm {
+    /// A deterministic (variance-free) value.
+    #[must_use]
+    pub fn constant(nominal: f64) -> Self {
+        Self {
+            nominal,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Builds a form from a nominal value and a term list.
+    ///
+    /// The terms may be unsorted and may contain duplicates; duplicates are
+    /// summed and zero coefficients dropped.
+    #[must_use]
+    pub fn with_terms(nominal: f64, mut terms: Vec<(SourceId, f64)>) -> Self {
+        terms.sort_unstable_by_key(|&(id, _)| id);
+        let mut compact: Vec<(SourceId, f64)> = Vec::with_capacity(terms.len());
+        for (id, coeff) in terms {
+            match compact.last_mut() {
+                Some((last_id, last_coeff)) if *last_id == id => *last_coeff += coeff,
+                _ => compact.push((id, coeff)),
+            }
+        }
+        compact.retain(|&(_, c)| c != 0.0);
+        Self {
+            nominal,
+            terms: compact,
+        }
+    }
+
+    /// The nominal (mean) value `v0`.
+    #[inline]
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.nominal
+    }
+
+    /// The sorted sensitivity terms.
+    #[inline]
+    #[must_use]
+    pub fn terms(&self) -> &[(SourceId, f64)] {
+        &self.terms
+    }
+
+    /// Number of live (non-zero) sensitivity terms.
+    #[inline]
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The coefficient of one source (zero if absent).
+    #[must_use]
+    pub fn coeff(&self, id: SourceId) -> f64 {
+        match self.terms.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.terms[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Variance `Σ aᵢ²` (sources are i.i.d. standard normal).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.terms.iter().map(|&(_, a)| a * a).sum()
+    }
+
+    /// Standard deviation.
+    #[inline]
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Covariance with another form: `Σ aᵢ·bᵢ` over shared sources.
+    #[must_use]
+    pub fn covariance(&self, other: &Self) -> f64 {
+        let mut cov = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() && j < other.terms.len() {
+            let (ida, a) = self.terms[i];
+            let (idb, b) = other.terms[j];
+            match ida.cmp(&idb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    cov += a * b;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cov
+    }
+
+    /// Correlation coefficient with another form, clamped to `[-1, 1]`.
+    ///
+    /// Returns `0.0` when either form is deterministic.
+    #[must_use]
+    pub fn correlation(&self, other: &Self) -> f64 {
+        let sa = self.std_dev();
+        let sb = other.std_dev();
+        if sa == 0.0 || sb == 0.0 {
+            return 0.0;
+        }
+        (self.covariance(other) / (sa * sb)).clamp(-1.0, 1.0)
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: f64) {
+        self.nominal += c;
+    }
+
+    /// Returns `self + c` without mutating.
+    #[must_use]
+    pub fn plus_constant(&self, c: f64) -> Self {
+        let mut out = self.clone();
+        out.add_constant(c);
+        out
+    }
+
+    /// Scales the whole form (mean and sensitivities) by `k`.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        if k == 0.0 {
+            return Self::constant(0.0);
+        }
+        Self {
+            nominal: self.nominal * k,
+            terms: self.terms.iter().map(|&(id, a)| (id, a * k)).collect(),
+        }
+    }
+
+    /// Linear combination `k1·self + k2·other` as a new form.
+    ///
+    /// This is the workhorse of the DP key operations: wire-add, buffer-add
+    /// and merge are all expressible through it. Runs in
+    /// `O(k_self + k_other)` via a sorted merge.
+    #[must_use]
+    pub fn linear_combination(&self, k1: f64, other: &Self, k2: f64) -> Self {
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() && j < other.terms.len() {
+            let (ida, a) = self.terms[i];
+            let (idb, b) = other.terms[j];
+            match ida.cmp(&idb) {
+                std::cmp::Ordering::Less => {
+                    push_nonzero(&mut terms, ida, k1 * a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    push_nonzero(&mut terms, idb, k2 * b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    push_nonzero(&mut terms, ida, k1 * a + k2 * b);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(id, a) in &self.terms[i..] {
+            push_nonzero(&mut terms, id, k1 * a);
+        }
+        for &(id, b) in &other.terms[j..] {
+            push_nonzero(&mut terms, id, k2 * b);
+        }
+        Self {
+            nominal: k1 * self.nominal + k2 * other.nominal,
+            terms,
+        }
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        self.linear_combination(1.0, other, 1.0)
+    }
+
+    /// `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        self.linear_combination(1.0, other, -1.0)
+    }
+
+    /// Adds `k · other` into `self` in place (sorted merge).
+    pub fn add_scaled_assign(&mut self, other: &Self, k: f64) {
+        *self = self.linear_combination(1.0, other, k);
+    }
+
+    /// The `α`-percentile `π_α = μ + z_α·σ` of this (normal) form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1)`.
+    #[must_use]
+    pub fn percentile(&self, alpha: f64) -> f64 {
+        let sigma = self.std_dev();
+        if sigma == 0.0 {
+            return self.nominal;
+        }
+        self.nominal + norm_quantile(alpha) * sigma
+    }
+
+    /// `P(self > other)` under the joint-normal assumption (eq. (8)).
+    #[must_use]
+    pub fn prob_greater(&self, other: &Self) -> f64 {
+        let diff = self.sub(other);
+        let sigma = diff.std_dev();
+        let dmu = diff.mean();
+        if sigma <= f64::EPSILON * (self.nominal.abs() + other.nominal.abs() + 1.0) {
+            return if dmu > 0.0 {
+                1.0
+            } else if dmu < 0.0 {
+                0.0
+            } else {
+                0.5
+            };
+        }
+        norm_cdf(dmu / sigma)
+    }
+
+    /// `P(self < other)`.
+    #[inline]
+    #[must_use]
+    pub fn prob_less(&self, other: &Self) -> f64 {
+        other.prob_greater(self)
+    }
+
+    /// `P(self >= x)` for a deterministic threshold `x` — the *timing yield*
+    /// when `self` is the RAT at the root and `x` is the required RAT.
+    #[must_use]
+    pub fn prob_at_least(&self, x: f64) -> f64 {
+        let sigma = self.std_dev();
+        if sigma == 0.0 {
+            return if self.nominal >= x { 1.0 } else { 0.0 };
+        }
+        norm_cdf((self.nominal - x) / sigma)
+    }
+
+    /// Drops terms whose coefficient magnitude is below
+    /// `epsilon · max(σ, ε)` and folds their variance into nothing
+    /// (conservative sparsification knob; `epsilon = 0` keeps everything).
+    ///
+    /// Returns the number of dropped terms.
+    pub fn sparsify(&mut self, epsilon: f64) -> usize {
+        if epsilon <= 0.0 {
+            return 0;
+        }
+        let cutoff = epsilon * self.std_dev().max(f64::MIN_POSITIVE);
+        let before = self.terms.len();
+        self.terms.retain(|&(_, a)| a.abs() >= cutoff);
+        before - self.terms.len()
+    }
+}
+
+impl Default for CanonicalForm {
+    fn default() -> Self {
+        Self::constant(0.0)
+    }
+}
+
+impl fmt::Display for CanonicalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.nominal)?;
+        for &(id, a) in &self.terms {
+            if a >= 0.0 {
+                write!(f, " + {a:.6}·{id}")?;
+            } else {
+                write!(f, " - {:.6}·{id}", -a)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn push_nonzero(terms: &mut Vec<(SourceId, f64)>, id: SourceId, coeff: f64) {
+    if coeff != 0.0 {
+        terms.push((id, coeff));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn form(n: f64, terms: &[(u32, f64)]) -> CanonicalForm {
+        CanonicalForm::with_terms(n, terms.iter().map(|&(i, a)| (SourceId(i), a)).collect())
+    }
+
+    #[test]
+    fn constant_has_zero_variance() {
+        let c = CanonicalForm::constant(4.2);
+        assert_eq!(c.mean(), 4.2);
+        assert_eq!(c.variance(), 0.0);
+        assert_eq!(c.term_count(), 0);
+    }
+
+    #[test]
+    fn with_terms_sorts_and_merges() {
+        let f = form(0.0, &[(3, 1.0), (1, 2.0), (3, -1.0), (2, 0.0)]);
+        assert_eq!(f.terms(), &[(SourceId(1), 2.0)]);
+    }
+
+    #[test]
+    fn covariance_and_correlation() {
+        let a = form(0.0, &[(0, 3.0), (1, 4.0)]);
+        let b = form(0.0, &[(1, 4.0), (2, 3.0)]);
+        assert!((a.covariance(&b) - 16.0).abs() < 1e-12);
+        assert!((a.correlation(&b) - 16.0 / 25.0).abs() < 1e-12);
+        assert!((a.correlation(&a) - 1.0).abs() < 1e-12);
+        let c = CanonicalForm::constant(1.0);
+        assert_eq!(a.correlation(&c), 0.0);
+    }
+
+    #[test]
+    fn linear_combination_merges_sources() {
+        let a = form(1.0, &[(0, 1.0), (2, 2.0)]);
+        let b = form(2.0, &[(1, 3.0), (2, -2.0)]);
+        let s = a.add(&b);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.terms(), &[(SourceId(0), 1.0), (SourceId(1), 3.0)]);
+        let d = a.sub(&a);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.term_count(), 0);
+    }
+
+    #[test]
+    fn scaled_by_zero_is_constant_zero() {
+        let a = form(5.0, &[(0, 1.0)]);
+        let z = a.scaled(0.0);
+        assert_eq!(z, CanonicalForm::constant(0.0));
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let a = form(10.0, &[(0, 2.0)]);
+        let p95 = a.percentile(0.95);
+        assert!((p95 - (10.0 + 2.0 * crate::gaussian::norm_quantile(0.95))).abs() < 1e-12);
+        // 5th percentile is below the mean.
+        assert!(a.percentile(0.05) < 10.0);
+        // Deterministic form: percentile is the value itself.
+        assert_eq!(CanonicalForm::constant(7.0).percentile(0.01), 7.0);
+    }
+
+    #[test]
+    fn prob_greater_shared_source_cancels() {
+        // T1 = 5 + X0, T2 = 4 + X0: difference is deterministic 1 > 0.
+        let t1 = form(5.0, &[(0, 1.0)]);
+        let t2 = form(4.0, &[(0, 1.0)]);
+        assert_eq!(t1.prob_greater(&t2), 1.0);
+        assert_eq!(t2.prob_greater(&t1), 0.0);
+        assert_eq!(t1.prob_greater(&t1), 0.5);
+    }
+
+    #[test]
+    fn prob_greater_complementarity() {
+        let t1 = form(5.0, &[(0, 1.0), (1, 0.5)]);
+        let t2 = form(4.5, &[(0, 0.2), (2, 1.5)]);
+        let p = t1.prob_greater(&t2);
+        let q = t2.prob_greater(&t1);
+        assert!((p + q - 1.0).abs() < 1e-9);
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn prob_at_least_yield_semantics() {
+        let rat = form(-1000.0, &[(0, 10.0)]);
+        assert!((rat.prob_at_least(-1000.0) - 0.5).abs() < 1e-12);
+        assert!(rat.prob_at_least(-1100.0) > 0.999);
+        assert!(rat.prob_at_least(-900.0) < 0.001);
+    }
+
+    #[test]
+    fn sparsify_drops_tiny_terms() {
+        let mut a = form(0.0, &[(0, 1.0), (1, 1e-12)]);
+        let dropped = a.sparsify(1e-6);
+        assert_eq!(dropped, 1);
+        assert_eq!(a.term_count(), 1);
+        assert_eq!(a.sparsify(0.0), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = form(1.0, &[(0, -2.0)]);
+        let s = format!("{a}");
+        assert!(s.contains("X0"));
+        assert!(!format!("{}", CanonicalForm::constant(0.0)).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixed-bin histograms for PDF comparisons (Figures 3 and 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width-bin histogram over a closed range.
+///
+/// Used to compare a Monte Carlo empirical density against the normal PDF
+/// predicted by a canonical form.
+///
+/// ```
+/// use varbuf_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.add(0.5);
+/// h.add(9.5);
+/// h.add(5.0);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_counts()[0], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty (lo={lo}, hi={hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the min/max of `xs` (padded by 1%) and
+    /// fills it. Empty input yields a unit-range empty histogram.
+    #[must_use]
+    pub fn from_samples(xs: &[f64], bins: usize) -> Self {
+        let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+            (l.min(x), h.max(x))
+        });
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
+            let pad = 0.01 * (hi - lo);
+            (lo - pad, hi + pad)
+        } else {
+            (0.0, 1.0)
+        };
+        let mut h = Self::new(lo, hi, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation. Out-of-range observations are tallied in the
+    /// under/overflow counters and still count toward [`Histogram::count`].
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of observations (including out-of-range ones).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-bin counts.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Lower edge of the range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Empirical density estimate per bin: `count / (total · width)`.
+    ///
+    /// Integrates to ≈1 when no observations fell out of range.
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Iterator over `(bin_center, density)` pairs.
+    pub fn density_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let d = self.densities();
+        (0..self.counts.len())
+            .map(move |i| self.bin_center(i))
+            .zip(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_bins_correctly() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for &x in &[0.1, 1.1, 1.9, 2.5, 3.99] {
+            h.add(x);
+        }
+        assert_eq!(h.bin_counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tallied() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bin_counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(-3.0, 3.0, 30);
+        // Uniformly spread points fully inside the range.
+        for i in 0..600 {
+            h.add(-2.99 + 5.98 * (i as f64) / 600.0);
+        }
+        let integral: f64 = h.densities().iter().sum::<f64>() * h.bin_width();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_samples_covers_all() {
+        let xs = vec![1.0, 2.0, 3.0, 10.0];
+        let h = Histogram::from_samples(&xs, 5);
+        assert_eq!(h.bin_counts().iter().sum::<u64>(), 4);
+        assert!(h.lo() < 1.0 && h.hi() > 10.0);
+    }
+
+    #[test]
+    fn from_samples_empty_is_safe() {
+        let h = Histogram::from_samples(&[], 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.densities(), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

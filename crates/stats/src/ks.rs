@@ -1,0 +1,106 @@
+//! Kolmogorov–Smirnov goodness-of-fit machinery.
+//!
+//! The paper validates its first-order model against Monte Carlo visually
+//! (Figures 3 and 6); this module provides the quantitative version: the
+//! one-sample KS statistic of an empirical sample against a reference
+//! CDF, with the asymptotic critical value for a significance level.
+
+/// The one-sample Kolmogorov–Smirnov statistic
+/// `D_n = sup_x |F_n(x) − F(x)|` of `samples` against the reference CDF.
+///
+/// Returns `0.0` for an empty sample.
+///
+/// ```
+/// use varbuf_stats::gaussian::norm_cdf;
+/// use varbuf_stats::ks::ks_statistic;
+/// // A perfectly spaced normal sample has a tiny KS distance.
+/// let xs: Vec<f64> = (1..100).map(|i| {
+///     varbuf_stats::gaussian::norm_quantile(i as f64 / 100.0)
+/// }).collect();
+/// assert!(ks_statistic(&xs, norm_cdf) < 0.02);
+/// ```
+#[must_use]
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// The asymptotic critical value of the KS statistic at significance
+/// `alpha` for `n` samples: `c(α)/√n` with
+/// `c(α) = √(−½·ln(α/2))`.
+///
+/// A sample is consistent with the reference distribution at level `α`
+/// when its [`ks_statistic`] is below this value.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha < 1` and `n > 0`.
+#[must_use]
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::norm_cdf;
+    use crate::mc::StandardNormal;
+    use rand::distributions::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sample_passes_against_normal_cdf() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let normal = StandardNormal;
+        let xs: Vec<f64> = (0..5000).map(|_| normal.sample(&mut rng)).collect();
+        let d = ks_statistic(&xs, norm_cdf);
+        assert!(
+            d < ks_critical(xs.len(), 0.01),
+            "KS {d} exceeds critical {}",
+            ks_critical(xs.len(), 0.01)
+        );
+    }
+
+    #[test]
+    fn shifted_sample_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let normal = StandardNormal;
+        let xs: Vec<f64> = (0..5000).map(|_| normal.sample(&mut rng) + 0.3).collect();
+        let d = ks_statistic(&xs, norm_cdf);
+        assert!(d > ks_critical(xs.len(), 0.01));
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(ks_statistic(&[], norm_cdf), 0.0);
+    }
+
+    #[test]
+    fn critical_value_known_constant() {
+        // c(0.05) ≈ 1.3581
+        let c = ks_critical(100, 0.05) * 10.0;
+        assert!((c - 1.358_1).abs() < 1e-3, "{c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn bad_alpha_rejected() {
+        let _ = ks_critical(10, 1.5);
+    }
+}

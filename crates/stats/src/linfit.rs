@@ -1,0 +1,282 @@
+//! Ordinary least squares for small dense systems.
+//!
+//! The device characterization flow (Section 3.1 of the paper) extracts
+//! device characteristics from a nonlinear model at sampled parameter
+//! values and fits the first-order sensitivities by least squares. The
+//! systems involved are tiny (a handful of predictors), so a direct
+//! normal-equation solve with Gaussian elimination and partial pivoting is
+//! both simple and robust.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a least-squares fit cannot be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer observations than unknowns.
+    Underdetermined {
+        /// Number of observations provided.
+        observations: usize,
+        /// Number of unknown coefficients (including the intercept).
+        unknowns: usize,
+    },
+    /// The normal-equation matrix is (numerically) singular.
+    Singular,
+    /// Rows have inconsistent predictor counts.
+    RaggedInput,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Underdetermined {
+                observations,
+                unknowns,
+            } => write!(
+                f,
+                "least-squares system is underdetermined: {observations} observations for {unknowns} unknowns"
+            ),
+            FitError::Singular => write!(f, "normal-equation matrix is singular"),
+            FitError::RaggedInput => write!(f, "predictor rows have inconsistent lengths"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// Result of a linear fit `y ≈ intercept + Σ coeffs[j]·x[j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// The fitted intercept.
+    pub intercept: f64,
+    /// The fitted slope for each predictor.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicts `y` for one predictor row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.coeffs.len()`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coeffs.len(), "predictor length mismatch");
+        self.intercept + self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+}
+
+/// Fits `y ≈ b0 + Σ bj·xj` by ordinary least squares.
+///
+/// `rows` holds one predictor vector per observation; all rows must have
+/// the same length `p`, and at least `p + 1` observations are required.
+///
+/// # Errors
+///
+/// Returns [`FitError::RaggedInput`] for inconsistent rows,
+/// [`FitError::Underdetermined`] for too few observations, and
+/// [`FitError::Singular`] when the predictors are linearly dependent.
+///
+/// ```
+/// # fn main() -> Result<(), varbuf_stats::linfit::FitError> {
+/// use varbuf_stats::linfit::fit_linear;
+/// let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let y = vec![1.0, 3.0, 5.0, 7.0];
+/// let fit = fit_linear(&rows, &y)?;
+/// assert!((fit.intercept - 1.0).abs() < 1e-9);
+/// assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999_999);
+/// # Ok(())
+/// # }
+/// ```
+// Indexed loops are the clearest idiom for the small dense matrix math
+// here; iterator rewrites obscure the (i, j) symmetry.
+#[allow(clippy::needless_range_loop)]
+pub fn fit_linear(rows: &[Vec<f64>], y: &[f64]) -> Result<LinearFit, FitError> {
+    let n = rows.len();
+    let p = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|r| r.len() != p) {
+        return Err(FitError::RaggedInput);
+    }
+    let unknowns = p + 1;
+    if n != y.len() || n < unknowns {
+        return Err(FitError::Underdetermined {
+            observations: n.min(y.len()),
+            unknowns,
+        });
+    }
+
+    // Build the normal equations (XᵀX)·b = Xᵀy with an intercept column.
+    let dim = unknowns;
+    let mut ata = vec![vec![0.0; dim]; dim];
+    let mut aty = vec![0.0; dim];
+    for (row, &yi) in rows.iter().zip(y) {
+        // Augmented row: [1, x1, ..., xp].
+        let aug = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+        for i in 0..dim {
+            aty[i] += aug(i) * yi;
+            for j in i..dim {
+                ata[i][j] += aug(i) * aug(j);
+            }
+        }
+    }
+    // Symmetrize.
+    for i in 0..dim {
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+    }
+
+    let b = solve_dense(ata, aty)?;
+
+    // R² from residuals.
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|&v| (v - mean_y) * (v - mean_y)).sum();
+    let ss_res: f64 = rows
+        .iter()
+        .zip(y)
+        .map(|(row, &yi)| {
+            let pred = b[0] + row.iter().zip(&b[1..]).map(|(x, c)| x * c).sum::<f64>();
+            (yi - pred) * (yi - pred)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+
+    Ok(LinearFit {
+        intercept: b[0],
+        coeffs: b[1..].to_vec(),
+        r_squared,
+    })
+}
+
+/// Solves a small dense linear system by Gaussian elimination with partial
+/// pivoting. Consumes the inputs (they are scratch space).
+#[allow(clippy::needless_range_loop)]
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        let pivot = a[row][row];
+        if pivot.abs() < 1e-300 {
+            return Err(FitError::Singular);
+        }
+        x[row] = acc / pivot;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * f64::from(i)).collect();
+        let fit = fit_linear(&rows, &y).expect("fit");
+        assert!((fit.intercept - 3.0).abs() < 1e-9);
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(&[5.0]) - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_predictors() {
+        // y = 1 + 2·x1 − 3·x2, on a grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let (x1, x2) = (f64::from(i), f64::from(j));
+                rows.push(vec![x1, x2]);
+                y.push(1.0 + 2.0 * x1 - 3.0 * x2);
+            }
+        }
+        let fit = fit_linear(&rows, &y).expect("fit");
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_r_squared_below_one() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 2.0 * f64::from(i) + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = fit_linear(&rows, &y).expect("fit");
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.99);
+        assert!((fit.coeffs[0] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let rows = vec![vec![1.0, 2.0]];
+        let y = vec![3.0];
+        assert!(matches!(
+            fit_linear(&rows, &y),
+            Err(FitError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_rejected() {
+        // Two identical predictors are linearly dependent.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i), f64::from(i)]).collect();
+        let y: Vec<f64> = (0..10).map(f64::from).collect();
+        assert_eq!(fit_linear(&rows, &y), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let rows = vec![vec![1.0], vec![1.0, 2.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(fit_linear(&rows, &y), Err(FitError::RaggedInput));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!FitError::Singular.to_string().is_empty());
+        assert!(FitError::Underdetermined {
+            observations: 1,
+            unknowns: 2
+        }
+        .to_string()
+        .contains("underdetermined"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Monte Carlo support: sampling the underlying variation sources and
+//! evaluating canonical forms on those samples.
+//!
+//! The paper validates its first-order model against Monte Carlo simulation
+//! twice (Figure 3 for device characteristics, Figure 6 for the root RAT);
+//! this module provides the sampling machinery both use. A
+//! [`SampleVector`] is one realization of every `N(0,1)` source; the
+//! deterministic evaluators in `varbuf-core` can then recompute any
+//! quantity exactly for that realization.
+
+use crate::canonical::{CanonicalForm, SourceId};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One realization of the variation-source vector.
+///
+/// Sources not present in the map sample to `0.0` (their mean), which is
+/// the correct behavior for sources a particular net never touches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleVector {
+    values: HashMap<u32, f64>,
+}
+
+impl SampleVector {
+    /// Creates an empty sample (every source at its mean).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the realization of one source.
+    pub fn set(&mut self, id: SourceId, value: f64) {
+        self.values.insert(id.0, value);
+    }
+
+    /// The realization of one source (`0.0` if never sampled).
+    #[must_use]
+    pub fn get(&self, id: SourceId) -> f64 {
+        self.values.get(&id.0).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates a canonical form at this sample point.
+    #[must_use]
+    pub fn eval(&self, form: &CanonicalForm) -> f64 {
+        form.mean()
+            + form
+                .terms()
+                .iter()
+                .map(|&(id, a)| a * self.get(id))
+                .sum::<f64>()
+    }
+
+    /// Number of explicitly sampled sources.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no source has been sampled explicitly.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Seeded Monte Carlo driver over a fixed set of source ids.
+///
+/// ```
+/// use varbuf_stats::canonical::{CanonicalForm, SourceId};
+/// use varbuf_stats::mc::MonteCarlo;
+///
+/// let form = CanonicalForm::with_terms(10.0, vec![(SourceId(0), 2.0)]);
+/// let mut mc = MonteCarlo::new(42, vec![SourceId(0)]);
+/// let samples: Vec<f64> = (0..4000).map(|_| mc.draw().eval(&form)).collect();
+/// let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+/// assert!((mean - 10.0).abs() < 0.2);
+/// ```
+#[derive(Debug)]
+pub struct MonteCarlo {
+    rng: StdRng,
+    sources: Vec<SourceId>,
+}
+
+impl MonteCarlo {
+    /// Creates a driver that samples exactly `sources` each draw,
+    /// reproducibly from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, sources: Vec<SourceId>) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sources,
+        }
+    }
+
+    /// The set of sources sampled on each draw.
+    #[must_use]
+    pub fn sources(&self) -> &[SourceId] {
+        &self.sources
+    }
+
+    /// Draws one realization of all sources.
+    pub fn draw(&mut self) -> SampleVector {
+        let normal = StandardNormal;
+        let mut sample = SampleVector::new();
+        for &id in &self.sources {
+            sample.set(id, normal.sample(&mut self.rng));
+        }
+        sample
+    }
+
+    /// Draws `n` realizations and evaluates `form` on each.
+    pub fn eval_many(&mut self, form: &CanonicalForm, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.draw().eval(form)).collect()
+    }
+}
+
+/// A standard normal sampler built on the Box–Muller transform so that this
+/// crate only needs `rand`'s uniform primitives (the `rand_distr` crate is
+/// not in the approved dependency list).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Empirical mean and (unbiased) variance of a sample.
+///
+/// Returns `(0.0, 0.0)` for an empty slice and variance `0.0` for a single
+/// observation.
+#[must_use]
+pub fn sample_moments(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_vector_defaults_to_mean() {
+        let s = SampleVector::new();
+        assert!(s.is_empty());
+        let f = CanonicalForm::with_terms(7.0, vec![(SourceId(3), 100.0)]);
+        assert_eq!(s.eval(&f), 7.0);
+    }
+
+    #[test]
+    fn eval_uses_set_values() {
+        let mut s = SampleVector::new();
+        s.set(SourceId(0), 2.0);
+        s.set(SourceId(1), -1.0);
+        assert_eq!(s.len(), 2);
+        let f = CanonicalForm::with_terms(1.0, vec![(SourceId(0), 3.0), (SourceId(1), 4.0)]);
+        assert_eq!(s.eval(&f), 1.0 + 6.0 - 4.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let normal = StandardNormal;
+        let xs: Vec<f64> = (0..20_000).map(|_| normal.sample(&mut rng)).collect();
+        let (mean, var) = sample_moments(&xs);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mc_matches_canonical_moments() {
+        let form = CanonicalForm::with_terms(
+            -5.0,
+            vec![(SourceId(0), 1.5), (SourceId(1), 2.0), (SourceId(2), 0.5)],
+        );
+        let mut mc = MonteCarlo::new(
+            123,
+            vec![SourceId(0), SourceId(1), SourceId(2)],
+        );
+        let xs = mc.eval_many(&form, 20_000);
+        let (mean, var) = sample_moments(&xs);
+        assert!((mean - form.mean()).abs() < 0.05);
+        assert!((var - form.variance()).abs() / form.variance() < 0.05);
+    }
+
+    #[test]
+    fn mc_is_reproducible() {
+        let mut a = MonteCarlo::new(9, vec![SourceId(0)]);
+        let mut b = MonteCarlo::new(9, vec![SourceId(0)]);
+        assert_eq!(a.draw(), b.draw());
+        assert_eq!(a.draw(), b.draw());
+    }
+
+    #[test]
+    fn moments_edge_cases() {
+        assert_eq!(sample_moments(&[]), (0.0, 0.0));
+        assert_eq!(sample_moments(&[3.0]), (3.0, 0.0));
+        let (m, v) = sample_moments(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 2.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Device characterization — the "SPICE substitute".
+//!
+//! Section 3.1 of the paper runs SPICE on a 65 nm BSIM model, sweeps the
+//! effective channel length `L_eff` (normal, σ = 10% of nominal), extracts
+//! the device characteristics, and fits the first-order model of
+//! eq. (19)–(20) by least squares; Figure 3 then shows that the fitted
+//! normal PDF closely matches the SPICE-extracted distribution.
+//!
+//! We have no SPICE or foundry models, so — per the substitution policy in
+//! `DESIGN.md` — [`NonlinearDevice`] provides an analytic *nonlinear*
+//! stand-in (power laws in `L_eff`, the dominant first-order dependence of
+//! gate capacitance and switching delay on channel length). The
+//! characterization flow is identical to the paper's: Monte Carlo sample
+//! the parameter, evaluate the nonlinear model, least-squares fit the
+//! linear form, and compare the empirical histogram against the fitted
+//! normal PDF.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use varbuf_stats::histogram::Histogram;
+use varbuf_stats::linfit::{fit_linear, FitError};
+use varbuf_stats::mc::{sample_moments, StandardNormal};
+use varbuf_stats::norm_pdf;
+
+/// Synthetic nonlinear buffer-device physics.
+///
+/// Gate capacitance grows almost linearly with channel length while the
+/// intrinsic delay grows super-linearly (velocity saturation + increased
+/// gate charge), captured as power laws around the nominal point:
+///
+/// ```text
+/// C_b(L) = C_b0 · (L / L0)^pc        (pc ≈ 1.1)
+/// T_b(L) = T_b0 · (L / L0)^pt        (pt ≈ 1.45)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NonlinearDevice {
+    /// Nominal channel length `L0`, nm.
+    pub l_nominal_nm: f64,
+    /// Nominal gate capacitance, fF.
+    pub cap_nominal: f64,
+    /// Nominal intrinsic delay, ps.
+    pub delay_nominal: f64,
+    /// Capacitance power-law exponent.
+    pub cap_exponent: f64,
+    /// Delay power-law exponent.
+    pub delay_exponent: f64,
+}
+
+impl NonlinearDevice {
+    /// A 65 nm-class device matching the default library's `bufx2`.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        Self {
+            l_nominal_nm: 65.0,
+            cap_nominal: 23.4,
+            delay_nominal: 36.4,
+            cap_exponent: 1.1,
+            delay_exponent: 1.45,
+        }
+    }
+
+    /// Gate capacitance at channel length `l_nm`, fF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l_nm` is not strictly positive.
+    #[must_use]
+    pub fn capacitance(&self, l_nm: f64) -> f64 {
+        assert!(l_nm > 0.0, "channel length must be positive");
+        self.cap_nominal * (l_nm / self.l_nominal_nm).powf(self.cap_exponent)
+    }
+
+    /// Intrinsic delay at channel length `l_nm`, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l_nm` is not strictly positive.
+    #[must_use]
+    pub fn intrinsic_delay(&self, l_nm: f64) -> f64 {
+        assert!(l_nm > 0.0, "channel length must be positive");
+        self.delay_nominal * (l_nm / self.l_nominal_nm).powf(self.delay_exponent)
+    }
+}
+
+/// Output of the characterization flow for one characteristic (Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Fitted nominal value (the intercept at the nominal point).
+    pub nominal: f64,
+    /// Fitted sensitivity per 1σ of the underlying parameter.
+    pub sensitivity: f64,
+    /// Fit quality, `R²`.
+    pub r_squared: f64,
+    /// Empirical mean of the nonlinear samples.
+    pub empirical_mean: f64,
+    /// Empirical standard deviation of the nonlinear samples.
+    pub empirical_std: f64,
+    /// Histogram of the nonlinear samples (for PDF plots).
+    pub histogram: Histogram,
+}
+
+impl Characterization {
+    /// The fitted normal density at `x` — the curve Figure 3 overlays on
+    /// the extracted histogram.
+    #[must_use]
+    pub fn fitted_pdf(&self, x: f64) -> f64 {
+        let sigma = self.sensitivity.abs();
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        norm_pdf((x - self.nominal) / sigma) / sigma
+    }
+
+    /// Maximum absolute difference between the empirical density and the
+    /// fitted normal density over the histogram bins — a scalar summary of
+    /// Figure 3's "the two PDFs are very close" claim.
+    #[must_use]
+    pub fn max_pdf_deviation(&self) -> f64 {
+        self.histogram
+            .density_points()
+            .map(|(x, d)| (d - self.fitted_pdf(x)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Full result: both characteristics of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCharacterization {
+    /// Gate capacitance characterization.
+    pub capacitance: Characterization,
+    /// Intrinsic delay characterization.
+    pub delay: Characterization,
+}
+
+/// Runs the paper's characterization flow on the nonlinear stand-in:
+/// sample `L_eff ~ N(L0, (rel_sigma·L0)²)`, evaluate the nonlinear device,
+/// and least-squares fit the first-order model.
+///
+/// `samples` Monte Carlo points are drawn with the given `seed`;
+/// `rel_sigma` is the paper's 10% by default (pass `0.10`).
+///
+/// # Errors
+///
+/// Returns a [`FitError`] if the sample count is too small to fit
+/// (`samples < 2`).
+///
+/// # Panics
+///
+/// Panics if `rel_sigma` would allow non-positive channel lengths to
+/// dominate (`rel_sigma >= 0.3`), since the power-law model is undefined
+/// at `L <= 0`.
+pub fn characterize_device(
+    device: &NonlinearDevice,
+    rel_sigma: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<DeviceCharacterization, FitError> {
+    assert!(
+        (0.0..0.3).contains(&rel_sigma),
+        "rel_sigma must be in [0, 0.3) to keep channel lengths positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = StandardNormal;
+    let sigma_l = rel_sigma * device.l_nominal_nm;
+
+    let mut xs = Vec::with_capacity(samples); // standardized L deviation
+    let mut caps = Vec::with_capacity(samples);
+    let mut delays = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        // Clamp at 4σ to keep L positive even for extreme draws; with
+        // rel_sigma < 0.3 the clamp point stays above 0.
+        let z: f64 = normal.sample(&mut rng).clamp(-4.0, 4.0);
+        let l = device.l_nominal_nm + z * sigma_l;
+        xs.push(vec![z]);
+        caps.push(device.capacitance(l));
+        delays.push(device.intrinsic_delay(l));
+    }
+
+    let fit_one = |ys: &[f64]| -> Result<Characterization, FitError> {
+        let fit = fit_linear(&xs, ys)?;
+        let (mean, var) = sample_moments(ys);
+        Ok(Characterization {
+            nominal: fit.intercept,
+            sensitivity: fit.coeffs[0],
+            r_squared: fit.r_squared,
+            empirical_mean: mean,
+            empirical_std: var.sqrt(),
+            histogram: Histogram::from_samples(ys, 40),
+        })
+    };
+
+    Ok(DeviceCharacterization {
+        capacitance: fit_one(&caps)?,
+        delay: fit_one(&delays)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonlinear_device_is_monotone() {
+        let d = NonlinearDevice::default_65nm();
+        assert!(d.capacitance(70.0) > d.capacitance(65.0));
+        assert!(d.intrinsic_delay(70.0) > d.intrinsic_delay(65.0));
+        assert!((d.capacitance(65.0) - d.cap_nominal).abs() < 1e-12);
+        assert!((d.intrinsic_delay(65.0) - d.delay_nominal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterization_recovers_first_order_sensitivities() {
+        let d = NonlinearDevice::default_65nm();
+        let c = characterize_device(&d, 0.10, 20_000, 42).expect("fit");
+
+        // Analytic first-order sensitivity at the nominal point:
+        // d/dz [N·(1 + 0.1·z)^p] at z=0 = N·p·0.1.
+        let cap_expect = d.cap_nominal * d.cap_exponent * 0.10;
+        let delay_expect = d.delay_nominal * d.delay_exponent * 0.10;
+        assert!(
+            (c.capacitance.sensitivity - cap_expect).abs() / cap_expect < 0.05,
+            "cap sensitivity {} vs {}",
+            c.capacitance.sensitivity,
+            cap_expect
+        );
+        assert!(
+            (c.delay.sensitivity - delay_expect).abs() / delay_expect < 0.05,
+            "delay sensitivity {} vs {}",
+            c.delay.sensitivity,
+            delay_expect
+        );
+        // The linear model explains nearly all the variance — the paper's
+        // "first-order approximation is reasonable" claim.
+        assert!(c.capacitance.r_squared > 0.999);
+        assert!(c.delay.r_squared > 0.99);
+    }
+
+    #[test]
+    fn fitted_pdf_matches_empirical_histogram() {
+        // Figure 3's visual claim as an assertion: the fitted normal PDF
+        // deviates from the empirical density by a small fraction of the
+        // peak density.
+        let d = NonlinearDevice::default_65nm();
+        let c = characterize_device(&d, 0.10, 40_000, 7).expect("fit");
+        let peak = c.delay.fitted_pdf(c.delay.nominal);
+        let dev = c.delay.max_pdf_deviation();
+        assert!(
+            dev < 0.15 * peak,
+            "PDF deviation {dev} exceeds 15% of peak {peak}"
+        );
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let d = NonlinearDevice::default_65nm();
+        let a = characterize_device(&d, 0.10, 2_000, 5).expect("fit");
+        let b = characterize_device(&d, 0.10, 2_000, 5).expect("fit");
+        assert_eq!(a.capacitance, b.capacitance);
+        assert_eq!(a.delay, b.delay);
+    }
+
+    #[test]
+    fn small_sample_counts_error() {
+        let d = NonlinearDevice::default_65nm();
+        assert!(characterize_device(&d, 0.10, 1, 5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_sigma")]
+    fn huge_sigma_rejected() {
+        let d = NonlinearDevice::default_65nm();
+        let _ = characterize_device(&d, 0.5, 100, 5);
+    }
+
+    #[test]
+    fn empirical_mean_shifted_by_nonlinearity() {
+        // A convex delay law (exponent > 1) pushes the empirical mean
+        // slightly above the nominal — a real, second-order effect the
+        // first-order model ignores by design.
+        let d = NonlinearDevice::default_65nm();
+        let c = characterize_device(&d, 0.10, 50_000, 11).expect("fit");
+        assert!(c.delay.empirical_mean > d.delay_nominal);
+        assert!((c.delay.empirical_mean - d.delay_nominal) / d.delay_nominal < 0.02);
+    }
+}

@@ -1,0 +1,204 @@
+//! Buffer libraries.
+//!
+//! Each [`BufferType`] carries the nominal device characteristics of
+//! Section 3 — gate capacitance `C_b`, intrinsic delay `T_b`, and output
+//! resistance `R_b` — plus the *relative* first-order sensitivities of
+//! `C_b` and `T_b` to the underlying parametric variation. Following the
+//! paper, `R_b` is kept deterministic and all variation is lumped into
+//! `C_b` and `T_b`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a buffer type inside its [`BufferLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BufferTypeId(pub usize);
+
+impl fmt::Display for BufferTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// One buffer cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferType {
+    /// Cell name.
+    pub name: String,
+    /// Nominal input capacitance `C_b0`, fF.
+    pub capacitance: f64,
+    /// Nominal intrinsic delay `T_b0`, ps.
+    pub intrinsic_delay: f64,
+    /// Output resistance `R_b`, kΩ (deterministic, per the paper).
+    pub resistance: f64,
+    /// Relative sensitivity of `C_b` per unit of underlying variation
+    /// (dimensionless; the σ budgets multiply it).
+    pub cap_sensitivity: f64,
+    /// Relative sensitivity of `T_b` per unit of underlying variation.
+    pub delay_sensitivity: f64,
+    /// Maximum downstream capacitance this cell may drive, fF
+    /// (`None` = unconstrained). The optimizers skip buffered candidates
+    /// that would violate it; the classic electrical proxy for slew
+    /// limits in buffer insertion.
+    pub max_load: Option<f64>,
+}
+
+impl BufferType {
+    /// A buffer with unit relative sensitivities — variation budgets apply
+    /// directly as fractions of nominal.
+    #[must_use]
+    pub fn with_unit_sensitivity(
+        name: impl Into<String>,
+        capacitance: f64,
+        intrinsic_delay: f64,
+        resistance: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            capacitance,
+            intrinsic_delay,
+            resistance,
+            cap_sensitivity: 1.0,
+            delay_sensitivity: 1.0,
+            max_load: None,
+        }
+    }
+
+    /// Returns the type with a maximum-load (drive-strength) constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_load` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_max_load(mut self, max_load: f64) -> Self {
+        assert!(
+            max_load.is_finite() && max_load > 0.0,
+            "max load must be positive and finite, got {max_load}"
+        );
+        self.max_load = Some(max_load);
+        self
+    }
+}
+
+/// An ordered collection of buffer types (`B` in the paper's `O(B·N²)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferLibrary {
+    types: Vec<BufferType>,
+}
+
+impl BufferLibrary {
+    /// Builds a library from a non-empty type list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty or any electrical value is non-positive
+    /// or non-finite.
+    #[must_use]
+    pub fn new(types: Vec<BufferType>) -> Self {
+        assert!(!types.is_empty(), "a buffer library cannot be empty");
+        for t in &types {
+            assert!(
+                t.capacitance > 0.0
+                    && t.capacitance.is_finite()
+                    && t.intrinsic_delay > 0.0
+                    && t.intrinsic_delay.is_finite()
+                    && t.resistance > 0.0
+                    && t.resistance.is_finite(),
+                "buffer `{}` has invalid electrical values",
+                t.name
+            );
+        }
+        Self { types }
+    }
+
+    /// A representative 65 nm library with three drive strengths.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        Self::new(vec![
+            BufferType::with_unit_sensitivity("bufx1", 11.7, 40.0, 0.36),
+            BufferType::with_unit_sensitivity("bufx2", 23.4, 36.4, 0.18),
+            BufferType::with_unit_sensitivity("bufx4", 46.8, 33.0, 0.09),
+        ])
+    }
+
+    /// A single-type library (the classic van Ginneken setting).
+    #[must_use]
+    pub fn single_65nm() -> Self {
+        Self::new(vec![BufferType::with_unit_sensitivity(
+            "bufx2", 23.4, 36.4, 0.18,
+        )])
+    }
+
+    /// Number of types (`B`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the library is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The type at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: BufferTypeId) -> &BufferType {
+        &self.types[id.0]
+    }
+
+    /// Iterator over `(BufferTypeId, &BufferType)`.
+    pub fn iter(&self) -> impl Iterator<Item = (BufferTypeId, &BufferType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (BufferTypeId(i), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_has_three_sizes() {
+        let lib = BufferLibrary::default_65nm();
+        assert_eq!(lib.len(), 3);
+        // Larger buffers: more cap, less resistance.
+        let caps: Vec<f64> = lib.iter().map(|(_, t)| t.capacitance).collect();
+        let ress: Vec<f64> = lib.iter().map(|(_, t)| t.resistance).collect();
+        assert!(caps.windows(2).all(|w| w[0] < w[1]));
+        assert!(ress.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn single_library() {
+        let lib = BufferLibrary::single_65nm();
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+        assert_eq!(lib.get(BufferTypeId(0)).name, "bufx2");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_library_rejected() {
+        let _ = BufferLibrary::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid electrical values")]
+    fn bad_values_rejected() {
+        let _ = BufferLibrary::new(vec![BufferType::with_unit_sensitivity(
+            "bad", -1.0, 10.0, 0.1,
+        )]);
+    }
+
+    #[test]
+    fn display_of_type_id() {
+        assert_eq!(BufferTypeId(2).to_string(), "B2");
+    }
+}

@@ -1,0 +1,241 @@
+//! Deterministic allocation of variation-source ids.
+//!
+//! The whole workspace shares one id space (`varbuf_stats::SourceId`).
+//! [`SourceLayout`] maps the three physical categories onto it:
+//!
+//! ```text
+//! id 0                      : the inter-die global source G
+//! ids 1 ..= R               : the R spatial region sources Y_i
+//! ids R+1 ..                : per-device random sources, one per
+//!                             (candidate node, buffer type) pair
+//! ```
+//!
+//! The per-device mapping is a *pure function* of `(node, buffer type)`:
+//! two candidate solutions that buffer the same site with the same type
+//! describe the same physical device, so they must share the source — this
+//! is what makes solutions from the same subtree correlated "by
+//! construction", the key structural fact the paper's pruning rules have
+//! to handle.
+
+use serde::{Deserialize, Serialize};
+use varbuf_rctree::NodeId;
+use varbuf_stats::SourceId;
+
+/// The id-space layout for one die / one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceLayout {
+    regions: u32,
+    buffer_types: u32,
+    net_index: u32,
+}
+
+/// Device-id stride between nets of a multi-net design: each net may use
+/// up to this many distinct device sources.
+const NET_STRIDE: u32 = 1 << 22;
+
+impl SourceLayout {
+    /// Creates a layout for `regions` spatial regions and `buffer_types`
+    /// buffer library entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_types == 0`.
+    #[must_use]
+    pub fn new(regions: usize, buffer_types: usize) -> Self {
+        assert!(buffer_types > 0, "need at least one buffer type");
+        Self {
+            regions: u32::try_from(regions).expect("region count fits u32"),
+            buffer_types: u32::try_from(buffer_types).expect("type count fits u32"),
+            net_index: 0,
+        }
+    }
+
+    /// The same layout with device ids moved to net `net_index`'s block.
+    ///
+    /// Multi-net designs reuse node ids across nets; distinct blocks keep
+    /// each net's physical devices on *independent* random sources while
+    /// the global and region sources stay shared (the physics: different
+    /// cells, same die).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_index >= 1023` (the id space is 32-bit).
+    #[must_use]
+    pub fn for_net(mut self, net_index: u32) -> Self {
+        assert!(net_index < 1023, "net index {net_index} out of id space");
+        self.net_index = net_index;
+        self
+    }
+
+    /// The inter-die global source `G`.
+    #[inline]
+    #[must_use]
+    pub fn global(self) -> SourceId {
+        SourceId(0)
+    }
+
+    /// The spatial region source `Y_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region >= self.regions()`.
+    #[inline]
+    #[must_use]
+    pub fn region(self, region: usize) -> SourceId {
+        let region = u32::try_from(region).expect("region index fits u32");
+        assert!(region < self.regions, "region {region} out of range");
+        SourceId(1 + region)
+    }
+
+    /// The random source of the device instance `(node, buffer type)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_type >= self.buffer_types()`.
+    #[inline]
+    #[must_use]
+    pub fn device(self, node: NodeId, buffer_type: usize) -> SourceId {
+        let bt = u32::try_from(buffer_type).expect("type index fits u32");
+        assert!(bt < self.buffer_types, "buffer type {bt} out of range");
+        let local = node.0 * self.buffer_types + bt;
+        debug_assert!(local < NET_STRIDE, "device id overflows the net block");
+        SourceId(1 + self.regions + self.net_index * NET_STRIDE + local)
+    }
+
+    /// Number of spatial regions.
+    #[inline]
+    #[must_use]
+    pub fn regions(self) -> usize {
+        self.regions as usize
+    }
+
+    /// Number of buffer types.
+    #[inline]
+    #[must_use]
+    pub fn buffer_types(self) -> usize {
+        self.buffer_types as usize
+    }
+
+    /// Whether `id` is a spatial-region source.
+    #[must_use]
+    pub fn is_region(self, id: SourceId) -> bool {
+        id.0 >= 1 && id.0 <= self.regions
+    }
+
+    /// Whether `id` is a per-device random source.
+    #[must_use]
+    pub fn is_device(self, id: SourceId) -> bool {
+        id.0 > self.regions
+    }
+
+    /// Number of sources a tree with `nodes` nodes can reference in this
+    /// layout (global + regions + this net's device block) — useful for
+    /// enumerating every source during Monte Carlo.
+    #[must_use]
+    pub fn total_for_nodes(self, nodes: usize) -> usize {
+        1 + self.regions as usize + nodes * self.buffer_types as usize
+    }
+
+    /// Every source id a tree with `nodes` nodes can reference, in id
+    /// order: the global source, all regions, then this net's device
+    /// block.
+    pub fn all_for_nodes(self, nodes: usize) -> impl Iterator<Item = SourceId> {
+        let shared = 1 + self.regions as usize;
+        let device_base = 1 + self.regions + self.net_index * NET_STRIDE;
+        let devices = nodes * self.buffer_types as usize;
+        (0..shared)
+            .map(|i| SourceId(i as u32))
+            .chain((0..devices).map(move |i| SourceId(device_base + i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_id_space() {
+        let l = SourceLayout::new(10, 3);
+        assert_eq!(l.global(), SourceId(0));
+        assert_eq!(l.region(0), SourceId(1));
+        assert_eq!(l.region(9), SourceId(10));
+        assert_eq!(l.device(NodeId(0), 0), SourceId(11));
+        assert_eq!(l.device(NodeId(0), 2), SourceId(13));
+        assert_eq!(l.device(NodeId(1), 0), SourceId(14));
+    }
+
+    #[test]
+    fn device_ids_are_unique_per_site_and_type() {
+        let l = SourceLayout::new(4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..50u32 {
+            for bt in 0..2 {
+                assert!(seen.insert(l.device(NodeId(node), bt)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_site_same_type_shares_source() {
+        let l = SourceLayout::new(4, 2);
+        assert_eq!(l.device(NodeId(7), 1), l.device(NodeId(7), 1));
+    }
+
+    #[test]
+    fn net_blocks_do_not_collide() {
+        let base = SourceLayout::new(8, 2);
+        let net1 = base.for_net(1);
+        let net2 = base.for_net(2);
+        // Shared sources are identical across nets.
+        assert_eq!(base.global(), net1.global());
+        assert_eq!(base.region(3), net2.region(3));
+        // Device sources are disjoint between nets.
+        let mut seen = std::collections::HashSet::new();
+        for layout in [base, net1, net2] {
+            for n in 0..100u32 {
+                for t in 0..2 {
+                    assert!(seen.insert(layout.device(NodeId(n), t)), "collision");
+                }
+            }
+        }
+        // Enumeration covers the shifted block.
+        let ids: Vec<_> = net1.all_for_nodes(3).collect();
+        assert_eq!(ids.len(), net1.total_for_nodes(3));
+        assert!(ids.contains(&net1.device(NodeId(2), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of id space")]
+    fn net_index_bounded() {
+        let _ = SourceLayout::new(1, 1).for_net(5000);
+    }
+
+    #[test]
+    fn classification() {
+        let l = SourceLayout::new(5, 1);
+        assert!(!l.is_region(l.global()));
+        assert!(l.is_region(l.region(4)));
+        assert!(!l.is_device(l.region(4)));
+        assert!(l.is_device(l.device(NodeId(0), 0)));
+    }
+
+    #[test]
+    fn totals_and_enumeration() {
+        let l = SourceLayout::new(3, 2);
+        assert_eq!(l.total_for_nodes(4), 1 + 3 + 8);
+        assert_eq!(l.all_for_nodes(4).count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn region_bounds_checked() {
+        let l = SourceLayout::new(2, 1);
+        let _ = l.region(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer type")]
+    fn zero_types_rejected() {
+        let _ = SourceLayout::new(2, 0);
+    }
+}

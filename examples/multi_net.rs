@@ -1,0 +1,63 @@
+//! Design-level (multi-net) optimization: several nets on one die, one
+//! shared variation model, and the **joint** timing yield — where the
+//! independence approximation breaks and the correlation-aware model
+//! shines.
+//!
+//! Run with: `cargo run --release --example multi_net`
+
+use varbuf::core::design::Design;
+use varbuf::prelude::*;
+use varbuf::rctree::geom::BoundingBox;
+
+fn main() -> Result<(), InsertionError> {
+    // Six nets of mixed size sharing a die.
+    let trees: Vec<RoutingTree> = (0..6)
+        .map(|i| {
+            generate_benchmark(&BenchmarkSpec::random(
+                &format!("net{i}"),
+                40 + 30 * i,
+                500 + i as u64,
+            ))
+            .subdivided(500.0)
+        })
+        .collect();
+    let die = trees
+        .iter()
+        .map(RoutingTree::bounding_box)
+        .reduce(|a, b| BoundingBox {
+            min: Point::new(a.min.x.min(b.min.x), a.min.y.min(b.min.y)),
+            max: Point::new(a.max.x.max(b.max.x), a.max.y.max(b.max.y)),
+        })
+        .expect("non-empty");
+    let model = ProcessModel::paper_defaults(die, SpatialKind::Heterogeneous);
+
+    let design = Design::optimize(&trees, &model, VariationMode::WithinDie, &Options::default())?;
+    println!("{:<8} {:>9} {:>12} {:>8}", "net", "buffers", "mean RAT", "σ");
+    for net in design.nets() {
+        println!(
+            "{:<8} {:>9} {:>12.1} {:>8.2}",
+            net.name,
+            net.result.buffer_count(),
+            net.silicon_rat.mean(),
+            net.silicon_rat.std_dev()
+        );
+    }
+
+    // Joint yield versus the independence product at increasing margins.
+    println!("\n{:>8} {:>14} {:>12} {:>10}", "margin", "independent", "joint (MC)", "ratio");
+    for margin in [0.5, 1.0, 1.645, 2.0] {
+        let targets = design.targets_at_margin(margin);
+        let indep = design.independent_yield(&targets);
+        let joint = design.joint_yield(&targets, 50_000, 11);
+        println!(
+            "{:>7.2}σ {:>13.1}% {:>11.1}% {:>10.3}",
+            margin,
+            100.0 * indep,
+            100.0 * joint,
+            joint / indep
+        );
+    }
+    println!("\nshared inter-die/spatial variation makes nets fail *together*:");
+    println!("the joint yield beats the independence product at every margin.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: insert buffers into a small net three ways (NOM / D2D /
+//! WID) and compare what each design achieves on variable silicon.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use varbuf::prelude::*;
+
+fn main() -> Result<(), InsertionError> {
+    // 1. A synthetic 64-sink net (same generator as the paper's suite).
+    let tree = generate_benchmark(&BenchmarkSpec::random("quickstart", 64, 42));
+    println!(
+        "net `{}`: {} sinks, {} legal buffer positions, {:.1} mm of wire",
+        tree.name(),
+        tree.sink_count(),
+        tree.candidate_count(),
+        tree.total_wire_length() / 1000.0
+    );
+
+    // 2. The process model: 5%/5%/5% budgets, heterogeneous spatial ramp.
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+    let options = Options::default();
+
+    // 3. Optimize with each algorithm.
+    let [nom, d2d, wid] = optimize_all_modes(&tree, &model, &options)?;
+
+    // 4. Score every design under the FULL within-die variation — the
+    //    silicon does not care what the optimizer believed.
+    let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+    println!("\n{:<6} {:>9} {:>12} {:>12} {:>8}", "algo", "buffers", "mean RAT", "95%-yld RAT", "σ");
+    for r in [&nom, &d2d, &wid] {
+        let a = silicon.analyze(&r.assignment);
+        println!(
+            "{:<6} {:>9} {:>12.1} {:>12.1} {:>8.2}",
+            r.mode.label(),
+            r.buffer_count(),
+            a.rat.mean(),
+            a.rat_at_95_yield,
+            a.rat.std_dev()
+        );
+    }
+
+    // 5. Timing yield at a common target: the WID design's mean RAT,
+    //    degraded by 10% (the paper's Table 3 setup).
+    let wid_mean = silicon.analyze(&wid.assignment).rat.mean();
+    let target = wid_mean - 0.10 * wid_mean.abs();
+    println!("\ntiming yield at target RAT {target:.1} ps:");
+    for r in [&nom, &d2d, &wid] {
+        let y = silicon.analyze(&r.assignment).yield_at(target);
+        println!("  {:<4} {:>6.1}%", r.mode.label(), 100.0 * y);
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Yield analysis deep-dive on one benchmark: analytic canonical-form
+//! prediction versus Monte Carlo ground truth (the Figure 6 experiment),
+//! plus the NOM-vs-WID yield gap.
+//!
+//! Run with: `cargo run --release --example yield_analysis`
+
+use varbuf::prelude::*;
+use varbuf::stats::mc::sample_moments;
+use varbuf::stats::Histogram;
+
+fn main() -> Result<(), InsertionError> {
+    let tree = generate_benchmark(&BenchmarkSpec::named("r1").expect("known benchmark"));
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+    let options = Options::default();
+
+    println!("optimizing `{}` ({} sinks)…", tree.name(), tree.sink_count());
+    let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &options)?;
+    let nom = optimize_nominal(&tree, &model, &options)?;
+
+    let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+
+    // Analytic prediction.
+    let analysis = silicon.analyze(&wid.assignment);
+    println!(
+        "model:        RAT ~ N({:.1}, {:.2}²) ps  → 95%-yield RAT {:.1}",
+        analysis.rat.mean(),
+        analysis.rat.std_dev(),
+        analysis.rat_at_95_yield
+    );
+
+    // Monte Carlo ground truth.
+    let samples = silicon.monte_carlo(&wid.assignment, 5_000, 7);
+    let (mc_mean, mc_var) = sample_moments(&samples);
+    println!(
+        "monte carlo:  RAT ~ ({:.1}, {:.2}²) ps over {} samples",
+        mc_mean,
+        mc_var.sqrt(),
+        samples.len()
+    );
+
+    // ASCII PDF overlay, Figure 6 style.
+    let hist = Histogram::from_samples(&samples, 31);
+    let peak = analysis
+        .rat
+        .std_dev()
+        .recip()
+        .max(hist.densities().iter().copied().fold(0.0, f64::max));
+    println!("\n      RAT (ps)   MC density | model density");
+    for (x, d) in hist.density_points() {
+        let model_d = varbuf::stats::norm_pdf((x - analysis.rat.mean()) / analysis.rat.std_dev())
+            / analysis.rat.std_dev();
+        let bar = |v: f64| "#".repeat(((v / peak) * 40.0).round() as usize);
+        println!("{x:>12.1}  {:<40} | {:<40}", bar(d), bar(model_d));
+    }
+
+    // The yield gap (Tables 3-4 in one line).
+    let target = analysis.rat.mean() - 0.10 * analysis.rat.mean().abs();
+    let nom_yield = silicon.analyze(&nom.assignment).yield_at(target);
+    let wid_yield = analysis.yield_at(target);
+    println!(
+        "\nyield at a 10%-relaxed target: NOM {:.1}%  vs  WID {:.1}%",
+        100.0 * nom_yield,
+        100.0 * wid_yield
+    );
+
+    // Corner analysis vs statistics: the all-worst corner is far more
+    // pessimistic than the statistical 5th percentile.
+    println!(
+        "corners: fast {:.1} / typical {:.1} / slow {:.1}  (stat 95%-yield {:.1})",
+        silicon.corner(&wid.assignment, -3.0),
+        silicon.corner(&wid.assignment, 0.0),
+        silicon.corner(&wid.assignment, 3.0),
+        analysis.rat_at_95_yield
+    );
+
+    // Statistical criticality: which sinks actually set the RAT?
+    let report = varbuf::core::criticality::sink_criticalities(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        &wid.assignment,
+    );
+    println!(
+        "\ncriticality: {} of {} sinks cover 95% of the probability mass; top 5:",
+        report.sinks_covering(0.95),
+        report.sinks.len()
+    );
+    for (id, slack, c) in report.sinks.iter().take(5) {
+        println!(
+            "  {id}: P(critical) = {:>5.1}%, slack {:.1} ± {:.2} ps",
+            100.0 * c,
+            slack.mean(),
+            slack.std_dev()
+        );
+    }
+    Ok(())
+}

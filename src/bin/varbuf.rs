@@ -1,0 +1,248 @@
+//! `varbuf` — command-line front end for the library.
+//!
+//! ```text
+//! varbuf gen r1 -o r1.tree                    # write a named benchmark
+//! varbuf gen random:500:7 --subdivide 250 -o n.tree
+//! varbuf info n.tree                          # structural summary
+//! varbuf opt n.tree --mode wid --spatial hetero --mc 2000
+//! varbuf skew n.tree                          # clock-skew analysis
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use varbuf::prelude::*;
+use varbuf::rctree::io::{read_tree, write_tree};
+use varbuf::stats::mc::sample_moments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("opt") => cmd_opt(&args[1..]),
+        Some("skew") => cmd_skew(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `varbuf help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "varbuf — variation-aware buffer insertion
+
+usage:
+  varbuf gen <spec> [--subdivide UM] [-o FILE]
+      spec: a named benchmark (p1 p2 r1..r5), `htree:LEVELS`,
+            or `random:SINKS:SEED`
+  varbuf info FILE
+  varbuf opt FILE [--mode nom|d2d|wid] [--spatial homog|hetero]
+                  [--p THRESH] [--sizing] [--mc SAMPLES]
+  varbuf skew FILE [--spatial homog|hetero]"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn build_tree(spec: &str, subdivide: Option<f64>) -> Result<RoutingTree, String> {
+    let tree = if let Some(rest) = spec.strip_prefix("htree:") {
+        let levels: u32 = rest.parse().map_err(|_| "bad htree levels".to_owned())?;
+        generate_htree(&HTreeSpec::with_levels(levels))
+    } else if let Some(rest) = spec.strip_prefix("random:") {
+        let mut parts = rest.split(':');
+        let sinks: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("random spec needs SINKS")?;
+        let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+        generate_benchmark(&BenchmarkSpec::random("random", sinks, seed))
+    } else {
+        let bench = BenchmarkSpec::named(spec)
+            .ok_or_else(|| format!("unknown benchmark `{spec}`"))?;
+        generate_benchmark(&bench)
+    };
+    Ok(match subdivide {
+        Some(um) => tree.subdivided(um),
+        None => tree,
+    })
+}
+
+fn load_tree(path: &str) -> Result<RoutingTree, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_tree(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn spatial_kind(args: &[String]) -> SpatialKind {
+    match flag_value(args, "--spatial") {
+        Some("homog") => SpatialKind::Homogeneous,
+        _ => SpatialKind::Heterogeneous,
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("gen needs a spec")?;
+    let subdivide = flag_value(args, "--subdivide").and_then(|v| v.parse().ok());
+    let tree = build_tree(spec, subdivide)?;
+    match flag_value(args, "-o") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_tree(&tree, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {path}: {} sinks, {} candidates",
+                tree.sink_count(),
+                tree.candidate_count()
+            );
+        }
+        None => {
+            write_tree(&tree, std::io::stdout().lock()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info needs a FILE")?;
+    let tree = load_tree(path)?;
+    tree.validate().map_err(|e| e.to_string())?;
+    let bb = tree.bounding_box();
+    println!("name:        {}", tree.name());
+    println!("nodes:       {}", tree.len());
+    println!("sinks:       {}", tree.sink_count());
+    println!("candidates:  {}", tree.candidate_count());
+    println!("wire length: {:.1} mm", tree.total_wire_length() / 1000.0);
+    println!(
+        "die:         {:.2} x {:.2} mm",
+        bb.width() / 1000.0,
+        bb.height() / 1000.0
+    );
+    Ok(())
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("opt needs a FILE")?;
+    let tree = load_tree(path)?;
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
+    let mode = match flag_value(args, "--mode") {
+        Some("nom") => VariationMode::Nominal,
+        Some("d2d") => VariationMode::DieToDie,
+        _ => VariationMode::WithinDie,
+    };
+    let mut options = Options::default();
+    if let Some(p) = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok()) {
+        options.rule = TwoParam::new(p, p);
+    }
+
+    let (assignment, widths, rat_desc) = if has_flag(args, "--sizing") {
+        let sizing = WireSizing::default_three();
+        let r = optimize_with_sizing(
+            &tree,
+            &model,
+            mode,
+            &options.rule,
+            &sizing,
+            &options.dp,
+        )
+        .map_err(|e| e.to_string())?;
+        let desc = format!(
+            "RAT {:.1} ± {:.2} ps ({} widened edges)",
+            r.root_rat.mean(),
+            r.root_rat.std_dev(),
+            r.wire_widths.iter().filter(|&&(_, w)| w != 0).count()
+        );
+        (r.assignment, Some(sizing.edge_widths(&r.wire_widths)), desc)
+    } else {
+        let r = optimize_statistical(&tree, &model, mode, &options).map_err(|e| e.to_string())?;
+        let desc = format!("RAT {:.1} ± {:.2} ps", r.root_rat.mean(), r.root_rat.std_dev());
+        (r.assignment, None, desc)
+    };
+
+    println!("mode {}: {} buffers, {rat_desc}", mode.label(), assignment.len());
+
+    // Always score under the full silicon model.
+    let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+    let analysis = match &widths {
+        Some(w) => {
+            let rat = silicon.rat_form_sized(&assignment, w);
+            let y95 = rat.percentile(0.05);
+            println!("silicon (WID): mean {:.1}, sigma {:.2}, 95%-yield RAT {:.1}", rat.mean(), rat.std_dev(), y95);
+            None
+        }
+        None => {
+            let a = silicon.analyze(&assignment);
+            println!(
+                "silicon (WID): mean {:.1}, sigma {:.2}, 95%-yield RAT {:.1}",
+                a.rat.mean(),
+                a.rat.std_dev(),
+                a.rat_at_95_yield
+            );
+            Some(a)
+        }
+    };
+
+    if let Some(samples) = flag_value(args, "--mc").and_then(|v| v.parse::<usize>().ok()) {
+        if widths.is_some() {
+            return Err("--mc is not supported together with --sizing".to_owned());
+        }
+        let mc = silicon.monte_carlo(&assignment, samples, 42);
+        let (mean, var) = sample_moments(&mc);
+        println!("monte carlo ({samples} samples): mean {:.1}, sigma {:.2}", mean, var.sqrt());
+        if let Some(a) = analysis {
+            println!(
+                "model-vs-MC mean error: {:.3}%",
+                100.0 * (a.rat.mean() - mean).abs() / mean.abs()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_skew(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("skew needs a FILE")?;
+    let tree = load_tree(path)?;
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
+    let wid = optimize_statistical(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        &Options::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let analysis =
+        SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie).analyze(&wid.assignment);
+    let skew = analysis.global_skew();
+    println!(
+        "{} sinks, {} buffers: global skew {:.2} ± {:.2} ps",
+        analysis.arrivals.len(),
+        wid.assignment.len(),
+        skew.mean(),
+        skew.std_dev()
+    );
+    for target_mult in [1.0, 1.5, 2.0] {
+        let target = skew.mean() * target_mult + 1e-9;
+        println!(
+            "  P(skew <= {:.2} ps) = {:.1}%",
+            target,
+            100.0 * analysis.skew_yield(target)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests of the `varbuf` command-line interface, driving the
+//! real binary through generate → info → optimize → skew.
+
+use std::process::Command;
+
+fn varbuf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_varbuf"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = varbuf().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+    assert!(stdout.contains("varbuf gen"));
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn gen_info_opt_skew_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("varbuf-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let tree_path = dir.join("net.tree");
+    let tree = tree_path.to_str().expect("utf8 path");
+
+    // gen
+    let (ok, stdout, stderr) = run(&["gen", "random:40:9", "--subdivide", "500", "-o", tree]);
+    assert!(ok, "gen failed: {stderr}");
+    assert!(stdout.contains("40 sinks"), "{stdout}");
+
+    // info
+    let (ok, stdout, _) = run(&["info", tree]);
+    assert!(ok);
+    assert!(stdout.contains("sinks:       40"));
+    assert!(stdout.contains("wire length:"));
+
+    // opt (with a small MC cross-check)
+    let (ok, stdout, stderr) = run(&["opt", tree, "--mode", "wid", "--mc", "500"]);
+    assert!(ok, "opt failed: {stderr}");
+    assert!(stdout.contains("mode WID:"), "{stdout}");
+    assert!(stdout.contains("silicon (WID):"));
+    assert!(stdout.contains("monte carlo"));
+
+    // opt with sizing
+    let (ok, stdout, stderr) = run(&["opt", tree, "--sizing"]);
+    assert!(ok, "opt --sizing failed: {stderr}");
+    assert!(stdout.contains("widened edges"), "{stdout}");
+
+    // skew
+    let (ok, stdout, stderr) = run(&["skew", tree]);
+    assert!(ok, "skew failed: {stderr}");
+    assert!(stdout.contains("global skew"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_named_benchmark_to_stdout() {
+    let (ok, stdout, _) = run(&["gen", "r1"]);
+    assert!(ok);
+    assert!(stdout.starts_with("varbuf-tree v1"));
+    // 267 sinks → 267 sink lines.
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("sink ")).count(), 267);
+}
+
+#[test]
+fn info_rejects_missing_file() {
+    let (ok, _, stderr) = run(&["info", "/nonexistent/never.tree"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot open"));
+}
+
+#[test]
+fn opt_rejects_bad_p_threshold_gracefully() {
+    // `--p 0.4` violates the 2P precondition; the library panics with a
+    // clear message — the CLI must not silently succeed.
+    let dir = std::env::temp_dir().join(format!("varbuf-cli-p-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let tree_path = dir.join("net.tree");
+    let tree = tree_path.to_str().expect("utf8 path");
+    let (ok, ..) = run(&["gen", "random:10:1", "-o", tree]);
+    assert!(ok);
+    let out = varbuf().args(["opt", tree, "--p", "0.4"]).output().expect("runs");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
