@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate for varbuf. Runs exactly what a PR must pass:
+#   1. formatting        (cargo fmt --check)
+#   2. lints             (cargo clippy, warnings are errors)
+#   3. tier-1 build+test (the full offline workspace suite)
+# No network access is required; the workspace has no external
+# dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace"
+cargo build --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace
+
+echo "==> ci.sh: all gates passed"

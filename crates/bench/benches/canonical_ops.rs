@@ -1,9 +1,8 @@
-//! Criterion micro-benchmarks of the canonical-form kernel — the ablation
-//! called out in DESIGN.md for the sparse-representation decision: linear
+//! Micro-benchmarks of the canonical-form kernel — the ablation called
+//! out in DESIGN.md for the sparse-representation decision: linear
 //! combination, covariance and statistical min across term counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use varbuf_bench::harness::{black_box, Bencher};
 use varbuf_stats::{stat_min, CanonicalForm, SourceId};
 
 fn form(terms: usize, offset: u32, stride: u32) -> CanonicalForm {
@@ -15,27 +14,24 @@ fn form(terms: usize, offset: u32, stride: u32) -> CanonicalForm {
     )
 }
 
-fn bench_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("canonical");
+fn main() {
+    let mut group = Bencher::new("canonical");
     for &k in &[8usize, 64, 512, 2048] {
         // Half-overlapping source sets: the realistic DP merge case.
         let a = form(k, 0, 2);
         let b = form(k, 1, 2);
-        group.bench_with_input(BenchmarkId::new("linear_combination", k), &k, |bch, _| {
-            bch.iter(|| black_box(&a).linear_combination(1.0, black_box(&b), -0.5))
+        group.bench(&format!("linear_combination/{k}"), || {
+            black_box(&a).linear_combination(1.0, black_box(&b), -0.5)
         });
-        group.bench_with_input(BenchmarkId::new("covariance", k), &k, |bch, _| {
-            bch.iter(|| black_box(&a).covariance(black_box(&b)))
+        group.bench(&format!("covariance/{k}"), || {
+            black_box(&a).covariance(black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("stat_min", k), &k, |bch, _| {
-            bch.iter(|| stat_min(black_box(&a), black_box(&b)))
+        group.bench(&format!("stat_min/{k}"), || {
+            stat_min(black_box(&a), black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("prob_greater", k), &k, |bch, _| {
-            bch.iter(|| black_box(&a).prob_greater(black_box(&b)))
+        group.bench(&format!("prob_greater/{k}"), || {
+            black_box(&a).prob_greater(black_box(&b))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

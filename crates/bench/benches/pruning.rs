@@ -1,9 +1,8 @@
-//! Criterion micro-benchmarks of the pruning rules (the Table 2 story at
-//! the operation level): prune and merge cost of 2P/1P (linear) versus 4P
+//! Micro-benchmarks of the pruning rules (the Table 2 story at the
+//! operation level): prune and merge cost of 2P/1P (linear) versus 4P
 //! (quadratic) on synthetic candidate lists.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use varbuf_bench::harness::{black_box, Bencher};
 use varbuf_core::prune::{prune_solutions, FourParam, OneParam, PruningRule, TwoParam};
 use varbuf_core::solution::StatSolution;
 use varbuf_stats::{CanonicalForm, SourceId};
@@ -28,8 +27,8 @@ fn synthetic_solutions(n: usize) -> Vec<StatSolution> {
         .collect()
 }
 
-fn bench_prune(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prune");
+fn main() {
+    let mut group = Bencher::new("prune");
     for &n in &[64usize, 256, 1024] {
         let sols = synthetic_solutions(n);
         let rules: Vec<(&str, Box<dyn PruningRule>)> = vec![
@@ -39,13 +38,10 @@ fn bench_prune(c: &mut Criterion) {
             ("4P", Box::new(FourParam::default())),
         ];
         for (name, rule) in rules {
-            group.bench_with_input(BenchmarkId::new(name, n), &sols, |b, sols| {
-                b.iter(|| prune_solutions(black_box(rule.as_ref()), black_box(sols.clone())))
+            group.bench(&format!("{name}/{n}"), || {
+                prune_solutions(black_box(rule.as_ref()), black_box(sols.clone()))
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_prune);
-criterion_main!(benches);

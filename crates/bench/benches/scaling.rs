@@ -1,39 +1,32 @@
-//! Criterion benchmark of the end-to-end DP across benchmark sizes — the
-//! measured backbone of Figure 5's linearity claim.
+//! Benchmark of the end-to-end DP across benchmark sizes — the measured
+//! backbone of Figure 5's linearity claim.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use varbuf_bench::harness::{black_box, BenchConfig, Bencher};
 use varbuf_core::det::optimize_deterministic;
 use varbuf_core::dp::{optimize_with_rule, DpOptions};
 use varbuf_core::prune::TwoParam;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dp_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = Bencher::new("dp_scaling").with_config(BenchConfig::slow());
     for &sinks in &[128usize, 256, 512, 1024] {
         let tree = generate_benchmark(&BenchmarkSpec::random("scale", sinks, 77)).subdivided(500.0);
         let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
 
-        group.bench_with_input(BenchmarkId::new("2P-WID", sinks), &tree, |b, tree| {
-            b.iter(|| {
-                optimize_with_rule(
-                    black_box(tree),
-                    &model,
-                    VariationMode::WithinDie,
-                    &TwoParam::default(),
-                    &DpOptions::default(),
-                )
-                .expect("completes")
-            })
+        group.bench(&format!("2P-WID/{sinks}"), || {
+            optimize_with_rule(
+                black_box(&tree),
+                &model,
+                VariationMode::WithinDie,
+                &TwoParam::default(),
+                &DpOptions::default(),
+            )
+            .expect("completes")
         });
-        group.bench_with_input(BenchmarkId::new("deterministic", sinks), &tree, |b, tree| {
-            b.iter(|| optimize_deterministic(black_box(tree), model.library()).expect("completes"))
+        group.bench(&format!("deterministic/{sinks}"), || {
+            optimize_deterministic(black_box(&tree), model.library()).expect("completes")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

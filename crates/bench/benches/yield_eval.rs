@@ -1,31 +1,27 @@
-//! Criterion benchmark of yield analysis: canonical-form propagation of a
-//! fixed design versus per-sample Monte Carlo re-evaluation — quantifying
-//! why the analytic first-order model matters (Figure 6's cost side).
+//! Benchmark of yield analysis: canonical-form propagation of a fixed
+//! design versus per-sample Monte Carlo re-evaluation — quantifying why
+//! the analytic first-order model matters (Figure 6's cost side).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use varbuf_bench::harness::{black_box, BenchConfig, Bencher};
 use varbuf_core::driver::{optimize_statistical, Options};
 use varbuf_core::yield_eval::YieldEvaluator;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
 
-fn bench_yield(c: &mut Criterion) {
+fn main() {
     let tree = generate_benchmark(&BenchmarkSpec::random("yield", 256, 5)).subdivided(500.0);
     let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
     let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
         .expect("optimization succeeds");
     let evaluator = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
 
-    let mut group = c.benchmark_group("yield_eval");
-    group.bench_function("analytic_rat_form", |b| {
-        b.iter(|| evaluator.rat_form(black_box(&wid.assignment)))
+    let mut group = Bencher::new("yield_eval");
+    group.bench("analytic_rat_form", || {
+        evaluator.rat_form(black_box(&wid.assignment))
     });
-    group.sample_size(10);
-    group.bench_function("monte_carlo_100", |b| {
-        b.iter(|| evaluator.monte_carlo(black_box(&wid.assignment), 100, 3))
+    let mut slow = Bencher::new("yield_eval").with_config(BenchConfig::slow());
+    slow.bench("monte_carlo_100", || {
+        evaluator.monte_carlo(black_box(&wid.assignment), 100, 3)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_yield);
-criterion_main!(benches);

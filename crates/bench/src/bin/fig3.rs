@@ -12,8 +12,7 @@ use varbuf_variation::characterize::{characterize_device, NonlinearDevice};
 
 fn main() {
     let device = NonlinearDevice::default_65nm();
-    let result =
-        characterize_device(&device, 0.10, 50_000, 42).expect("characterization succeeds");
+    let result = characterize_device(&device, 0.10, 50_000, 42).expect("characterization succeeds");
     let delay = &result.delay;
 
     println!("Figure 3: normal approximation of T_b (nonlinear device, 10% sigma L_eff)");
@@ -28,10 +27,16 @@ fn main() {
     println!(
         "max |empirical - fitted| PDF deviation: {:.5} ({:.1}% of peak)\n",
         delay.max_pdf_deviation(),
-        100.0 * delay.max_pdf_deviation() * delay.sensitivity.abs() * (2.0 * std::f64::consts::PI).sqrt()
+        100.0
+            * delay.max_pdf_deviation()
+            * delay.sensitivity.abs()
+            * (2.0 * std::f64::consts::PI).sqrt()
     );
 
-    println!("{:>10}  {:<32} | {:<32}", "T_b (ps)", "extracted density", "fitted normal");
+    println!(
+        "{:>10}  {:<32} | {:<32}",
+        "T_b (ps)", "extracted density", "fitted normal"
+    );
     let peak = norm_pdf(0.0) / delay.sensitivity.abs();
     for (x, d) in delay.histogram.density_points() {
         let fitted = delay.fitted_pdf(x);

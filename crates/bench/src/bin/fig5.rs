@@ -20,8 +20,13 @@ fn main() {
     );
 
     let cases: Vec<(String, usize, u64)> = [
-        ("p1", 269), ("p2", 603), ("r1", 267), ("r2", 598),
-        ("r3", 862), ("r4", 1903), ("r5", 3101),
+        ("p1", 269),
+        ("p2", 603),
+        ("r1", 267),
+        ("r2", 598),
+        ("r3", 862),
+        ("r4", 1903),
+        ("r5", 3101),
     ]
     .iter()
     .map(|&(n, s)| (n.to_owned(), s, 0))

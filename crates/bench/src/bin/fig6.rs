@@ -56,7 +56,10 @@ fn main() {
     let hist = Histogram::from_samples(&mc, 33);
     let sigma = analysis.rat.std_dev();
     let peak = norm_pdf(0.0) / sigma;
-    println!("{:>12}  {:<30} | {:<30}", "RAT (ps)", "monte carlo", "model");
+    println!(
+        "{:>12}  {:<30} | {:<30}",
+        "RAT (ps)", "monte carlo", "model"
+    );
     for (x, d) in hist.density_points() {
         let m = norm_pdf((x - analysis.rat.mean()) / sigma) / sigma;
         let bar = |v: f64| "#".repeat(((v / peak) * 30.0).round().clamp(0.0, 30.0) as usize);

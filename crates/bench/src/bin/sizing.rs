@@ -46,11 +46,7 @@ fn main() {
 
         let y_plain = plain.root_rat.percentile(0.05);
         let y_sized = sized.root_rat.percentile(0.05);
-        let widened = sized
-            .wire_widths
-            .iter()
-            .filter(|&&(_, wi)| wi != 0)
-            .count();
+        let widened = sized.wire_widths.iter().filter(|&&(_, wi)| wi != 0).count();
         println!(
             "{:<6} {:>12.1} {:>12.1} {:>7.2}% {:>10.2} {:>10.2} {:>10}",
             name,

@@ -8,9 +8,9 @@
 
 use std::time::Duration;
 use varbuf_bench::{load_raw, model_for, SUITE};
-use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_core::dp::{optimize_with_rule, DpOptions};
 use varbuf_core::prune::{FourParam, TwoParam};
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_variation::{SpatialKind, VariationMode};
 
 fn main() {

@@ -7,10 +7,7 @@ use varbuf_variation::SpatialKind;
 
 fn main() {
     println!("Table 5: number of buffers under different variation models");
-    println!(
-        "{:<6} {:>16} {:>16} {:>8}",
-        "Bench", "NOM", "D2D", "WID"
-    );
+    println!("{:<6} {:>16} {:>16} {:>8}", "Bench", "NOM", "D2D", "WID");
     let mut ratio_sums = [0.0_f64; 2];
     for name in SUITE {
         let row = rat_optimization_row(name, SpatialKind::Heterogeneous);
@@ -32,7 +29,12 @@ fn main() {
     let n = SUITE.len() as f64;
     println!(
         "{:<6} {:>8} ({:.2}x) {:>8} ({:.2}x) {:>8}",
-        "Avg", "", ratio_sums[0] / n, "", ratio_sums[1] / n, "1x"
+        "Avg",
+        "",
+        ratio_sums[0] / n,
+        "",
+        ratio_sums[1] / n,
+        "1x"
     );
     println!("\npaper reference: NOM avg 1.15x, D2D avg 1.13x, WID 1x (fewest)");
 }

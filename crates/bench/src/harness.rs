@@ -1,0 +1,196 @@
+//! A minimal in-tree micro-benchmark harness.
+//!
+//! The workspace builds hermetically with no external crates, so the
+//! Criterion dependency was replaced by this module: warmup plus a fixed
+//! wall-clock budget per benchmark, reporting min/median/mean over the
+//! collected iteration timings. It is deliberately simple — no outlier
+//! rejection, no statistical regression — because the experiment binaries
+//! only need stable relative numbers (2P vs 4P, analytic vs Monte Carlo,
+//! governed vs ungoverned), not publishable absolute ones.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] so bench files need one import.
+pub use std::hint::black_box;
+
+/// Per-benchmark tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Wall-clock spent warming up (JIT-free in Rust, but fills caches).
+    pub warmup: Duration,
+    /// Wall-clock budget for measured iterations.
+    pub measure: Duration,
+    /// Hard cap on measured iterations (keeps slow benches bounded).
+    pub max_iters: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(500),
+            max_iters: 100_000,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A configuration for expensive benchmarks (few, long iterations).
+    #[must_use]
+    pub fn slow() -> Self {
+        Self {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_secs(2),
+            max_iters: 20,
+        }
+    }
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label as printed.
+    pub name: String,
+    /// Number of measured iterations.
+    pub iters: u64,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+impl BenchResult {
+    fn render(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.3} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// A named group of benchmarks printed as one table.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    group: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Starts a benchmark group with default timing budgets.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_owned(),
+            config: BenchConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the timing budgets for subsequent benchmarks.
+    #[must_use]
+    pub fn with_config(mut self, config: BenchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs one benchmark: `f` is called repeatedly; its return value is
+    /// passed through [`black_box`] so the computation cannot be elided.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        // Warmup.
+        let start = Instant::now();
+        while start.elapsed() < self.config.warmup {
+            black_box(f());
+        }
+        // Measure.
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.config.measure
+            && (samples.len() as u64) < self.config.max_iters
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        if samples.is_empty() {
+            // The first iteration overran the budget; measure exactly one.
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        let iters = samples.len() as u64;
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / u32::try_from(iters).unwrap_or(u32::MAX);
+        let result = BenchResult {
+            name: name.to_owned(),
+            iters,
+            min,
+            median,
+            mean,
+        };
+        println!(
+            "{}/{:<40} {:>12} median, {:>12} mean, {:>12} min ({} iters)",
+            self.group,
+            result.name,
+            BenchResult::render(result.median),
+            BenchResult::render(result.mean),
+            BenchResult::render(result.min),
+            result.iters
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Finishes the group (prints a separator for readability).
+    pub fn finish(&self) {
+        println!(
+            "--- {} done ({} benchmarks)",
+            self.group,
+            self.results.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut b = Bencher::new("test").with_config(BenchConfig {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            max_iters: 1000,
+        });
+        let r = b.bench("sum", || (0..100u64).sum::<u64>()).clone();
+        assert!(r.iters >= 1);
+        assert!(r.min <= r.median && r.median <= r.mean * 2);
+        assert_eq!(b.results().len(), 1);
+        b.finish();
+    }
+
+    #[test]
+    fn render_units() {
+        assert!(BenchResult::render(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(BenchResult::render(Duration::from_micros(10)).ends_with("µs"));
+        assert!(BenchResult::render(Duration::from_millis(10)).ends_with("ms"));
+        assert!(BenchResult::render(Duration::from_secs(10)).ends_with('s'));
+    }
+}

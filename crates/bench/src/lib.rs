@@ -1,11 +1,15 @@
-//! Shared plumbing for the experiment binaries and Criterion benchmarks.
+//! Shared plumbing for the experiment binaries and micro-benchmarks.
 //!
 //! Every table and figure of the paper has a dedicated binary in
 //! `src/bin/` (see `DESIGN.md` for the index); this library holds the
-//! setup they share so each binary stays a readable script.
+//! setup they share so each binary stays a readable script. The
+//! [`harness`] module provides the in-tree timing framework the
+//! `benches/` targets run on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use varbuf_core::driver::Options;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};

@@ -123,19 +123,14 @@ mod tests {
         let wid =
             optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
                 .expect("optimize");
-        let report = sink_criticalities(
-            &tree,
-            &model,
-            VariationMode::WithinDie,
-            &wid.assignment,
-        );
+        let report = sink_criticalities(&tree, &model, VariationMode::WithinDie, &wid.assignment);
         let total: f64 = report.sinks.iter().map(|&(_, _, c)| c).sum();
         assert!((total - 1.0).abs() < 1e-9, "criticalities sum to {total}");
+        assert!(report.sinks.windows(2).all(|w| w[0].2 >= w[1].2 - 1e-12));
         assert!(report
             .sinks
-            .windows(2)
-            .all(|w| w[0].2 >= w[1].2 - 1e-12));
-        assert!(report.sinks.iter().all(|&(_, _, c)| (0.0..=1.0).contains(&c)));
+            .iter()
+            .all(|&(_, _, c)| (0.0..=1.0).contains(&c)));
         assert_eq!(report.sinks.len(), tree.sink_count());
     }
 
@@ -151,8 +146,7 @@ mod tests {
         let wid =
             optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
                 .expect("optimize");
-        let report =
-            sink_criticalities(&tree, &model, VariationMode::WithinDie, &wid.assignment);
+        let report = sink_criticalities(&tree, &model, VariationMode::WithinDie, &wid.assignment);
         let n = tree.sink_count();
         // Covering 95% of the mass needs a sizable fraction of the sinks.
         assert!(

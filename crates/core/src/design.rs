@@ -16,15 +16,13 @@
 //! joint yield by Monte Carlo over the shared source space — exact up to
 //! sampling error, for any number of nets.
 
-use crate::driver::{optimize_statistical, Options, OptimizeResult};
+use crate::driver::{optimize_statistical, OptimizeResult, Options};
 use crate::error::InsertionError;
 use crate::yield_eval::YieldEvaluator;
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeSet;
 use varbuf_rctree::RoutingTree;
 use varbuf_stats::mc::{SampleVector, StandardNormal};
+use varbuf_stats::rng::SplitMix64;
 use varbuf_stats::CanonicalForm;
 use varbuf_variation::{ProcessModel, VariationMode};
 
@@ -119,7 +117,7 @@ impl Design {
         }
         let sources: Vec<_> = sources.into_iter().collect();
 
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let normal = StandardNormal;
         let mut pass = 0usize;
         for _ in 0..samples {
@@ -182,8 +180,13 @@ mod tests {
     #[test]
     fn joint_yield_exceeds_independent_for_correlated_nets() {
         let (trees, model) = design(4);
-        let d = Design::optimize(&trees, &model, VariationMode::WithinDie, &Options::default())
-            .expect("optimize");
+        let d = Design::optimize(
+            &trees,
+            &model,
+            VariationMode::WithinDie,
+            &Options::default(),
+        )
+        .expect("optimize");
         assert_eq!(d.nets().len(), 4);
 
         // Nets share the inter-die source, so their RATs are positively
@@ -209,8 +212,13 @@ mod tests {
     #[test]
     fn single_net_joint_equals_marginal() {
         let (trees, model) = design(1);
-        let d = Design::optimize(&trees, &model, VariationMode::WithinDie, &Options::default())
-            .expect("optimize");
+        let d = Design::optimize(
+            &trees,
+            &model,
+            VariationMode::WithinDie,
+            &Options::default(),
+        )
+        .expect("optimize");
         let targets = d.targets_at_margin(1.645);
         let marginal = d.nets()[0].silicon_rat.prob_at_least(targets[0]);
         let joint = d.joint_yield(&targets, 40_000, 9);
@@ -225,8 +233,13 @@ mod tests {
     #[should_panic(expected = "one target per net")]
     fn mismatched_targets_rejected() {
         let (trees, model) = design(2);
-        let d = Design::optimize(&trees, &model, VariationMode::WithinDie, &Options::default())
-            .expect("optimize");
+        let d = Design::optimize(
+            &trees,
+            &model,
+            VariationMode::WithinDie,
+            &Options::default(),
+        )
+        .expect("optimize");
         let _ = d.joint_yield(&[0.0], 10, 1);
     }
 }

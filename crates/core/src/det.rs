@@ -17,7 +17,7 @@ use std::rc::Rc;
 use std::time::Instant;
 use varbuf_rctree::tree::NodeKind;
 use varbuf_rctree::{NodeId, RoutingTree};
-use varbuf_variation::{BufferLibrary, BufferTypeId};
+use varbuf_variation::{BufferLibrary, BufferTypeId, UnknownBufferType};
 
 /// Result of a deterministic optimization.
 #[derive(Debug, Clone)]
@@ -164,11 +164,7 @@ fn prune_det(mut sols: Vec<DetSolution>, stats: &mut DpStats) -> Vec<DetSolution
 
 /// The linear branch merge of Figure 1: both inputs sorted by ascending
 /// `L` and ascending `T`; the result is too.
-fn merge_det(
-    a: Vec<DetSolution>,
-    b: Vec<DetSolution>,
-    stats: &mut DpStats,
-) -> Vec<DetSolution> {
+fn merge_det(a: Vec<DetSolution>, b: Vec<DetSolution>, stats: &mut DpStats) -> Vec<DetSolution> {
     if a.is_empty() || b.is_empty() {
         return if a.is_empty() { b } else { a };
     }
@@ -198,15 +194,20 @@ fn merge_det(
 /// decision list — the bridge from an optimization result to the
 /// Elmore/yield evaluators.
 ///
+/// # Errors
+///
+/// Returns [`UnknownBufferType`] when a decision references a type id
+/// outside `library` — possible when the decision list comes from a
+/// stored design or another library, rather than from this optimizer.
+///
 /// [`BufferAssignment`]: varbuf_rctree::elmore::BufferAssignment
-#[must_use]
 pub fn assignment_with_nominal_values(
     decisions: &[(NodeId, BufferTypeId)],
     library: &BufferLibrary,
-) -> varbuf_rctree::elmore::BufferAssignment {
+) -> Result<varbuf_rctree::elmore::BufferAssignment, UnknownBufferType> {
     let mut a = varbuf_rctree::elmore::BufferAssignment::new();
     for &(node, ty) in decisions {
-        let t = library.get(ty);
+        let t = library.try_get(ty)?;
         a.insert(
             node,
             varbuf_rctree::elmore::BufferValues {
@@ -216,7 +217,7 @@ pub fn assignment_with_nominal_values(
             },
         );
     }
-    a
+    Ok(a)
 }
 
 // Keep an explicit reference to Trace so the module docs read naturally.
@@ -256,7 +257,10 @@ mod tests {
         // The optimizer's RAT matches an independent Elmore evaluation of
         // the returned assignment.
         let eval = ElmoreEvaluator::new(&t);
-        let rep = eval.evaluate(&assignment_with_nominal_values(&result.assignment, &lib));
+        let rep = eval.evaluate(
+            &assignment_with_nominal_values(&result.assignment, &lib)
+                .expect("ids from this library"),
+        );
         assert!(
             (rep.root_rat - result.root_rat).abs() < 1e-6 * rep.root_rat.abs(),
             "DP said {}, Elmore says {}",
@@ -274,7 +278,10 @@ mod tests {
             let tree = generate_benchmark(&BenchmarkSpec::random("det", 40, seed));
             let result = optimize_deterministic(&tree, &lib).expect("optimize");
             let eval = ElmoreEvaluator::new(&tree);
-            let rep = eval.evaluate(&assignment_with_nominal_values(&result.assignment, &lib));
+            let rep = eval.evaluate(
+                &assignment_with_nominal_values(&result.assignment, &lib)
+                    .expect("ids from this library"),
+            );
             assert!(
                 (rep.root_rat - result.root_rat).abs() < 1e-6 * rep.root_rat.abs().max(1.0),
                 "seed {seed}: DP {} vs Elmore {}",
@@ -323,7 +330,9 @@ mod tests {
                     decisions.push((c, BufferTypeId(0)));
                 }
             }
-            let rep = eval.evaluate(&assignment_with_nominal_values(&decisions, lib));
+            let rep = eval.evaluate(
+                &assignment_with_nominal_values(&decisions, lib).expect("ids from this library"),
+            );
             best = best.max(rep.root_rat);
         }
         best
@@ -357,7 +366,10 @@ mod tests {
         // And the constraint is honored: re-evaluating the design, no
         // buffer drives more than its limit.
         let eval = ElmoreEvaluator::new(&t);
-        let rep = eval.evaluate(&assignment_with_nominal_values(&tight_r.assignment, &tight));
+        let rep = eval.evaluate(
+            &assignment_with_nominal_values(&tight_r.assignment, &tight)
+                .expect("ids from this library"),
+        );
         assert!(rep.root_rat.is_finite());
         // A generous limit is a no-op.
         let loose = BufferLibrary::new(vec![BufferType::with_unit_sensitivity(
@@ -390,6 +402,18 @@ mod tests {
         assert!(r.stats.max_solutions_per_node >= 1);
         assert!(r.stats.solutions_generated > 0);
         assert!(r.stats.prune_ratio() >= 0.0);
+    }
+
+    #[test]
+    fn assignment_rejects_foreign_type_ids() {
+        // A decision list built against a bigger library must surface a
+        // typed error on a smaller one, not a panic.
+        let small = BufferLibrary::single_65nm();
+        let e =
+            assignment_with_nominal_values(&[(NodeId(1), BufferTypeId(2))], &small).unwrap_err();
+        assert_eq!(e.id, BufferTypeId(2));
+        assert_eq!(e.library_len, 1);
+        assert!(e.to_string().contains("out of range"));
     }
 
     #[test]

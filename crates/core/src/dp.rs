@@ -12,15 +12,27 @@
 //!   engine enforces a per-node solution cap and a wall-clock limit so
 //!   that the blow-up surfaces as a typed error (the "-" rows of
 //!   Table 2) rather than an OOM kill.
+//!
+//! Every run is mediated by a [`Governor`](crate::governor::Governor):
+//! the legacy entry points ([`optimize_with_rule`],
+//! [`optimize_with_sizing`]) use a *strict* governor that turns the
+//! first budget breach into a typed error, while [`optimize_governed`]
+//! uses a degrading governor that walks a pruning-rule fallback cascade,
+//! tightens epsilon, truncates candidate lists, and — past a hard limit —
+//! finishes in panic-completion mode so the caller still gets a valid
+//! best-so-far design plus a [`Degradation`] report.
 
 use crate::error::InsertionError;
-use crate::metrics::DpStats;
-use crate::ops::{
-    buffer_extend_stat, driver_rat_stat, merge_pair_stat, wire_extend_stat,
+use crate::faultinject::FaultInjector;
+use crate::governor::{
+    keep_best, solution_footprint, truncate_spread, Admission, Budget, Clock, Degradation, Governor,
 };
-use crate::prune::{prune_solutions, MergeStrategy, PruningRule};
+use crate::metrics::DpStats;
+use crate::ops::{buffer_extend_stat, driver_rat_stat, merge_pair_stat, wire_extend_stat};
+use crate::prune::{prune_solutions, MergeStrategy, PruningRule, TwoParam};
 use crate::solution::StatSolution;
-use std::time::{Duration, Instant};
+use std::rc::Rc;
+use std::time::Duration;
 use varbuf_rctree::tree::NodeKind;
 use varbuf_rctree::{NodeId, RoutingTree};
 use varbuf_stats::CanonicalForm;
@@ -61,7 +73,8 @@ impl RootSelection {
 pub struct DpOptions {
     /// Abort with [`InsertionError::CapacityExceeded`] when a node would
     /// hold more candidates than this (the paper's 2 GB memory cap, in
-    /// solution-count form).
+    /// solution-count form). Governed runs degrade instead of aborting —
+    /// see [`optimize_governed`].
     pub max_solutions_per_node: usize,
     /// Abort with [`InsertionError::TimeLimitExceeded`] past this
     /// wall-clock budget (the paper's 4-hour cutoff).
@@ -170,6 +183,17 @@ pub struct StatResult {
     pub stats: DpStats,
 }
 
+/// A governed run's outcome: the (possibly degraded) result plus the
+/// structured report of every budget-driven relaxation.
+#[derive(Debug, Clone)]
+pub struct GovernedResult {
+    /// The winning design — valid even when the run degraded.
+    pub result: StatResult,
+    /// What was relaxed to get there; `degraded() == false` means the
+    /// run finished at full fidelity.
+    pub degradation: Degradation,
+}
+
 /// Runs variation-aware buffer insertion with an explicit pruning rule.
 ///
 /// `mode` selects which variation categories the solution forms carry
@@ -224,18 +248,169 @@ pub fn optimize_with_sizing(
     sizing: &WireSizing,
     options: &DpOptions,
 ) -> Result<StatResult, InsertionError> {
+    let mut governor = Governor::strict(
+        Budget::strict(options.max_solutions_per_node, options.time_limit),
+        options.sparsify_epsilon,
+    );
+    run_engine(
+        tree,
+        model,
+        mode,
+        Some(rule),
+        sizing,
+        options,
+        &mut governor,
+        None,
+    )
+}
+
+/// The degradation cascade started from `primary`: the primary rule,
+/// then (unless the primary is already a 2P variant) a thresholded 2P
+/// rule, then plain mean dominance — each strictly cheaper than the
+/// last.
+#[must_use]
+pub fn fallback_cascade(primary: Rc<dyn PruningRule>) -> Vec<Rc<dyn PruningRule>> {
+    let primary_is_two_param = primary.name() == "2P";
+    let mut cascade = vec![primary];
+    if !primary_is_two_param {
+        cascade.push(Rc::new(TwoParam::new(0.9, 0.9)) as Rc<dyn PruningRule>);
+    }
+    cascade.push(Rc::new(TwoParam::default()) as Rc<dyn PruningRule>);
+    cascade
+}
+
+/// Runs the DP under a degrading [`Governor`]: budget breaches relax the
+/// run (rule fallback, epsilon tightening, list truncation, panic
+/// completion) instead of aborting it, so even a pathological 4P run
+/// returns a valid buffered design plus a [`Degradation`] report.
+///
+/// # Errors
+///
+/// Only [`InsertionError::InvalidTree`], [`InsertionError::NoSinks`], or
+/// [`InsertionError::PoisonedSolutions`] (every candidate at some node
+/// invalid — nothing valid to recover to). Resource pressure never errors.
+pub fn optimize_governed(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    primary: Rc<dyn PruningRule>,
+    options: &DpOptions,
+    budget: &Budget,
+) -> Result<GovernedResult, InsertionError> {
+    optimize_governed_detailed(
+        tree,
+        model,
+        mode,
+        fallback_cascade(primary),
+        &WireSizing::single(),
+        options,
+        budget,
+        None,
+        None,
+    )
+}
+
+/// [`optimize_governed`] with every knob exposed: an explicit fallback
+/// cascade, wire sizing, a replacement [`Clock`] (fault injection skews
+/// it), and a [`FaultInjector`] mutating candidate lists between steps.
+///
+/// # Errors
+///
+/// Same as [`optimize_governed`].
+///
+/// # Panics
+///
+/// Panics if `cascade` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_governed_detailed(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    cascade: Vec<Rc<dyn PruningRule>>,
+    sizing: &WireSizing,
+    options: &DpOptions,
+    budget: &Budget,
+    clock: Option<Box<dyn Clock>>,
+    faults: Option<&mut FaultInjector>,
+) -> Result<GovernedResult, InsertionError> {
+    let mut governor = Governor::governed(*budget, cascade, options.sparsify_epsilon);
+    if let Some(c) = clock {
+        governor = governor.with_clock(c);
+    }
+    let mut result = run_engine(
+        tree,
+        model,
+        mode,
+        None,
+        sizing,
+        options,
+        &mut governor,
+        faults,
+    )?;
+    let degradation = governor.into_report();
+    result.stats.rule_fallbacks = degradation.rule_fallbacks();
+    result.stats.epsilon_tightenings = degradation.epsilon_tightenings();
+    result.stats.list_truncations = degradation.truncations();
+    result.stats.poisoned_dropped = degradation.poisoned_dropped();
+    result.stats.panic_completion = degradation.panic_completion;
+    Ok(GovernedResult {
+        result,
+        degradation,
+    })
+}
+
+/// The rule in force right now: the caller's fixed rule on the legacy
+/// path, or the governor's current cascade entry on the governed path.
+enum RuleHandle<'a> {
+    Static(&'a dyn PruningRule),
+    Shared(Rc<dyn PruningRule>),
+}
+
+impl RuleHandle<'_> {
+    fn get(&self) -> &dyn PruningRule {
+        match self {
+            RuleHandle::Static(r) => *r,
+            RuleHandle::Shared(rc) => rc.as_ref(),
+        }
+    }
+}
+
+/// Fetches the active rule. Cheap; call again after any governor
+/// interaction that may have advanced the cascade.
+fn current_rule<'a>(
+    static_rule: Option<&'a dyn PruningRule>,
+    governor: &Governor,
+) -> RuleHandle<'a> {
+    match static_rule {
+        Some(r) => RuleHandle::Static(r),
+        None => RuleHandle::Shared(governor.active_rule()),
+    }
+}
+
+/// The shared DP engine behind both the strict and the governed entry
+/// points. Every resource decision is delegated to `governor`.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_engine(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    static_rule: Option<&dyn PruningRule>,
+    sizing: &WireSizing,
+    options: &DpOptions,
+    governor: &mut Governor,
+    mut faults: Option<&mut FaultInjector>,
+) -> Result<StatResult, InsertionError> {
     tree.validate()?;
     if tree.sink_count() == 0 {
         return Err(InsertionError::NoSinks);
     }
-    let start = Instant::now();
     let mut stats = DpStats::default();
     let wire = tree.wire();
 
     let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
 
     for id in tree.postorder() {
-        check_time(start, options)?;
+        governor.check_time()?;
         let node = tree.node(id);
         stats.nodes_processed += 1;
 
@@ -261,26 +436,29 @@ pub fn optimize_with_sizing(
                             seg.capacitance *= w;
                             let mut out = wire_extend_stat(s, &seg);
                             if record_width {
-                                out.trace =
-                                    crate::trace::Trace::wire(c, wi as u8, out.trace);
+                                out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
                             }
-                            sparsify(&mut out, options);
+                            sparsify(&mut out, governor.epsilon());
                             lifted.push(out);
                         }
                     }
+                    let freed: usize = lists[c.index()].iter().map(solution_footprint).sum();
                     lists[c.index()].clear();
+                    governor.note_memory(&[], freed);
                     stats.solutions_generated += lifted.len();
                     let before = lifted.len();
-                    lifted = prune_solutions(rule, lifted);
+                    lifted = prune_solutions(current_rule(static_rule, governor).get(), lifted);
                     stats.solutions_pruned += before - lifted.len();
 
                     acc = Some(match acc {
                         None => lifted,
                         Some(prev) => {
-                            merge_lists(rule, prev, lifted, id, start, options, &mut stats)?
+                            merge_lists(static_rule, governor, prev, lifted, id, &mut stats)?
                         }
                     });
-                    check_capacity(acc.as_ref().map_or(0, Vec::len), id, options)?;
+                    if let Some(list) = acc.as_mut() {
+                        admit_list(static_rule, governor, id, list, &mut stats)?;
+                    }
                 }
                 acc.expect("validated internal nodes have children")
             }
@@ -288,60 +466,85 @@ pub fn optimize_with_sizing(
 
         // 2. Offer a buffer at legal positions.
         if node.is_candidate {
-            check_time(start, options)?;
+            governor.check_time()?;
             let mut buffered: Vec<StatSolution> = Vec::new();
-            for (ty, _) in model.library().iter() {
-                let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
-                let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
-                let resistance = model.buffer_resistance(ty);
-                let max_load = model.library().get(ty).max_load;
-                let drivable = |s: &&StatSolution| {
-                    max_load.is_none_or(|m| s.load_mean() <= m)
-                };
-                match rule.strategy() {
-                    MergeStrategy::SortedLinear => {
-                        // All buffered options share the load form, so only
-                        // the best RAT (by the rule's scalar key) survives:
-                        // generate just that one.
-                        if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
-                            let ka = a.rat_mean() - resistance * a.load_mean();
-                            let kb = b.rat_mean() - resistance * b.load_mean();
-                            ka.total_cmp(&kb)
-                        }) {
-                            let mut s = buffer_extend_stat(
-                                best, &cap_form, &delay_form, resistance, id, ty,
-                            );
-                            sparsify(&mut s, options);
-                            buffered.push(s);
-                            stats.solutions_generated += 1;
+            {
+                let rh = current_rule(static_rule, governor);
+                let rule = rh.get();
+                for (ty, _) in model.library().iter() {
+                    let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
+                    let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
+                    let resistance = model.buffer_resistance(ty);
+                    let max_load = model.library().get(ty).max_load;
+                    let drivable = |s: &&StatSolution| max_load.is_none_or(|m| s.load_mean() <= m);
+                    match rule.strategy() {
+                        MergeStrategy::SortedLinear => {
+                            // All buffered options share the load form, so only
+                            // the best RAT (by the rule's scalar key) survives:
+                            // generate just that one.
+                            if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
+                                let ka = a.rat_mean() - resistance * a.load_mean();
+                                let kb = b.rat_mean() - resistance * b.load_mean();
+                                ka.total_cmp(&kb)
+                            }) {
+                                let mut s = buffer_extend_stat(
+                                    best,
+                                    &cap_form,
+                                    &delay_form,
+                                    resistance,
+                                    id,
+                                    ty,
+                                );
+                                sparsify(&mut s, governor.epsilon());
+                                buffered.push(s);
+                                stats.solutions_generated += 1;
+                            }
                         }
-                    }
-                    MergeStrategy::CrossProduct => {
-                        // A partial order may keep several incomparable
-                        // buffered options alive: generate them all.
-                        for s in sols.iter().filter(drivable) {
-                            let mut b = buffer_extend_stat(
-                                s, &cap_form, &delay_form, resistance, id, ty,
-                            );
-                            sparsify(&mut b, options);
-                            buffered.push(b);
-                            stats.solutions_generated += 1;
+                        MergeStrategy::CrossProduct => {
+                            // A partial order may keep several incomparable
+                            // buffered options alive: generate them all.
+                            for s in sols.iter().filter(drivable) {
+                                let mut b = buffer_extend_stat(
+                                    s,
+                                    &cap_form,
+                                    &delay_form,
+                                    resistance,
+                                    id,
+                                    ty,
+                                );
+                                sparsify(&mut b, governor.epsilon());
+                                buffered.push(b);
+                                stats.solutions_generated += 1;
+                            }
                         }
                     }
                 }
             }
             sols.extend(buffered);
-            check_capacity(sols.len(), id, options)?;
+            admit_list(static_rule, governor, id, &mut sols, &mut stats)?;
             let before = sols.len();
-            sols = prune_with_limits(rule, sols, start, options)?;
+            sols = prune_full(static_rule, governor, sols)?;
             stats.solutions_pruned += before - sols.len();
         }
 
+        // 3. Fault-injection hook, then integrity screening.
+        if let Some(inj) = faults.as_deref_mut() {
+            inj.on_node(id, &mut sols);
+        }
+        if governor.is_governed() {
+            governor.sanitize(id, &mut sols)?;
+            admit_list(static_rule, governor, id, &mut sols, &mut stats)?;
+        }
+        if governor.panicking() {
+            keep_best(current_rule(static_rule, governor).get(), &mut sols);
+        }
+
+        governor.note_memory(&sols, 0);
         stats.max_solutions_per_node = stats.max_solutions_per_node.max(sols.len());
         lists[id.index()] = sols;
     }
 
-    // 3. Driver step and winner selection (by the rule's RAT key).
+    // 4. Driver step and winner selection (by the rule's RAT key).
     let root = tree.root();
     let driver_res = match tree.node(root).kind {
         NodeKind::Source { driver_resistance } => driver_resistance,
@@ -356,7 +559,7 @@ pub fn optimize_with_sizing(
         })
         .expect("at least one candidate always survives");
 
-    stats.runtime = start.elapsed();
+    stats.runtime = governor.elapsed();
     Ok(StatResult {
         root_rat: driver_rat_stat(winner, driver_res),
         assignment: winner.trace.collect(),
@@ -365,89 +568,139 @@ pub fn optimize_with_sizing(
     })
 }
 
-
-fn sparsify(s: &mut StatSolution, options: &DpOptions) {
-    if options.sparsify_epsilon > 0.0 {
-        s.load.sparsify(options.sparsify_epsilon);
-        s.rat.sparsify(options.sparsify_epsilon);
+fn sparsify(s: &mut StatSolution, epsilon: f64) {
+    if epsilon > 0.0 {
+        s.load.sparsify(epsilon);
+        s.rat.sparsify(epsilon);
     }
 }
 
-fn check_time(start: Instant, options: &DpOptions) -> Result<(), InsertionError> {
-    let elapsed = start.elapsed();
-    if elapsed > options.time_limit {
-        return Err(InsertionError::TimeLimitExceeded {
-            elapsed,
-            limit: options.time_limit,
-        });
+/// Offers a node's candidate list to the governor, applying whatever the
+/// verdict requires (re-prune under a fallback rule, spread-preserving
+/// truncation) until the list is admitted.
+fn admit_list(
+    static_rule: Option<&dyn PruningRule>,
+    governor: &mut Governor,
+    node: NodeId,
+    sols: &mut Vec<StatSolution>,
+    stats: &mut DpStats,
+) -> Result<(), InsertionError> {
+    loop {
+        match governor.admit(node, sols.len())? {
+            Admission::Ok => return Ok(()),
+            Admission::Reprune => {
+                let before = sols.len();
+                let taken = std::mem::take(sols);
+                *sols = prune_solutions(current_rule(static_rule, governor).get(), taken);
+                stats.solutions_pruned += before - sols.len();
+            }
+            Admission::Truncate(n) => {
+                if sols.len() <= n {
+                    // Nothing left to cut; accept as-is rather than spin.
+                    return Ok(());
+                }
+                let before = sols.len();
+                truncate_spread(current_rule(static_rule, governor).get(), sols, n);
+                stats.solutions_pruned += before - sols.len();
+            }
+        }
     }
-    Ok(())
-}
-
-fn check_capacity(len: usize, node: NodeId, options: &DpOptions) -> Result<(), InsertionError> {
-    if len > options.max_solutions_per_node {
-        return Err(InsertionError::CapacityExceeded {
-            node,
-            solutions: len,
-            limit: options.max_solutions_per_node,
-        });
-    }
-    Ok(())
 }
 
 /// Merges two candidate lists at a branch node.
 fn merge_lists(
-    rule: &dyn PruningRule,
-    a: Vec<StatSolution>,
-    b: Vec<StatSolution>,
+    static_rule: Option<&dyn PruningRule>,
+    governor: &mut Governor,
+    mut a: Vec<StatSolution>,
+    mut b: Vec<StatSolution>,
     node: NodeId,
-    start: Instant,
-    options: &DpOptions,
     stats: &mut DpStats,
 ) -> Result<Vec<StatSolution>, InsertionError> {
     if a.is_empty() || b.is_empty() {
         return Ok(if a.is_empty() { b } else { a });
     }
-    let merged = match rule.strategy() {
-        MergeStrategy::SortedLinear => {
-            // Figure 1: both lists sorted ascending in (load key, RAT key);
-            // walk both, advancing the side whose RAT constrains the min.
-            let mut out = Vec::with_capacity(a.len() + b.len());
-            let (mut i, mut j) = (0, 0);
-            loop {
-                out.push(merge_pair_stat(&a[i], &b[j]));
-                stats.solutions_generated += 1;
-                match rule.rat_key(&a[i]).total_cmp(&rule.rat_key(&b[j])) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        i += 1;
-                        j += 1;
+    // Admission may switch the rule (re-prune and retry with a linear
+    // merge) or shrink the operands; `forced` breaks the loop if a
+    // truncation could not shrink them further.
+    let mut forced = false;
+    let merged = loop {
+        let rh = current_rule(static_rule, governor);
+        let rule = rh.get();
+        match rule.strategy() {
+            MergeStrategy::SortedLinear => {
+                // Figure 1: both lists sorted ascending in (load key, RAT key);
+                // walk both, advancing the side whose RAT constrains the min.
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                loop {
+                    out.push(merge_pair_stat(&a[i], &b[j]));
+                    stats.solutions_generated += 1;
+                    match rule.rat_key(&a[i]).total_cmp(&rule.rat_key(&b[j])) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                    if i >= a.len() || j >= b.len() {
+                        break;
                     }
                 }
-                if i >= a.len() || j >= b.len() {
-                    break;
+                break out;
+            }
+            MergeStrategy::CrossProduct => {
+                // The 4P price: all n·m combinations — ask before paying.
+                let needed = a.len().saturating_mul(b.len());
+                let admission = if forced {
+                    Admission::Ok
+                } else {
+                    governor.admit(node, needed)?
+                };
+                match admission {
+                    Admission::Ok => {
+                        drop(rh);
+                        let mut out = Vec::with_capacity(needed);
+                        'rows: for sa in &a {
+                            governor.check_time()?;
+                            if governor.panicking() {
+                                // A hard breach mid-merge: the pairs formed so
+                                // far are valid candidates; stop generating.
+                                break 'rows;
+                            }
+                            for sb in &b {
+                                out.push(merge_pair_stat(sa, sb));
+                            }
+                        }
+                        stats.solutions_generated += out.len();
+                        break out;
+                    }
+                    Admission::Reprune => {
+                        drop(rh);
+                        let rh = current_rule(static_rule, governor);
+                        let before = a.len() + b.len();
+                        a = prune_solutions(rh.get(), a);
+                        b = prune_solutions(rh.get(), b);
+                        stats.solutions_pruned += before - a.len() - b.len();
+                    }
+                    Admission::Truncate(n) => {
+                        // Shrink both operands toward √n each.
+                        let keep = ((n as f64).sqrt().floor() as usize).max(1);
+                        if a.len() <= keep && b.len() <= keep {
+                            forced = true;
+                            continue;
+                        }
+                        let before = a.len() + b.len();
+                        truncate_spread(rule, &mut a, keep);
+                        truncate_spread(rule, &mut b, keep);
+                        stats.solutions_pruned += before - a.len() - b.len();
+                    }
                 }
             }
-            out
-        }
-        MergeStrategy::CrossProduct => {
-            // The 4P price: all n·m combinations.
-            let needed = a.len().saturating_mul(b.len());
-            check_capacity(needed, node, options)?;
-            let mut out = Vec::with_capacity(needed);
-            for sa in &a {
-                check_time(start, options)?;
-                for sb in &b {
-                    out.push(merge_pair_stat(sa, sb));
-                }
-            }
-            stats.solutions_generated += needed;
-            out
         }
     };
     let before = merged.len();
-    let pruned = prune_with_limits(rule, merged, start, options)?;
+    let pruned = prune_full(static_rule, governor, merged)?;
     stats.solutions_pruned += before - pruned.len();
     Ok(pruned)
 }
@@ -455,19 +708,26 @@ fn merge_lists(
 /// Pruning with the engine's wall-clock limit enforced *inside* the
 /// quadratic cross-product sweep — an `O(N²)` prune on a six-figure
 /// candidate list can otherwise outlive any between-node time check.
-fn prune_with_limits(
-    rule: &dyn PruningRule,
+/// Under panic completion the sweep bails early: a superset of the
+/// non-dominated set is still valid, and the node-level reduction keeps
+/// one candidate anyway.
+fn prune_full(
+    static_rule: Option<&dyn PruningRule>,
+    governor: &mut Governor,
     mut sols: Vec<StatSolution>,
-    start: Instant,
-    options: &DpOptions,
 ) -> Result<Vec<StatSolution>, InsertionError> {
+    let rh = current_rule(static_rule, governor);
+    let rule = rh.get();
     if rule.strategy() == MergeStrategy::SortedLinear {
         return Ok(prune_solutions(rule, sols));
     }
     let mut dominated = vec![false; sols.len()];
-    for i in 0..sols.len() {
+    'outer: for i in 0..sols.len() {
         if i % 256 == 0 {
-            check_time(start, options)?;
+            governor.check_time()?;
+            if governor.panicking() {
+                break 'outer;
+            }
         }
         if dominated[i] {
             continue;
@@ -589,7 +849,12 @@ mod tests {
         .expect("1P");
         // Different rules, same ballpark (within a few percent).
         let rel = (two.root_rat.mean() - one.root_rat.mean()).abs() / two.root_rat.mean().abs();
-        assert!(rel < 0.05, "2P {} vs 1P {}", two.root_rat.mean(), one.root_rat.mean());
+        assert!(
+            rel < 0.05,
+            "2P {} vs 1P {}",
+            two.root_rat.mean(),
+            one.root_rat.mean()
+        );
     }
 
     #[test]
@@ -616,9 +881,14 @@ mod tests {
         .expect("2P");
         // 4P keeps a superset of solutions, so its winner can't be worse
         // by much; means should be very close on a small tree.
-        let rel = (four.root_rat.mean() - two.root_rat.mean()).abs()
-            / two.root_rat.mean().abs().max(1.0);
-        assert!(rel < 0.05, "4P {} vs 2P {}", four.root_rat.mean(), two.root_rat.mean());
+        let rel =
+            (four.root_rat.mean() - two.root_rat.mean()).abs() / two.root_rat.mean().abs().max(1.0);
+        assert!(
+            rel < 0.05,
+            "4P {} vs 2P {}",
+            four.root_rat.mean(),
+            two.root_rat.mean()
+        );
     }
 
     #[test]
@@ -685,8 +955,8 @@ mod tests {
             },
         )
         .expect("sparse");
-        let rel_mean = (exact.root_rat.mean() - sparse.root_rat.mean()).abs()
-            / exact.root_rat.mean().abs();
+        let rel_mean =
+            (exact.root_rat.mean() - sparse.root_rat.mean()).abs() / exact.root_rat.mean().abs();
         let rel_std = (exact.root_rat.std_dev() - sparse.root_rat.std_dev()).abs()
             / exact.root_rat.std_dev().max(1e-12);
         assert!(rel_mean < 1e-3, "means diverged: {rel_mean}");
@@ -759,8 +1029,7 @@ mod tests {
         let ye = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
         let rat = ye.rat_form_sized(&sized.assignment, &sizing.edge_widths(&sized.wire_widths));
         assert!(
-            (rat.mean() - sized.root_rat.mean()).abs()
-                < 1e-6 * sized.root_rat.mean().abs(),
+            (rat.mean() - sized.root_rat.mean()).abs() < 1e-6 * sized.root_rat.mean().abs(),
             "evaluator {} vs DP {}",
             rat.mean(),
             sized.root_rat.mean()
@@ -790,9 +1059,52 @@ mod tests {
                 &DpOptions::default(),
             )
             .expect("sweep");
-            let rel =
-                (r.root_rat.mean() - base.root_rat.mean()).abs() / base.root_rat.mean().abs();
+            let rel = (r.root_rat.mean() - base.root_rat.mean()).abs() / base.root_rat.mean().abs();
             assert!(rel < 0.01, "p={p}: relative change {rel}");
         }
+    }
+
+    #[test]
+    fn governed_run_without_pressure_matches_strict() {
+        let tree = generate_benchmark(&BenchmarkSpec::random("gv", 40, 9));
+        let model = model_for(&tree);
+        let strict = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &TwoParam::default(),
+            &DpOptions::default(),
+        )
+        .expect("strict");
+        let governed = optimize_governed(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            Rc::new(TwoParam::default()),
+            &DpOptions::default(),
+            &Budget::unlimited(),
+        )
+        .expect("governed");
+        assert!(!governed.degradation.degraded());
+        assert_eq!(
+            governed.result.root_rat.mean(),
+            strict.root_rat.mean(),
+            "an unpressured governed run must be bit-identical"
+        );
+        assert_eq!(governed.result.assignment, strict.assignment);
+        assert!(!governed.result.stats.panic_completion);
+    }
+
+    #[test]
+    fn fallback_cascade_shapes() {
+        let from_four = fallback_cascade(Rc::new(FourParam::default()));
+        assert_eq!(from_four.len(), 3);
+        assert_eq!(from_four[0].name(), "4P");
+        assert_eq!(from_four[2].name(), "2P");
+        let from_two = fallback_cascade(Rc::new(TwoParam::new(0.75, 0.75)));
+        assert_eq!(from_two.len(), 2);
+        let from_one = fallback_cascade(Rc::new(OneParam::default()));
+        assert_eq!(from_one.len(), 3);
+        assert_eq!(from_one[0].name(), "1P");
     }
 }

@@ -115,8 +115,7 @@ mod tests {
 
     fn setup(sinks: usize, seed: u64) -> (RoutingTree, ProcessModel) {
         let tree = generate_benchmark(&BenchmarkSpec::random("drv", sinks, seed));
-        let model =
-            ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
         (tree, model)
     }
 
@@ -141,8 +140,7 @@ mod tests {
         let (tree, model) = setup(20, 4);
         let opts = Options::default();
         let direct = optimize_nominal(&tree, &model, &opts).expect("nom");
-        let via = optimize_statistical(&tree, &model, VariationMode::Nominal, &opts)
-            .expect("via");
+        let via = optimize_statistical(&tree, &model, VariationMode::Nominal, &opts).expect("via");
         assert_eq!(direct.root_rat, via.root_rat);
         assert_eq!(direct.assignment.len(), via.assignment.len());
     }

@@ -31,6 +31,14 @@ pub enum InsertionError {
         /// The configured limit.
         limit: Duration,
     },
+    /// Every candidate at some node carried non-finite statistics, so
+    /// there is no valid state to recover to — raised by the governed
+    /// engine's sanitizer (dropping *some* poisoned candidates is a
+    /// recorded degradation, not an error).
+    PoisonedSolutions {
+        /// The node whose entire candidate list was invalid.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for InsertionError {
@@ -51,6 +59,10 @@ impl fmt::Display for InsertionError {
                 "time limit exceeded: {:.1}s elapsed over the {:.1}s cap",
                 elapsed.as_secs_f64(),
                 limit.as_secs_f64()
+            ),
+            InsertionError::PoisonedSolutions { node } => write!(
+                f,
+                "every candidate solution at {node} has non-finite statistics"
             ),
         }
     }
@@ -92,5 +104,8 @@ mod tests {
         let i = InsertionError::from(TreeError::Empty);
         assert!(i.to_string().contains("invalid routing tree"));
         assert!(Error::source(&i).is_some());
+        let p = InsertionError::PoisonedSolutions { node: NodeId(9) };
+        assert!(p.to_string().contains("non-finite"));
+        assert!(p.to_string().contains("n9"));
     }
 }

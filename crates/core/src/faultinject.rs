@@ -1,0 +1,313 @@
+//! Deterministic fault injection for exercising the degradation paths.
+//!
+//! Resource exhaustion is awkward to provoke honestly in a unit test: a
+//! real wall-clock breach needs a slow machine or a huge tree, and a
+//! real memory breach needs gigabytes. This module fakes the *signals*
+//! instead of the load, so `tests/degradation.rs` can drive every branch
+//! of the [`Governor`](crate::governor::Governor) ladder quickly and
+//! reproducibly:
+//!
+//! * [`StepClock`] / [`SkewedClock`] replace the governor's time source,
+//!   making "four hours elapsed" a function of how many times the DP
+//!   asked, not of the machine;
+//! * [`FaultInjector`] mutates candidate lists between DP steps — adding
+//!   *poisoned* candidates (NaN means, infinite variance) to exercise
+//!   the sanitizer, or padding lists with duplicates to create capacity
+//!   pressure without a pathological tree.
+//!
+//! Injection only ever *adds* candidates (poison as clones, padding as
+//! duplicates); it never corrupts or removes an existing valid one, so
+//! an injected run always has a valid solution to recover to.
+//!
+//! Negative variance deserves a note: a canonical form's variance is
+//! `Σaᵢ²`, which is non-negative by construction, so a "negative
+//! variance" fault is structurally unrepresentable here. The class it
+//! belongs to — statistically meaningless candidates — is covered by the
+//! non-finite poisons below, which the sanitizer catches with the same
+//! check that would catch a negative variance.
+
+use crate::governor::{Clock, MonotonicClock};
+use crate::solution::StatSolution;
+use std::cell::Cell;
+use std::time::Duration;
+use varbuf_rctree::NodeId;
+use varbuf_stats::{CanonicalForm, SourceId};
+
+/// A clock that advances by a fixed tick every time it is read.
+///
+/// Fully deterministic: after `n` reads, `elapsed()` is `n × tick`
+/// regardless of machine speed — the standard way to script a wall-clock
+/// breach at an exact point in the run.
+#[derive(Debug)]
+pub struct StepClock {
+    tick: Duration,
+    reads: Cell<u64>,
+}
+
+impl StepClock {
+    /// A clock advancing `tick` per read.
+    #[must_use]
+    pub fn new(tick: Duration) -> Self {
+        Self {
+            tick,
+            reads: Cell::new(0),
+        }
+    }
+
+    /// How many times the clock has been read.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+}
+
+impl Clock for StepClock {
+    fn elapsed(&self) -> Duration {
+        let n = self.reads.get() + 1;
+        self.reads.set(n);
+        self.tick
+            .saturating_mul(u32::try_from(n).unwrap_or(u32::MAX))
+    }
+}
+
+/// A clock that scales and offsets a base clock: `elapsed = base × scale
+/// + offset`.
+///
+/// `scale = 0` with a positive offset freezes time at the offset;
+/// `scale = 3600` makes every real second look like an hour — the skew
+/// fault of the injection harness.
+#[derive(Debug)]
+pub struct SkewedClock {
+    base: MonotonicClock,
+    scale: f64,
+    offset: Duration,
+}
+
+impl SkewedClock {
+    /// A skewed view of a fresh monotonic clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    #[must_use]
+    pub fn new(scale: f64, offset: Duration) -> Self {
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "clock skew scale must be finite and non-negative"
+        );
+        Self {
+            base: MonotonicClock::new(),
+            scale,
+            offset,
+        }
+    }
+
+    /// A clock frozen at `at` — deterministic "we are already over/under
+    /// budget" without sleeping.
+    #[must_use]
+    pub fn frozen(at: Duration) -> Self {
+        Self::new(0.0, at)
+    }
+}
+
+impl Clock for SkewedClock {
+    fn elapsed(&self) -> Duration {
+        self.base.elapsed().mul_f64(self.scale) + self.offset
+    }
+}
+
+/// Which invalid-statistics fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// RAT form with a NaN mean.
+    NanRat,
+    /// Load form with a NaN mean.
+    NanLoad,
+    /// RAT form with an infinite sensitivity coefficient (infinite
+    /// variance — the stand-in for any meaningless-variance fault).
+    InfiniteVariance,
+}
+
+/// What to inject, and how often.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Append one poisoned candidate at every `poison_every`-th node
+    /// (`0` disables).
+    pub poison_every: usize,
+    /// Which poison to use.
+    pub poison_kind: PoisonKind,
+    /// Pad the list with duplicates at every `pad_every`-th node
+    /// (`0` disables) — synthetic capacity pressure.
+    pub pad_every: usize,
+    /// How many duplicates each padding event adds.
+    pub pad_count: usize,
+}
+
+impl FaultPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            poison_every: 0,
+            poison_kind: PoisonKind::NanRat,
+            pad_every: 0,
+            pad_count: 0,
+        }
+    }
+
+    /// Poison every `every`-th node with `kind`.
+    #[must_use]
+    pub fn poison(every: usize, kind: PoisonKind) -> Self {
+        Self {
+            poison_every: every,
+            poison_kind: kind,
+            ..Self::none()
+        }
+    }
+
+    /// Pad every `every`-th node with `count` duplicates.
+    #[must_use]
+    pub fn pad(every: usize, count: usize) -> Self {
+        Self {
+            pad_every: every,
+            pad_count: count,
+            ..Self::none()
+        }
+    }
+}
+
+/// Applies a [`FaultPlan`] to candidate lists as the DP visits nodes.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    nodes_seen: usize,
+    poisoned_injected: usize,
+    padded_injected: usize,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            nodes_seen: 0,
+            poisoned_injected: 0,
+            padded_injected: 0,
+        }
+    }
+
+    /// Total poisoned candidates injected so far.
+    #[must_use]
+    pub fn poisoned_injected(&self) -> usize {
+        self.poisoned_injected
+    }
+
+    /// Total padding duplicates injected so far.
+    #[must_use]
+    pub fn padded_injected(&self) -> usize {
+        self.padded_injected
+    }
+
+    /// Called by the engine after a node's list is built; mutates the
+    /// list per the plan.
+    pub fn on_node(&mut self, _node: NodeId, sols: &mut Vec<StatSolution>) {
+        self.nodes_seen += 1;
+        if sols.is_empty() {
+            return;
+        }
+        if self.plan.poison_every > 0 && self.nodes_seen.is_multiple_of(self.plan.poison_every) {
+            let mut bad = sols[0].clone();
+            match self.plan.poison_kind {
+                PoisonKind::NanRat => bad.rat = CanonicalForm::constant(f64::NAN),
+                PoisonKind::NanLoad => bad.load = CanonicalForm::constant(f64::NAN),
+                PoisonKind::InfiniteVariance => {
+                    bad.rat = CanonicalForm::with_terms(
+                        bad.rat.mean(),
+                        vec![(SourceId(0), f64::INFINITY)],
+                    );
+                }
+            }
+            sols.push(bad);
+            self.poisoned_injected += 1;
+        }
+        if self.plan.pad_every > 0
+            && self.plan.pad_count > 0
+            && self.nodes_seen.is_multiple_of(self.plan.pad_every)
+        {
+            let template = sols[0].clone();
+            sols.extend(std::iter::repeat_with(|| template.clone()).take(self.plan.pad_count));
+            self.padded_injected += self.plan.pad_count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(load: f64, rat: f64) -> StatSolution {
+        StatSolution::new(CanonicalForm::constant(load), CanonicalForm::constant(rat))
+    }
+
+    #[test]
+    fn step_clock_is_deterministic() {
+        let c = StepClock::new(Duration::from_secs(10));
+        assert_eq!(c.elapsed(), Duration::from_secs(10));
+        assert_eq!(c.elapsed(), Duration::from_secs(20));
+        assert_eq!(c.reads(), 2);
+    }
+
+    #[test]
+    fn frozen_clock_never_moves() {
+        let c = SkewedClock::frozen(Duration::from_secs(5));
+        assert_eq!(c.elapsed(), Duration::from_secs(5));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(c.elapsed(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn skewed_clock_scales() {
+        let c = SkewedClock::new(1000.0, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(c.elapsed() >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn poison_injection_appends_invalid_clone() {
+        let mut inj = FaultInjector::new(FaultPlan::poison(1, PoisonKind::NanRat));
+        let mut sols = vec![sol(1.0, -10.0)];
+        inj.on_node(NodeId(0), &mut sols);
+        assert_eq!(sols.len(), 2);
+        assert!(sols[1].rat.mean().is_nan());
+        assert!(sols[0].rat.mean().is_finite(), "original untouched");
+        assert_eq!(inj.poisoned_injected(), 1);
+    }
+
+    #[test]
+    fn infinite_variance_poison_has_infinite_variance() {
+        let mut inj = FaultInjector::new(FaultPlan::poison(1, PoisonKind::InfiniteVariance));
+        let mut sols = vec![sol(1.0, -10.0)];
+        inj.on_node(NodeId(0), &mut sols);
+        assert!(sols[1].rat.variance().is_infinite());
+    }
+
+    #[test]
+    fn padding_respects_cadence() {
+        let mut inj = FaultInjector::new(FaultPlan::pad(2, 5));
+        let mut sols = vec![sol(1.0, -10.0)];
+        inj.on_node(NodeId(0), &mut sols);
+        assert_eq!(sols.len(), 1, "node 1: no padding");
+        inj.on_node(NodeId(1), &mut sols);
+        assert_eq!(sols.len(), 6, "node 2: padded");
+        assert_eq!(inj.padded_injected(), 5);
+    }
+
+    #[test]
+    fn empty_list_is_left_alone() {
+        let mut inj = FaultInjector::new(FaultPlan::poison(1, PoisonKind::NanLoad));
+        let mut sols = Vec::new();
+        inj.on_node(NodeId(0), &mut sols);
+        assert!(sols.is_empty());
+    }
+}

@@ -1,0 +1,992 @@
+//! Resource governor and graceful-degradation policy for the DP engine.
+//!
+//! The paper's own evaluation (Table 2) shows the 4P rule blowing past
+//! 2 GB of memory and a four-hour wall-clock cutoff; the seed engine
+//! modeled that failure mode as a hard abort that threw away all work.
+//! This module replaces the abort with a *policy object*, the
+//! [`Governor`], consulted by the DP at every resource-relevant point:
+//!
+//! * a [`Budget`] carries **soft and hard** limits on per-node solution
+//!   count, wall clock, and estimated live memory;
+//! * on a **soft breach** the governor degrades instead of aborting:
+//!   it walks a *fallback cascade* of pruning rules (e.g. 4P → thresholded
+//!   2P → deterministic mean dominance, each strictly cheaper), then
+//!   tightens epsilon-sparsification, then truncates candidate lists;
+//! * on a **hard breach** it enters *panic completion*: every remaining
+//!   node keeps only its single best candidate, so the run finishes in
+//!   linear time and still returns a valid (suboptimal) buffered tree —
+//!   the best-so-far recovery path;
+//! * every degradation is recorded as a [`DegradationEvent`] in a
+//!   structured [`Degradation`] report returned alongside the result.
+//!
+//! The legacy strict behavior (breach ⇒ typed error) is the same engine
+//! with a [`Governor::strict`] policy whose soft and hard limits
+//! coincide and whose cascade is empty.
+
+use crate::error::InsertionError;
+use crate::prune::PruningRule;
+use crate::solution::StatSolution;
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+use varbuf_rctree::NodeId;
+
+/// A monotonic elapsed-time source.
+///
+/// The DP never reads wall-clock time directly; it asks its governor's
+/// clock. That indirection is what lets the fault-injection harness
+/// (`crate::faultinject`) skew time deterministically in tests.
+pub trait Clock: fmt::Debug {
+    /// Time elapsed since the clock was started.
+    fn elapsed(&self) -> Duration;
+}
+
+/// The real clock: elapsed time since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// Starts the clock now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Soft/hard resource limits for one optimization run.
+///
+/// A *soft* breach triggers graceful degradation (rule fallback, epsilon
+/// tightening, list truncation); a *hard* breach triggers panic
+/// completion. Every soft limit must be at most its hard counterpart —
+/// constructors clamp to guarantee it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Per-node candidate count above which degradation starts.
+    pub soft_solutions: usize,
+    /// Per-node candidate count that must never be materialized.
+    pub hard_solutions: usize,
+    /// Wall clock after which degradation starts.
+    pub soft_time: Duration,
+    /// Wall clock after which only panic completion is allowed.
+    pub hard_time: Duration,
+    /// Estimated live solution memory (bytes) at which degradation starts.
+    pub soft_mem_bytes: usize,
+    /// Estimated live solution memory (bytes) forcing panic completion.
+    pub hard_mem_bytes: usize,
+}
+
+impl Budget {
+    /// Effectively no limits (the permissive default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            soft_solutions: usize::MAX,
+            hard_solutions: usize::MAX,
+            soft_time: Duration::MAX,
+            hard_time: Duration::MAX,
+            soft_mem_bytes: usize::MAX,
+            hard_mem_bytes: usize::MAX,
+        }
+    }
+
+    /// A budget with the given soft limits and hard limits a fixed factor
+    /// (4× solutions/memory, 2× time) above them.
+    #[must_use]
+    pub fn with_soft(solutions: usize, time: Duration, mem_bytes: usize) -> Self {
+        Self {
+            soft_solutions: solutions,
+            hard_solutions: solutions.saturating_mul(4),
+            soft_time: time,
+            hard_time: time.saturating_mul(2),
+            soft_mem_bytes: mem_bytes,
+            hard_mem_bytes: mem_bytes.saturating_mul(4),
+        }
+    }
+
+    /// The strict legacy budget: soft and hard limits coincide at the
+    /// engine caps, so the first breach is already a hard breach.
+    #[must_use]
+    pub fn strict(max_solutions_per_node: usize, time_limit: Duration) -> Self {
+        Self {
+            soft_solutions: max_solutions_per_node,
+            hard_solutions: max_solutions_per_node,
+            soft_time: time_limit,
+            hard_time: time_limit,
+            soft_mem_bytes: usize::MAX,
+            hard_mem_bytes: usize::MAX,
+        }
+    }
+
+    /// Clamps soft limits to their hard counterparts (soft ≤ hard).
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        self.soft_solutions = self.soft_solutions.min(self.hard_solutions);
+        self.soft_time = self.soft_time.min(self.hard_time);
+        self.soft_mem_bytes = self.soft_mem_bytes.min(self.hard_mem_bytes);
+        self
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// What resource pressure triggered a degradation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// A node's candidate list (or a pending cross-product merge)
+    /// exceeded a solution-count limit.
+    SolutionPressure {
+        /// The node being processed.
+        node: NodeId,
+        /// The candidate count observed or required.
+        solutions: usize,
+        /// The limit that was breached.
+        limit: usize,
+    },
+    /// Wall clock crossed a time limit.
+    TimePressure {
+        /// Elapsed time at the breach.
+        elapsed: Duration,
+        /// The limit that was breached.
+        limit: Duration,
+    },
+    /// The estimated live-memory footprint crossed a limit.
+    MemoryPressure {
+        /// Estimated live bytes.
+        estimated_bytes: usize,
+        /// The limit that was breached.
+        limit_bytes: usize,
+    },
+    /// Candidate solutions with non-finite statistics were found.
+    PoisonedSolutions {
+        /// The node whose list carried the poison.
+        node: NodeId,
+        /// How many entries were invalid.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::SolutionPressure {
+                node,
+                solutions,
+                limit,
+            } => write!(f, "{solutions} candidates at {node} over the {limit} cap"),
+            Trigger::TimePressure { elapsed, limit } => write!(
+                f,
+                "{:.2}s elapsed over the {:.2}s budget",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+            Trigger::MemoryPressure {
+                estimated_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "~{} KiB live over the {} KiB budget",
+                estimated_bytes / 1024,
+                limit_bytes / 1024
+            ),
+            Trigger::PoisonedSolutions { node, count } => {
+                write!(f, "{count} poisoned candidates at {node}")
+            }
+        }
+    }
+}
+
+/// What the governor did about a trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// The active pruning rule was switched to a cheaper fallback.
+    RuleFallback {
+        /// Rule that was abandoned.
+        from: &'static str,
+        /// Rule now active.
+        to: &'static str,
+    },
+    /// Epsilon-sparsification was tightened.
+    EpsilonTightened {
+        /// Previous epsilon ×10⁶ (scaled to stay integral/Eq-comparable).
+        from_micros: u64,
+        /// New epsilon ×10⁶.
+        to_micros: u64,
+    },
+    /// A candidate list was cut down, keeping a load-spread subset.
+    ListTruncated {
+        /// Size before truncation.
+        from: usize,
+        /// Size after truncation.
+        to: usize,
+    },
+    /// Panic completion engaged: one candidate per node from here on.
+    PanicCompletion,
+    /// Invalid (NaN / non-finite-variance) candidates were dropped.
+    PoisonedDropped {
+        /// How many entries were removed.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::RuleFallback { from, to } => write!(f, "fell back from {from} to {to}"),
+            Action::EpsilonTightened {
+                from_micros,
+                to_micros,
+            } => write!(
+                f,
+                "tightened sparsify epsilon {:.0e} -> {:.0e}",
+                *from_micros as f64 * 1e-6,
+                *to_micros as f64 * 1e-6
+            ),
+            Action::ListTruncated { from, to } => {
+                write!(f, "truncated candidate list {from} -> {to}")
+            }
+            Action::PanicCompletion => write!(f, "entered panic completion (best-so-far)"),
+            Action::PoisonedDropped { count } => write!(f, "dropped {count} poisoned candidates"),
+        }
+    }
+}
+
+/// One recorded degradation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// When it happened, relative to run start.
+    pub at: Duration,
+    /// The resource pressure observed.
+    pub trigger: Trigger,
+    /// The mitigation applied.
+    pub action: Action,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8.3}s] {}: {}",
+            self.at.as_secs_f64(),
+            self.trigger,
+            self.action
+        )
+    }
+}
+
+/// Structured report of everything a governed run relaxed.
+///
+/// An empty report (`degraded() == false`) means the run completed within
+/// its budget at full fidelity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Every degradation step, in order.
+    pub events: Vec<DegradationEvent>,
+    /// Rule the run started with.
+    pub initial_rule: String,
+    /// Rule active when the run finished.
+    pub final_rule: String,
+    /// Whether panic completion (best-so-far recovery) was engaged.
+    pub panic_completion: bool,
+}
+
+impl Degradation {
+    /// Whether anything was relaxed.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.events.is_empty() || self.panic_completion
+    }
+
+    /// Number of rule-fallback steps taken.
+    #[must_use]
+    pub fn rule_fallbacks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, Action::RuleFallback { .. }))
+            .count()
+    }
+
+    /// Number of epsilon-tightening steps taken.
+    #[must_use]
+    pub fn epsilon_tightenings(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, Action::EpsilonTightened { .. }))
+            .count()
+    }
+
+    /// Number of list-truncation events recorded.
+    #[must_use]
+    pub fn truncations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, Action::ListTruncated { .. }))
+            .count()
+    }
+
+    /// Total poisoned candidates dropped across the run.
+    #[must_use]
+    pub fn poisoned_dropped(&self) -> usize {
+        self.events
+            .iter()
+            .filter_map(|e| match e.action {
+                Action::PoisonedDropped { count } => Some(count),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// A one-line-per-event human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if !self.degraded() {
+            return "completed within budget (no degradation)".to_owned();
+        }
+        let mut out = format!(
+            "degraded run: rule {} -> {}, {} event(s){}\n",
+            self.initial_rule,
+            self.final_rule,
+            self.events.len(),
+            if self.panic_completion {
+                ", panic completion"
+            } else {
+                ""
+            }
+        );
+        for e in &self.events {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+}
+
+/// What the DP must do after offering a candidate list to the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Within budget; proceed.
+    Ok,
+    /// The governor switched the active rule; re-prune with
+    /// [`Governor::active_rule`] and offer the list again.
+    Reprune,
+    /// Cut the list to this many entries (keep a load-spread subset),
+    /// then offer it again.
+    Truncate(usize),
+}
+
+/// Estimated heap footprint of one candidate solution, in bytes.
+///
+/// Canonical-form terms are `(u32, f64)` pairs in a `Vec` (16 aligned
+/// bytes each); the struct bodies, two `Vec` headers and the trace `Rc`
+/// cost roughly 128 bytes more. An estimate is all the budget needs —
+/// it is compared against user-supplied soft limits, not against an
+/// allocator.
+#[must_use]
+pub fn solution_footprint(s: &StatSolution) -> usize {
+    128 + 16 * (s.load.term_count() + s.rat.term_count())
+}
+
+/// The resource-governing policy object threaded through the DP.
+///
+/// Construct with [`Governor::strict`] for the legacy abort-on-breach
+/// behavior or [`Governor::governed`] for graceful degradation, then pass
+/// to the engine. After the run, [`Governor::into_report`] yields the
+/// [`Degradation`] report.
+#[derive(Debug)]
+pub struct Governor {
+    budget: Budget,
+    clock: Box<dyn Clock>,
+    /// Fallback rules, cheapest last. `active` indexes into it; an empty
+    /// cascade means the engine's caller-supplied rule stays active.
+    cascade: Vec<Rc<dyn PruningRule>>,
+    active: usize,
+    /// `None` ⇒ strict mode (breach = typed error, no degradation).
+    governed: bool,
+    epsilon: f64,
+    max_epsilon: f64,
+    panic_mode: bool,
+    /// Soft-time pressure is acted on once per escalation, not per node.
+    time_steps_taken: u32,
+    mem_steps_taken: u32,
+    live_bytes: usize,
+    events: Vec<DegradationEvent>,
+    initial_rule: String,
+    poisoned_total: usize,
+}
+
+impl Governor {
+    /// The legacy strict policy: the caller's rule stays active for the
+    /// whole run and the first breach of `budget`'s hard limits is a
+    /// typed error.
+    #[must_use]
+    pub fn strict(budget: Budget, base_epsilon: f64) -> Self {
+        Self {
+            budget: budget.normalized(),
+            clock: Box::new(MonotonicClock::new()),
+            cascade: Vec::new(),
+            active: 0,
+            governed: false,
+            epsilon: base_epsilon,
+            max_epsilon: base_epsilon,
+            panic_mode: false,
+            time_steps_taken: 0,
+            mem_steps_taken: 0,
+            live_bytes: 0,
+            events: Vec::new(),
+            initial_rule: String::new(),
+            poisoned_total: 0,
+        }
+    }
+
+    /// The graceful-degradation policy.
+    ///
+    /// `cascade` lists the pruning rules in order of decreasing cost,
+    /// starting with the rule the run begins under; soft breaches advance
+    /// through it before tightening epsilon or truncating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cascade` is empty — a governed run owns its rule.
+    #[must_use]
+    pub fn governed(budget: Budget, cascade: Vec<Rc<dyn PruningRule>>, base_epsilon: f64) -> Self {
+        assert!(!cascade.is_empty(), "governed cascade must not be empty");
+        let initial_rule = cascade[0].name().to_owned();
+        Self {
+            budget: budget.normalized(),
+            clock: Box::new(MonotonicClock::new()),
+            cascade,
+            active: 0,
+            governed: true,
+            epsilon: base_epsilon,
+            max_epsilon: 1e-2,
+            panic_mode: false,
+            time_steps_taken: 0,
+            mem_steps_taken: 0,
+            live_bytes: 0,
+            events: Vec::new(),
+            initial_rule,
+            poisoned_total: 0,
+        }
+    }
+
+    /// Replaces the wall-clock source (fault injection uses this to skew
+    /// time deterministically).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The rule a governed run is currently pruning with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a strict governor, whose rule lives with the caller.
+    #[must_use]
+    pub fn active_rule(&self) -> Rc<dyn PruningRule> {
+        Rc::clone(&self.cascade[self.active])
+    }
+
+    /// Whether this governor degrades (true) or aborts (false) on breach.
+    #[must_use]
+    pub fn is_governed(&self) -> bool {
+        self.governed
+    }
+
+    /// Current epsilon-sparsification level.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Whether panic completion is engaged (keep one candidate per node).
+    #[must_use]
+    pub fn panicking(&self) -> bool {
+        self.panic_mode
+    }
+
+    /// Elapsed run time per the governor's clock.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.clock.elapsed()
+    }
+
+    fn record(&mut self, trigger: Trigger, action: Action) {
+        self.events.push(DegradationEvent {
+            at: self.clock.elapsed(),
+            trigger,
+            action,
+        });
+    }
+
+    /// Advances the cascade if a cheaper rule remains. Returns the new
+    /// rule's name on success.
+    fn try_fallback(&mut self, trigger: Trigger) -> bool {
+        if self.active + 1 >= self.cascade.len() {
+            return false;
+        }
+        let from = self.cascade[self.active].name();
+        self.active += 1;
+        let to = self.cascade[self.active].name();
+        self.record(trigger, Action::RuleFallback { from, to });
+        true
+    }
+
+    /// Tightens epsilon if headroom remains.
+    fn try_tighten_epsilon(&mut self, trigger: Trigger) -> bool {
+        if self.epsilon >= self.max_epsilon {
+            return false;
+        }
+        let from = self.epsilon;
+        self.epsilon = (self.epsilon.max(1e-5) * 10.0).min(self.max_epsilon);
+        let to = self.epsilon;
+        self.record(
+            trigger,
+            Action::EpsilonTightened {
+                from_micros: (from * 1e6) as u64,
+                to_micros: (to * 1e6) as u64,
+            },
+        );
+        true
+    }
+
+    fn enter_panic(&mut self, trigger: Trigger) {
+        if !self.panic_mode {
+            self.panic_mode = true;
+            self.record(trigger, Action::PanicCompletion);
+        }
+    }
+
+    /// Wall-clock check. Strict: hard breach is a typed error. Governed:
+    /// a soft breach walks the degradation ladder (once per escalation
+    /// level), a hard breach engages panic completion.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertionError::TimeLimitExceeded`] in strict mode only.
+    pub fn check_time(&mut self) -> Result<(), InsertionError> {
+        let elapsed = self.clock.elapsed();
+        if !self.governed {
+            if elapsed > self.budget.hard_time {
+                return Err(InsertionError::TimeLimitExceeded {
+                    elapsed,
+                    limit: self.budget.hard_time,
+                });
+            }
+            return Ok(());
+        }
+        if elapsed > self.budget.hard_time {
+            self.enter_panic(Trigger::TimePressure {
+                elapsed,
+                limit: self.budget.hard_time,
+            });
+        } else if elapsed > self.budget.soft_time && self.time_steps_taken == 0 {
+            self.time_steps_taken += 1;
+            let trigger = Trigger::TimePressure {
+                elapsed,
+                limit: self.budget.soft_time,
+            };
+            let _ = self.try_fallback(trigger.clone()) || self.try_tighten_epsilon(trigger);
+        }
+        Ok(())
+    }
+
+    /// Offers a node's materialized candidate count (or, before a
+    /// cross-product merge, the count *about to be* materialized).
+    ///
+    /// # Errors
+    ///
+    /// [`InsertionError::CapacityExceeded`] in strict mode only.
+    pub fn admit(&mut self, node: NodeId, solutions: usize) -> Result<Admission, InsertionError> {
+        if !self.governed {
+            if solutions > self.budget.hard_solutions {
+                return Err(InsertionError::CapacityExceeded {
+                    node,
+                    solutions,
+                    limit: self.budget.hard_solutions,
+                });
+            }
+            return Ok(Admission::Ok);
+        }
+        if self.panic_mode {
+            return Ok(if solutions > 1 {
+                Admission::Truncate(1)
+            } else {
+                Admission::Ok
+            });
+        }
+        // Memory pressure feeds the same ladder as solution-count
+        // pressure; check the harder constraint of the two.
+        let mem_breach = self.live_bytes > self.budget.soft_mem_bytes && self.mem_steps_taken < 2;
+        if solutions <= self.budget.soft_solutions && !mem_breach {
+            return Ok(Admission::Ok);
+        }
+        let trigger = if solutions > self.budget.soft_solutions {
+            Trigger::SolutionPressure {
+                node,
+                solutions,
+                limit: self.budget.soft_solutions,
+            }
+        } else {
+            self.mem_steps_taken += 1;
+            Trigger::MemoryPressure {
+                estimated_bytes: self.live_bytes,
+                limit_bytes: self.budget.soft_mem_bytes,
+            }
+        };
+        if self.try_fallback(trigger.clone()) {
+            return Ok(Admission::Reprune);
+        }
+        if self.try_tighten_epsilon(trigger.clone()) {
+            // Epsilon only helps future forms; give immediate relief too
+            // when over the hard cap.
+            if solutions > self.budget.hard_solutions {
+                self.record(
+                    trigger,
+                    Action::ListTruncated {
+                        from: solutions,
+                        to: self.budget.soft_solutions,
+                    },
+                );
+                return Ok(Admission::Truncate(self.budget.soft_solutions.max(1)));
+            }
+            return Ok(Admission::Ok);
+        }
+        if solutions > self.budget.hard_solutions || self.live_bytes > self.budget.hard_mem_bytes {
+            self.enter_panic(trigger);
+            return Ok(Admission::Truncate(1));
+        }
+        // Ladder exhausted but still under the hard cap: truncate back to
+        // the soft cap and keep going.
+        self.record(
+            trigger,
+            Action::ListTruncated {
+                from: solutions,
+                to: self.budget.soft_solutions,
+            },
+        );
+        Ok(Admission::Truncate(self.budget.soft_solutions.max(1)))
+    }
+
+    /// Removes candidates with non-finite load/RAT statistics, recording
+    /// a [`Action::PoisonedDropped`] event when any are found.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertionError::PoisonedSolutions`] if *every* candidate at the
+    /// node is invalid — there is no valid state to recover to.
+    pub fn sanitize(
+        &mut self,
+        node: NodeId,
+        sols: &mut Vec<StatSolution>,
+    ) -> Result<(), InsertionError> {
+        let before = sols.len();
+        sols.retain(|s| {
+            s.load.mean().is_finite()
+                && s.rat.mean().is_finite()
+                && s.load.variance().is_finite()
+                && s.rat.variance().is_finite()
+                && s.load.variance() >= 0.0
+                && s.rat.variance() >= 0.0
+        });
+        let dropped = before - sols.len();
+        if dropped > 0 {
+            self.poisoned_total += dropped;
+            if sols.is_empty() {
+                return Err(InsertionError::PoisonedSolutions { node });
+            }
+            self.record(
+                Trigger::PoisonedSolutions {
+                    node,
+                    count: dropped,
+                },
+                Action::PoisonedDropped { count: dropped },
+            );
+        }
+        Ok(())
+    }
+
+    /// Updates the live-memory estimate after a node's list is stored.
+    pub fn note_memory(&mut self, stored: &[StatSolution], freed_estimate: usize) {
+        let added: usize = stored.iter().map(solution_footprint).sum();
+        self.live_bytes = self.live_bytes.saturating_add(added);
+        self.live_bytes = self.live_bytes.saturating_sub(freed_estimate);
+    }
+
+    /// Estimated live bytes currently tracked.
+    #[must_use]
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Total poisoned candidates dropped so far.
+    #[must_use]
+    pub fn poisoned_total(&self) -> usize {
+        self.poisoned_total
+    }
+
+    /// Consumes the governor into its degradation report.
+    #[must_use]
+    pub fn into_report(self) -> Degradation {
+        let final_rule = if self.cascade.is_empty() {
+            self.initial_rule.clone()
+        } else {
+            self.cascade[self.active].name().to_owned()
+        };
+        Degradation {
+            events: self.events,
+            initial_rule: self.initial_rule,
+            final_rule,
+            panic_completion: self.panic_mode,
+        }
+    }
+}
+
+/// Truncates `sols` (sorted by the rule's load key) to `keep` entries
+/// while preserving Pareto spread: the best-RAT candidate always
+/// survives, and the rest are sampled evenly across the load range.
+pub fn truncate_spread(rule: &dyn PruningRule, sols: &mut Vec<StatSolution>, keep: usize) {
+    if sols.len() <= keep || keep == 0 {
+        return;
+    }
+    sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
+    let best_rat_idx = sols
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| rule.rat_key(a).total_cmp(&rule.rat_key(b)))
+        .map_or(0, |(i, _)| i);
+    let n = sols.len();
+    let mut keep_flags = vec![false; n];
+    keep_flags[best_rat_idx] = true;
+    let mut kept = 1usize;
+    let mut slot = 0usize;
+    while kept < keep {
+        // Even sampling across the load-sorted list.
+        let idx = slot * (n - 1) / (keep - 1).max(1);
+        slot += 1;
+        if slot > n {
+            break;
+        }
+        if !keep_flags[idx] {
+            keep_flags[idx] = true;
+            kept += 1;
+        }
+    }
+    let mut flags = keep_flags.into_iter();
+    sols.retain(|_| flags.next().unwrap_or(false));
+}
+
+/// Keeps only the single best candidate by the rule's RAT key — the
+/// panic-completion reduction.
+pub fn keep_best(rule: &dyn PruningRule, sols: &mut Vec<StatSolution>) {
+    if sols.len() <= 1 {
+        return;
+    }
+    let best = sols
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| rule.rat_key(a).total_cmp(&rule.rat_key(b)))
+        .map_or(0, |(i, _)| i);
+    sols.swap(0, best);
+    sols.truncate(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::{FourParam, TwoParam};
+    use varbuf_stats::CanonicalForm;
+
+    fn sol(load: f64, rat: f64) -> StatSolution {
+        StatSolution::new(CanonicalForm::constant(load), CanonicalForm::constant(rat))
+    }
+
+    fn governed_cascade() -> Vec<Rc<dyn PruningRule>> {
+        vec![
+            Rc::new(FourParam::default()),
+            Rc::new(TwoParam::new(0.9, 0.9)),
+            Rc::new(TwoParam::default()),
+        ]
+    }
+
+    #[test]
+    fn strict_governor_errors_on_capacity() {
+        let mut g = Governor::strict(Budget::strict(10, Duration::MAX), 0.0);
+        assert!(matches!(g.admit(NodeId(1), 5), Ok(Admission::Ok)));
+        let err = g.admit(NodeId(1), 11).unwrap_err();
+        assert!(matches!(err, InsertionError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn strict_governor_errors_on_time() {
+        let mut g = Governor::strict(Budget::strict(usize::MAX, Duration::from_nanos(1)), 0.0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            g.check_time(),
+            Err(InsertionError::TimeLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn governed_walks_the_cascade_then_epsilon_then_truncates() {
+        let budget = Budget {
+            soft_solutions: 10,
+            hard_solutions: 40,
+            ..Budget::unlimited()
+        };
+        let mut g = Governor::governed(budget, governed_cascade(), 0.0);
+        assert_eq!(g.active_rule().name(), "4P");
+        // First breach: 4P -> 2P(0.9).
+        assert_eq!(g.admit(NodeId(0), 11).unwrap(), Admission::Reprune);
+        assert_eq!(g.active_rule().name(), "2P");
+        // Second breach: 2P(0.9) -> 2P mean dominance.
+        assert_eq!(g.admit(NodeId(0), 11).unwrap(), Admission::Reprune);
+        // Third: cascade exhausted, epsilon tightens (under hard cap).
+        assert_eq!(g.admit(NodeId(0), 11).unwrap(), Admission::Ok);
+        assert!(g.epsilon() > 0.0);
+        // Keep breaching: epsilon maxes out, then truncation.
+        let mut saw_truncate = false;
+        for _ in 0..6 {
+            if let Admission::Truncate(n) = g.admit(NodeId(0), 12).unwrap() {
+                assert_eq!(n, 10);
+                saw_truncate = true;
+                break;
+            }
+        }
+        assert!(saw_truncate, "ladder must end in truncation");
+        // Over the hard cap with the ladder exhausted: panic completion.
+        assert_eq!(g.admit(NodeId(0), 41).unwrap(), Admission::Truncate(1));
+        assert!(g.panicking());
+        let report = g.into_report();
+        assert!(report.degraded());
+        assert!(report.panic_completion);
+        assert_eq!(report.initial_rule, "4P");
+        assert_eq!(report.final_rule, "2P");
+        assert!(report.rule_fallbacks() >= 2);
+        assert!(report.summary().contains("panic completion"));
+    }
+
+    #[test]
+    fn governed_never_errors_on_time() {
+        let budget = Budget {
+            soft_time: Duration::from_nanos(1),
+            hard_time: Duration::from_nanos(2),
+            ..Budget::unlimited()
+        };
+        let mut g = Governor::governed(budget, governed_cascade(), 0.0);
+        std::thread::sleep(Duration::from_millis(1));
+        g.check_time().expect("governed time check never errors");
+        assert!(g.panicking());
+        assert_eq!(g.admit(NodeId(3), 5).unwrap(), Admission::Truncate(1));
+    }
+
+    #[test]
+    fn sanitize_drops_poison_and_reports() {
+        let mut g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0);
+        let mut sols = vec![
+            sol(10.0, -50.0),
+            sol(f64::NAN, -60.0),
+            StatSolution::new(
+                CanonicalForm::constant(5.0),
+                CanonicalForm::constant(f64::INFINITY),
+            ),
+        ];
+        g.sanitize(NodeId(7), &mut sols).expect("one survivor");
+        assert_eq!(sols.len(), 1);
+        assert_eq!(g.poisoned_total(), 2);
+        let mut all_bad = vec![sol(f64::NAN, f64::NAN)];
+        let err = g.sanitize(NodeId(8), &mut all_bad).unwrap_err();
+        assert!(matches!(err, InsertionError::PoisonedSolutions { .. }));
+    }
+
+    #[test]
+    fn memory_pressure_degrades() {
+        let budget = Budget {
+            soft_mem_bytes: 64,
+            hard_mem_bytes: 1 << 40,
+            ..Budget::unlimited()
+        };
+        let mut g = Governor::governed(budget, governed_cascade(), 0.0);
+        let sols = vec![sol(1.0, -1.0), sol(2.0, -2.0)];
+        g.note_memory(&sols, 0);
+        assert!(g.live_bytes() > 64);
+        assert_eq!(g.admit(NodeId(2), 1).unwrap(), Admission::Reprune);
+        let report = g.into_report();
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.trigger, Trigger::MemoryPressure { .. })));
+    }
+
+    #[test]
+    fn truncate_spread_keeps_best_rat_and_endpoints() {
+        let rule = TwoParam::default();
+        let mut sols: Vec<StatSolution> = (0..100)
+            .map(|i| sol(f64::from(i), -500.0 + f64::from(i)))
+            .collect();
+        let best_rat_before = sols
+            .iter()
+            .map(StatSolution::rat_mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        truncate_spread(&rule, &mut sols, 10);
+        assert_eq!(sols.len(), 10);
+        let best_rat_after = sols
+            .iter()
+            .map(StatSolution::rat_mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best_rat_before, best_rat_after);
+    }
+
+    #[test]
+    fn keep_best_selects_max_rat() {
+        let rule = TwoParam::default();
+        let mut sols = vec![sol(1.0, -100.0), sol(2.0, -50.0), sol(3.0, -75.0)];
+        keep_best(&rule, &mut sols);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].rat_mean(), -50.0);
+    }
+
+    #[test]
+    fn budget_normalization_and_constructors() {
+        let b = Budget {
+            soft_solutions: 100,
+            hard_solutions: 50,
+            ..Budget::unlimited()
+        }
+        .normalized();
+        assert_eq!(b.soft_solutions, 50);
+        let w = Budget::with_soft(10, Duration::from_secs(1), 1000);
+        assert_eq!(w.hard_solutions, 40);
+        assert_eq!(w.hard_time, Duration::from_secs(2));
+        assert_eq!(w.hard_mem_bytes, 4000);
+        let s = Budget::strict(7, Duration::from_secs(3));
+        assert_eq!(s.soft_solutions, s.hard_solutions);
+        assert_eq!(s.soft_time, s.hard_time);
+    }
+
+    #[test]
+    fn undegraded_report_reads_clean() {
+        let g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0);
+        let report = g.into_report();
+        assert!(!report.degraded());
+        assert!(report.summary().contains("no degradation"));
+    }
+}

@@ -17,7 +17,13 @@
 //!   the experiments;
 //! * [`yield_eval`] — timing-yield analysis of a *fixed* buffered tree
 //!   under any variation model: canonical root-RAT form, 95%-yield RAT,
-//!   yield at a target, and Monte Carlo cross-validation (Figure 6).
+//!   yield at a target, and Monte Carlo cross-validation (Figure 6);
+//! * [`governor`] — soft/hard resource budgets and the graceful-
+//!   degradation policy (pruning-rule fallback cascade, epsilon
+//!   tightening, best-so-far panic completion) behind
+//!   [`dp::optimize_governed`];
+//! * [`faultinject`] — deterministic clock skew and solution poisoning
+//!   for exercising the degradation paths in tests.
 //!
 //! # Quick start
 //!
@@ -44,6 +50,8 @@ pub mod det;
 pub mod dp;
 pub mod driver;
 pub mod error;
+pub mod faultinject;
+pub mod governor;
 pub mod metrics;
 pub mod ops;
 pub mod prune;
@@ -53,8 +61,10 @@ pub mod trace;
 pub mod yield_eval;
 
 pub use det::optimize_deterministic;
+pub use dp::{optimize_governed, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
 pub use error::InsertionError;
+pub use governor::{Budget, Degradation, DegradationEvent, Governor};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
 pub use solution::StatSolution;
 pub use yield_eval::{YieldAnalysis, YieldEvaluator};

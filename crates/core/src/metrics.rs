@@ -16,6 +16,17 @@ pub struct DpStats {
     pub solutions_pruned: usize,
     /// Wall-clock runtime.
     pub runtime: Duration,
+    /// Pruning-rule fallback steps a governed run took (0 = primary rule
+    /// held for the whole run).
+    pub rule_fallbacks: usize,
+    /// Epsilon-tightening steps a governed run took.
+    pub epsilon_tightenings: usize,
+    /// Spread-preserving list truncations a governed run applied.
+    pub list_truncations: usize,
+    /// Poisoned (non-finite) candidates dropped by the sanitizer.
+    pub poisoned_dropped: usize,
+    /// Whether the run finished in panic-completion (best-so-far) mode.
+    pub panic_completion: bool,
 }
 
 impl DpStats {
@@ -26,6 +37,16 @@ impl DpStats {
             return 0.0;
         }
         self.solutions_pruned as f64 / self.solutions_generated as f64
+    }
+
+    /// Whether the run gave up any fidelity to stay within budget.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.rule_fallbacks > 0
+            || self.epsilon_tightenings > 0
+            || self.list_truncations > 0
+            || self.poisoned_dropped > 0
+            || self.panic_completion
     }
 }
 
@@ -42,5 +63,20 @@ mod tests {
             ..DpStats::default()
         };
         assert!((s.prune_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_reflects_any_counter() {
+        assert!(!DpStats::default().degraded());
+        assert!(DpStats {
+            rule_fallbacks: 1,
+            ..DpStats::default()
+        }
+        .degraded());
+        assert!(DpStats {
+            panic_completion: true,
+            ..DpStats::default()
+        }
+        .degraded());
     }
 }

@@ -193,7 +193,10 @@ mod tests {
         // Statistical min mean is at most min of the means.
         assert!(m.rat.mean() <= -100.0 + 1e-9);
         // Deterministic counterpart.
-        let dm = merge_pair_det(&DetSolution::new(10.0, -100.0), &DetSolution::new(20.0, -50.0));
+        let dm = merge_pair_det(
+            &DetSolution::new(10.0, -100.0),
+            &DetSolution::new(20.0, -50.0),
+        );
         assert_eq!(dm.load, 30.0);
         assert_eq!(dm.rat, -100.0);
     }

@@ -21,6 +21,37 @@
 use crate::solution::StatSolution;
 use std::fmt;
 
+/// A rule was configured with thresholds outside its valid range.
+///
+/// Returned by the `try_new` constructors so that user-supplied
+/// parameters (e.g. a CLI `--p` flag) surface as a recoverable error
+/// instead of a panic deep inside the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleConfigError {
+    rule: &'static str,
+    message: String,
+}
+
+impl RuleConfigError {
+    fn new(rule: &'static str, message: String) -> Self {
+        Self { rule, message }
+    }
+
+    /// Name of the rule that rejected its configuration.
+    #[must_use]
+    pub fn rule(&self) -> &'static str {
+        self.rule
+    }
+}
+
+impl fmt::Display for RuleConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} configuration: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for RuleConfigError {}
+
 /// How a rule's `merge`/`prune` must traverse solution sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergeStrategy {
@@ -71,11 +102,27 @@ impl TwoParam {
     /// degenerates to the almost-sure ordering of eqs. (4)–(5).
     #[must_use]
     pub fn new(p_load: f64, p_rat: f64) -> Self {
-        assert!(
-            (0.5..1.0).contains(&p_load) && (0.5..1.0).contains(&p_rat),
-            "2P thresholds must be in [0.5, 1), got ({p_load}, {p_rat})"
-        );
-        Self { p_load, p_rat }
+        match Self::try_new(p_load, p_rat) {
+            Ok(rule) => rule,
+            Err(e) => panic!("2P thresholds must be in [0.5, 1), got ({p_load}, {p_rat}): {e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new) for user-supplied
+    /// thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleConfigError`] unless both thresholds are in
+    /// `[0.5, 1)`.
+    pub fn try_new(p_load: f64, p_rat: f64) -> Result<Self, RuleConfigError> {
+        if !((0.5..1.0).contains(&p_load) && (0.5..1.0).contains(&p_rat)) {
+            return Err(RuleConfigError::new(
+                "2P",
+                format!("thresholds must be in [0.5, 1), got ({p_load}, {p_rat})"),
+            ));
+        }
+        Ok(Self { p_load, p_rat })
     }
 
     /// The thresholds `(p̄_L, p̄_T)`.
@@ -136,20 +183,43 @@ impl FourParam {
     /// Panics unless `0 < α_l < α_u < 1` and `0 < β_l < β_u < 1`.
     #[must_use]
     pub fn new(alpha_l: f64, alpha_u: f64, beta_l: f64, beta_u: f64) -> Self {
-        assert!(
-            0.0 < alpha_l && alpha_l < alpha_u && alpha_u < 1.0,
-            "need 0 < α_l < α_u < 1, got ({alpha_l}, {alpha_u})"
-        );
-        assert!(
-            0.0 < beta_l && beta_l < beta_u && beta_u < 1.0,
-            "need 0 < β_l < β_u < 1, got ({beta_l}, {beta_u})"
-        );
-        Self {
+        match Self::try_new(alpha_l, alpha_u, beta_l, beta_u) {
+            Ok(rule) => rule,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new) for user-supplied
+    /// percentile pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleConfigError`] unless `0 < α_l < α_u < 1` and
+    /// `0 < β_l < β_u < 1`.
+    pub fn try_new(
+        alpha_l: f64,
+        alpha_u: f64,
+        beta_l: f64,
+        beta_u: f64,
+    ) -> Result<Self, RuleConfigError> {
+        if !(0.0 < alpha_l && alpha_l < alpha_u && alpha_u < 1.0) {
+            return Err(RuleConfigError::new(
+                "4P",
+                format!("need 0 < α_l < α_u < 1, got ({alpha_l}, {alpha_u})"),
+            ));
+        }
+        if !(0.0 < beta_l && beta_l < beta_u && beta_u < 1.0) {
+            return Err(RuleConfigError::new(
+                "4P",
+                format!("need 0 < β_l < β_u < 1, got ({beta_l}, {beta_u})"),
+            ));
+        }
+        Ok(Self {
             alpha_l,
             alpha_u,
             beta_l,
             beta_u,
-        }
+        })
     }
 }
 
@@ -200,11 +270,26 @@ impl OneParam {
     /// Panics unless `α ∈ (0, 1)`.
     #[must_use]
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&alpha) && alpha > 0.0,
-            "1P percentile must be in (0, 1), got {alpha}"
-        );
-        Self { alpha }
+        match Self::try_new(alpha) {
+            Ok(rule) => rule,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new) for a user-supplied
+    /// percentile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleConfigError`] unless `α ∈ (0, 1)`.
+    pub fn try_new(alpha: f64) -> Result<Self, RuleConfigError> {
+        if !((0.0..1.0).contains(&alpha) && alpha > 0.0) {
+            return Err(RuleConfigError::new(
+                "1P",
+                format!("percentile must be in (0, 1), got {alpha}"),
+            ));
+        }
+        Ok(Self { alpha })
     }
 }
 
@@ -247,10 +332,7 @@ impl PruningRule for OneParam {
 /// The output is sorted by ascending load key (and, for linear rules,
 /// ascending RAT key).
 #[must_use]
-pub fn prune_solutions(
-    rule: &dyn PruningRule,
-    mut sols: Vec<StatSolution>,
-) -> Vec<StatSolution> {
+pub fn prune_solutions(rule: &dyn PruningRule, mut sols: Vec<StatSolution>) -> Vec<StatSolution> {
     match rule.strategy() {
         MergeStrategy::SortedLinear => {
             sols.sort_by(|a, b| {
@@ -425,7 +507,7 @@ mod tests {
         ];
         let kept2 = prune_solutions(&rule2, sols2);
         assert_eq!(kept2.len(), 3); // strictly increasing load AND rat: all kept
-        // But a dominated-by-mean one disappears under 2P and not under 4P.
+                                    // But a dominated-by-mean one disappears under 2P and not under 4P.
         let extra = vec![
             sol_var(10.0, 30.0, -100.0, 30.0, 0),
             sol_var(11.0, 30.0, -101.0, 30.0, 1), // worse mean load and rat
@@ -455,5 +537,23 @@ mod tests {
         assert_eq!(OneParam::default().name(), "1P");
         assert_eq!(TwoParam::default().strategy(), MergeStrategy::SortedLinear);
         assert_eq!(FourParam::default().strategy(), MergeStrategy::CrossProduct);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_thresholds() {
+        let e = TwoParam::try_new(0.4, 0.9).unwrap_err();
+        assert_eq!(e.rule(), "2P");
+        assert!(e.to_string().contains("[0.5, 1)"), "{e}");
+        assert!(TwoParam::try_new(0.9, 0.9).is_ok());
+
+        let e = FourParam::try_new(0.9, 0.1, 0.1, 0.9).unwrap_err();
+        assert_eq!(e.rule(), "4P");
+        assert!(FourParam::try_new(0.1, 0.9, 0.1, 0.9).is_ok());
+        assert!(FourParam::try_new(0.1, 0.9, 0.9, 0.1).is_err());
+
+        let e = OneParam::try_new(1.5).unwrap_err();
+        assert_eq!(e.rule(), "1P");
+        assert!(OneParam::try_new(0.0).is_err());
+        assert!(OneParam::try_new(0.95).is_ok());
     }
 }

@@ -114,9 +114,7 @@ impl<'a> SkewAnalyzer<'a> {
                     .plus_constant(seg_cap);
             }
             upward_load[id.index()] = Some(match buffers.get(&id) {
-                Some(&ty) => self
-                    .model
-                    .buffer_cap_form(ty, id, node.location, self.mode),
+                Some(&ty) => self.model.buffer_cap_form(ty, id, node.location, self.mode),
                 None => load.clone(),
             });
             subtree_load[id.index()] = Some(load);
@@ -148,9 +146,9 @@ impl<'a> SkewAnalyzer<'a> {
                 );
                 t.add_constant(seg.resistance * seg.capacitance / 2.0);
                 if let Some(&ty) = buffers.get(&c) {
-                    let delay =
-                        self.model
-                            .buffer_delay_form(ty, c, child.location, self.mode);
+                    let delay = self
+                        .model
+                        .buffer_delay_form(ty, c, child.location, self.mode);
                     t = t.add(&delay).linear_combination(
                         1.0,
                         subtree_load[c.index()].as_ref().expect("post-order"),
@@ -194,9 +192,7 @@ fn _anchor(a: &StatSolution, b: &StatSolution) -> StatSolution {
 mod tests {
     use super::*;
     use crate::driver::{optimize_statistical, Options};
-    use varbuf_rctree::generate::{
-        generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec,
-    };
+    use varbuf_rctree::generate::{generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec};
     use varbuf_variation::SpatialKind;
 
     #[test]
@@ -211,7 +207,11 @@ mod tests {
         // small relative to arrival times.
         let arrival_scale = analysis.arrivals[0].1.mean().abs();
         assert!(skew.mean() >= -1e-9);
-        assert!(skew.mean() < 0.05 * arrival_scale, "skew {} vs arrival {arrival_scale}", skew.mean());
+        assert!(
+            skew.mean() < 0.05 * arrival_scale,
+            "skew {} vs arrival {arrival_scale}",
+            skew.mean()
+        );
         // Pairwise skew between mirror sinks: zero-mean.
         let a = analysis.arrivals.first().expect("sinks").0;
         let b = analysis.arrivals.last().expect("sinks").0;
@@ -268,10 +268,10 @@ mod tests {
         // equal the Elmore evaluator's sink delays exactly.
         let analyzer = SkewAnalyzer::new(&tree, &model, VariationMode::Nominal);
         let analysis = analyzer.analyze(&wid.assignment);
-        let elmore = ElmoreEvaluator::new(&tree).evaluate(&assignment_with_nominal_values(
-            &wid.assignment,
-            model.library(),
-        ));
+        let elmore = ElmoreEvaluator::new(&tree).evaluate(
+            &assignment_with_nominal_values(&wid.assignment, model.library())
+                .expect("ids from this library"),
+        );
         for (id, form) in &analysis.arrivals {
             let (_, d) = elmore
                 .sink_delays

@@ -106,10 +106,8 @@ impl<'a> YieldEvaluator<'a> {
                         let mut seg = wire.segment(self.tree.node(c).edge_length);
                         seg.resistance /= w;
                         seg.capacitance *= w;
-                        let lifted = wire_extend_stat(
-                            forms[c.index()].as_ref().expect("post-order"),
-                            &seg,
-                        );
+                        let lifted =
+                            wire_extend_stat(forms[c.index()].as_ref().expect("post-order"), &seg);
                         acc = Some(match acc {
                             None => lifted,
                             Some(prev) => merge_pair_stat(&prev, &lifted),
@@ -302,10 +300,10 @@ mod tests {
         let rat = ye.rat_form(&det.assignment);
         assert!(rat.std_dev() < 1e-12);
         let eval = ElmoreEvaluator::new(&tree);
-        let rep = eval.evaluate(&assignment_with_nominal_values(
-            &det.assignment,
-            model.library(),
-        ));
+        let rep = eval.evaluate(
+            &assignment_with_nominal_values(&det.assignment, model.library())
+                .expect("ids from this library"),
+        );
         assert!(
             (rat.mean() - rep.root_rat).abs() < 1e-6 * rep.root_rat.abs(),
             "{} vs {}",
@@ -337,8 +335,7 @@ mod tests {
             r.root_rat.mean()
         );
         assert!(
-            (rat.std_dev() - r.root_rat.std_dev()).abs()
-                < 0.02 * r.root_rat.std_dev().max(1e-12),
+            (rat.std_dev() - r.root_rat.std_dev()).abs() < 0.02 * r.root_rat.std_dev().max(1e-12),
             "std {} vs {}",
             rat.std_dev(),
             r.root_rat.std_dev()
@@ -361,9 +358,13 @@ mod tests {
         let analysis = ye.analyze(&r.assignment);
         let samples = ye.monte_carlo(&r.assignment, 4000, 42);
         let (mc_mean, mc_var) = sample_moments(&samples);
-        let rel_mean =
-            (mc_mean - analysis.rat.mean()).abs() / analysis.rat.mean().abs().max(1.0);
-        assert!(rel_mean < 0.01, "MC mean {} vs model {}", mc_mean, analysis.rat.mean());
+        let rel_mean = (mc_mean - analysis.rat.mean()).abs() / analysis.rat.mean().abs().max(1.0);
+        assert!(
+            rel_mean < 0.01,
+            "MC mean {} vs model {}",
+            mc_mean,
+            analysis.rat.mean()
+        );
         let model_sigma = analysis.rat.std_dev();
         let rel_sigma = (mc_var.sqrt() - model_sigma).abs() / model_sigma.max(1e-12);
         assert!(
@@ -391,7 +392,10 @@ mod tests {
         assert_eq!(par.len(), 3000);
         let (ms, vs) = sample_moments(&seq);
         let (mp, vp) = sample_moments(&par);
-        assert!((ms - mp).abs() < 3.0 * (vs / 3000.0).sqrt() + 1.0, "{ms} vs {mp}");
+        assert!(
+            (ms - mp).abs() < 3.0 * (vs / 3000.0).sqrt() + 1.0,
+            "{ms} vs {mp}"
+        );
         assert!((vs.sqrt() - vp.sqrt()).abs() / vs.sqrt() < 0.1);
         // Reproducibility of the parallel variant.
         let par2 = ye.monte_carlo_parallel(&r.assignment, 3000, 7, 4);
@@ -449,8 +453,7 @@ mod tests {
         // under the full WID model has a wider RAT distribution than the
         // WID-aware design, hence a worse 95%-yield RAT.
         let tree = generate_benchmark(&BenchmarkSpec::random("blind", 60, 21));
-        let model =
-            ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
         let nom = optimize_deterministic(&tree, model.library()).expect("nom");
         let wid = optimize_with_rule(
             &tree,

@@ -9,14 +9,13 @@
 //! values and re-runs this evaluator).
 
 use crate::tree::{NodeId, NodeKind, RoutingTree};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Electrical values of one placed buffer instance.
 ///
 /// These are *values*, not a library type: Monte Carlo analysis samples a
 /// different realization per instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferValues {
     /// Input capacitance, fF.
     pub capacitance: f64,
@@ -28,7 +27,7 @@ pub struct BufferValues {
 
 /// A concrete buffer placement: which candidate nodes host a buffer and
 /// with what electrical values.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BufferAssignment {
     buffers: HashMap<u32, BufferValues>,
 }
@@ -74,7 +73,7 @@ impl BufferAssignment {
 /// A width `w` scales the edge's resistance by `1/w` and its capacitance
 /// by `w` (the first-order geometry scaling used by wire-sizing
 /// formulations such as \[8\]). Edges not present use width `1.0`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EdgeWidths {
     widths: HashMap<u32, f64>,
 }
@@ -199,8 +198,7 @@ impl<'a> ElmoreEvaluator<'a> {
                 _ => 0.0,
             };
             for &c in &node.children {
-                let seg_cap =
-                    wire.cap_per_um * self.tree.node(c).edge_length * widths.get(c);
+                let seg_cap = wire.cap_per_um * self.tree.node(c).edge_length * widths.get(c);
                 load += seg_cap + upward_load[c.index()];
             }
             subtree_load[id.index()] = load;
@@ -382,7 +380,12 @@ mod tests {
             },
         );
         let buffered = eval.evaluate(&buf);
-        let light_unbuf = unbuf.sink_delays.iter().find(|&&(s, _)| s == light).unwrap().1;
+        let light_unbuf = unbuf
+            .sink_delays
+            .iter()
+            .find(|&&(s, _)| s == light)
+            .unwrap()
+            .1;
         let light_buf = buffered
             .sink_delays
             .iter()

@@ -14,12 +14,10 @@
 use crate::geom::Point;
 use crate::tree::{NodeId, RoutingTree};
 use crate::wire::WireParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use varbuf_stats::rng::SplitMix64;
 
 /// Parameters for the random-benchmark generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
     /// Benchmark name recorded on the tree.
     pub name: String,
@@ -118,18 +116,15 @@ impl BenchmarkSpec {
 #[must_use]
 pub fn generate_benchmark(spec: &BenchmarkSpec) -> RoutingTree {
     assert!(spec.sinks > 0, "benchmark needs at least one sink");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
 
     // Sinks uniform in the die; driver at the west edge midpoint.
     let mut sinks: Vec<(Point, f64, f64)> = (0..spec.sinks)
         .map(|_| {
-            let p = Point::new(
-                rng.gen_range(0.0..spec.die_um),
-                rng.gen_range(0.0..spec.die_um),
-            );
-            let cap = rng.gen_range(spec.sink_cap_range.0..=spec.sink_cap_range.1);
+            let p = Point::new(rng.uniform(0.0, spec.die_um), rng.uniform(0.0, spec.die_um));
+            let cap = rng.uniform(spec.sink_cap_range.0, spec.sink_cap_range.1);
             let rat = if spec.sink_rat_spread > 0.0 {
-                -rng.gen_range(0.0..=spec.sink_rat_spread)
+                -rng.uniform(0.0, spec.sink_rat_spread)
             } else {
                 0.0
             };
@@ -197,17 +192,14 @@ fn min_max(it: impl Iterator<Item = f64>) -> (f64, f64) {
 #[must_use]
 pub fn generate_benchmark_rmst(spec: &BenchmarkSpec) -> RoutingTree {
     assert!(spec.sinks > 0, "benchmark needs at least one sink");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
 
     let sinks: Vec<(Point, f64, f64)> = (0..spec.sinks)
         .map(|_| {
-            let p = Point::new(
-                rng.gen_range(0.0..spec.die_um),
-                rng.gen_range(0.0..spec.die_um),
-            );
-            let cap = rng.gen_range(spec.sink_cap_range.0..=spec.sink_cap_range.1);
+            let p = Point::new(rng.uniform(0.0, spec.die_um), rng.uniform(0.0, spec.die_um));
+            let cap = rng.uniform(spec.sink_cap_range.0, spec.sink_cap_range.1);
             let rat = if spec.sink_rat_spread > 0.0 {
-                -rng.gen_range(0.0..=spec.sink_rat_spread)
+                -rng.uniform(0.0, spec.sink_rat_spread)
             } else {
                 0.0
             };
@@ -272,7 +264,7 @@ pub fn generate_benchmark_rmst(spec: &BenchmarkSpec) -> RoutingTree {
 }
 
 /// Parameters for the H-tree clock-network generator (capacity test).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HTreeSpec {
     /// Number of binary branching levels; the tree has `2^levels` sinks.
     /// The paper's capacity experiment uses an "eight-level H-tree" with

@@ -1,6 +1,5 @@
 //! Die-plane geometry in micrometers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -13,7 +12,7 @@ use std::ops::{Add, Sub};
 /// assert_eq!(a.manhattan(b), 7.0);
 /// assert_eq!(a.euclid(b), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate, µm.
     pub x: f64,
@@ -75,7 +74,7 @@ impl fmt::Display for Point {
 }
 
 /// Axis-aligned bounding box of a point set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundingBox {
     /// Lower-left corner.
     pub min: Point,

@@ -205,7 +205,10 @@ pub fn read_tree<R: BufRead>(r: R) -> Result<RoutingTree, IoError> {
                 if id != t.len() {
                     return Err(parse_err(
                         lineno,
-                        format!("ids must be dense and increasing (expected {}, got {id})", t.len()),
+                        format!(
+                            "ids must be dense and increasing (expected {}, got {id})",
+                            t.len()
+                        ),
                     ));
                 }
                 let parent = NodeId(num(parent_s, lineno)? as u32);
@@ -347,7 +350,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let text = "varbuf-tree v1\n# a comment\n\nwire 1 1\nsource 0 0 0 0.1\nsink 1 0 9 0 9 1 10 0\n";
+        let text =
+            "varbuf-tree v1\n# a comment\n\nwire 1 1\nsource 0 0 0 0.1\nsink 1 0 9 0 9 1 10 0\n";
         let t = read_tree(text.as_bytes()).expect("read");
         assert_eq!(t.sink_count(), 1);
     }

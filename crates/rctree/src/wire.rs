@@ -1,7 +1,5 @@
 //! Wire electrical parameters and the Elmore π-model of a segment.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-unit-length electrical parameters of the routing layer.
 ///
 /// Units: resistance kΩ/µm, capacitance fF/µm, so that `R·C` products are
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// let seg = w.segment(1000.0); // a 1 mm wire
 /// assert!(seg.resistance > 0.0 && seg.capacitance > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireParams {
     /// Sheet/unit resistance, kΩ per µm.
     pub res_per_um: f64,
@@ -60,7 +58,7 @@ impl Default for WireParams {
 
 /// Lumped quantities of one wire segment (π-model: half the capacitance at
 /// each end, full resistance between).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireSegment {
     /// Length, µm.
     pub length: f64,

@@ -1,65 +1,68 @@
 //! Robustness fuzzing of the tree text parser: arbitrary input must
 //! never panic — it either parses to a valid tree or returns a typed
-//! error.
+//! error. Inputs are synthesized deterministically from [`SplitMix64`]
+//! so the corpus is reproducible offline.
 
-use proptest::prelude::*;
 use varbuf_rctree::io::read_tree;
+use varbuf_stats::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for _ in 0..256 {
+        let len = rng.below(2048);
+        let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
         // Lossy conversion mirrors what a user feeding a mangled file
         // would produce at the BufRead layer.
         let text = String::from_utf8_lossy(&data).into_owned();
         let _ = read_tree(text.as_bytes());
     }
+}
 
-    #[test]
-    fn arbitrary_token_soup_never_panics(
-        lines in proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![
-                    Just("source".to_owned()),
-                    Just("sink".to_owned()),
-                    Just("internal".to_owned()),
-                    Just("wire".to_owned()),
-                    Just("name".to_owned()),
-                    Just("varbuf-tree".to_owned()),
-                    Just("v1".to_owned()),
-                    Just("-1".to_owned()),
-                    Just("0".to_owned()),
-                    Just("1".to_owned()),
-                    Just("1e308".to_owned()),
-                    Just("nan".to_owned()),
-                    Just("inf".to_owned()),
-                    Just("0.5".to_owned()),
-                ],
-                0..10,
-            ),
-            0..30,
-        ),
-    ) {
+#[test]
+fn arbitrary_token_soup_never_panics() {
+    const TOKENS: &[&str] = &[
+        "source",
+        "sink",
+        "internal",
+        "wire",
+        "name",
+        "varbuf-tree",
+        "v1",
+        "-1",
+        "0",
+        "1",
+        "1e308",
+        "nan",
+        "inf",
+        "0.5",
+    ];
+    let mut rng = SplitMix64::new(0xBEEF);
+    for _ in 0..256 {
         let mut text = String::from("varbuf-tree v1\n");
-        for line in &lines {
-            text.push_str(&line.join(" "));
+        for _ in 0..rng.below(30) {
+            let words: Vec<&str> = (0..rng.below(10))
+                .map(|_| TOKENS[rng.below(TOKENS.len())])
+                .collect();
+            text.push_str(&words.join(" "));
             text.push('\n');
         }
         if let Ok(tree) = read_tree(text.as_bytes()) {
-            prop_assert!(tree.validate().is_ok(), "parser returned invalid tree");
+            assert!(tree.validate().is_ok(), "parser returned invalid tree");
         }
     }
+}
 
-    #[test]
-    fn mutated_valid_file_never_panics(
-        sinks in 1usize..20,
-        seed in 0u64..20,
-        flip_at in 0usize..4000,
-        flip_to in any::<u8>(),
-    ) {
-        use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
-        use varbuf_rctree::io::write_tree;
+#[test]
+fn mutated_valid_file_never_panics() {
+    use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+    use varbuf_rctree::io::write_tree;
+    let mut rng = SplitMix64::new(0xFA2E);
+    for _ in 0..256 {
+        let sinks = 1 + rng.below(19);
+        let seed = rng.next_u64() % 20;
+        let flip_at = rng.below(4000);
+        let flip_to = (rng.next_u64() & 0xFF) as u8;
         let tree = generate_benchmark(&BenchmarkSpec::random("fuzz", sinks, seed));
         let mut buf = Vec::new();
         write_tree(&tree, &mut buf).expect("write");
@@ -69,7 +72,7 @@ proptest! {
         }
         let text = String::from_utf8_lossy(&buf).into_owned();
         if let Ok(t) = read_tree(text.as_bytes()) {
-            prop_assert!(t.validate().is_ok());
+            assert!(t.validate().is_ok());
         }
     }
 }

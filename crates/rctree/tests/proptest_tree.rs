@@ -1,51 +1,68 @@
-//! Property-based tests on routing-tree structure, generation, Elmore
-//! evaluation, and IO round-tripping.
+//! Property-style tests on routing-tree structure, generation, Elmore
+//! evaluation, and IO round-tripping, driven by the in-tree deterministic
+//! [`SplitMix64`] generator.
 
-use proptest::prelude::*;
 use varbuf_rctree::elmore::{BufferAssignment, BufferValues, ElmoreEvaluator};
 use varbuf_rctree::generate::{generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec};
 use varbuf_rctree::io::{read_tree, write_tree};
 use varbuf_rctree::tree::NodeKind;
+use varbuf_stats::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_tree_invariants(sinks in 1usize..160, seed in 0u64..1000) {
+#[test]
+fn generated_tree_invariants() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..48 {
+        let sinks = 1 + rng.below(159);
+        let seed = rng.next_u64() % 1000;
         let tree = generate_benchmark(&BenchmarkSpec::random("prop", sinks, seed));
-        prop_assert!(tree.validate().is_ok());
-        prop_assert_eq!(tree.sink_count(), sinks);
-        prop_assert_eq!(tree.candidate_count(), 2 * sinks - 1);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.sink_count(), sinks);
+        assert_eq!(tree.candidate_count(), 2 * sinks - 1);
         // Binary topology over n sinks: n-1 internal nodes + source.
-        prop_assert_eq!(tree.len(), 2 * sinks);
-        prop_assert!(tree.total_wire_length() >= 0.0);
+        assert_eq!(tree.len(), 2 * sinks);
+        assert!(tree.total_wire_length() >= 0.0);
     }
+}
 
-    #[test]
-    fn postorder_is_a_valid_schedule(sinks in 1usize..100, seed in 0u64..100) {
+#[test]
+fn postorder_is_a_valid_schedule() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..48 {
+        let sinks = 1 + rng.below(99);
+        let seed = rng.next_u64() % 100;
         let tree = generate_benchmark(&BenchmarkSpec::random("prop", sinks, seed));
         let order = tree.postorder();
-        prop_assert_eq!(order.len(), tree.len());
+        assert_eq!(order.len(), tree.len());
         let pos: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         for (id, node) in tree.iter() {
             for &c in &node.children {
-                prop_assert!(pos[&c] < pos[&id], "child after parent");
+                assert!(pos[&c] < pos[&id], "child after parent");
             }
         }
     }
+}
 
-    #[test]
-    fn io_roundtrip(sinks in 1usize..80, seed in 0u64..100) {
+#[test]
+fn io_roundtrip() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..48 {
+        let sinks = 1 + rng.below(79);
+        let seed = rng.next_u64() % 100;
         let tree = generate_benchmark(&BenchmarkSpec::random("prop", sinks, seed));
         let mut buf = Vec::new();
         write_tree(&tree, &mut buf).expect("write");
         let back = read_tree(buf.as_slice()).expect("read");
-        prop_assert_eq!(tree, back);
+        assert_eq!(tree, back);
     }
+}
 
-    #[test]
-    fn unbuffered_rat_bounded_by_critical_path(sinks in 2usize..80, seed in 0u64..100) {
+#[test]
+fn unbuffered_rat_bounded_by_critical_path() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..48 {
+        let sinks = 2 + rng.below(78);
+        let seed = rng.next_u64() % 100;
         let tree = generate_benchmark(&BenchmarkSpec::random("prop", sinks, seed));
         let eval = ElmoreEvaluator::new(&tree);
         let rep = eval.evaluate_unbuffered();
@@ -56,16 +73,22 @@ proptest! {
             .iter()
             .map(|&(_, d)| d)
             .fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(max_delay > 0.0);
-        prop_assert!((rep.root_rat + max_delay).abs() < 1e-6 * max_delay.abs());
+        assert!(max_delay > 0.0);
+        assert!((rep.root_rat + max_delay).abs() < 1e-6 * max_delay.abs());
         // Delays are all positive and finite.
         for &(_, d) in &rep.sink_delays {
-            prop_assert!(d.is_finite() && d > 0.0);
+            assert!(d.is_finite() && d > 0.0);
         }
     }
+}
 
-    #[test]
-    fn buffering_never_increases_root_load(sinks in 2usize..60, seed in 0u64..50, pick in 0usize..117) {
+#[test]
+fn buffering_never_increases_root_load() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..48 {
+        let sinks = 2 + rng.below(58);
+        let seed = rng.next_u64() % 50;
+        let pick = rng.below(117);
         let tree = generate_benchmark(&BenchmarkSpec::random("prop", sinks, seed));
         let eval = ElmoreEvaluator::new(&tree);
         let unbuf = eval.evaluate_unbuffered();
@@ -90,20 +113,22 @@ proptest! {
         // A 5 fF buffer cap can only reduce (or preserve) the load the
         // driver sees, because it replaces a subtree of sinks >= 5 fF...
         // unless the subtree is a single tiny sink; allow equality slack.
-        prop_assert!(buffered.root_load <= unbuf.root_load + 5.0);
-        prop_assert!(buffered.root_rat.is_finite());
+        assert!(buffered.root_load <= unbuf.root_load + 5.0);
+        assert!(buffered.root_rat.is_finite());
     }
+}
 
-    #[test]
-    fn htree_structure(levels in 1u32..10) {
+#[test]
+fn htree_structure() {
+    for levels in 1u32..10 {
         let tree = generate_htree(&HTreeSpec::with_levels(levels));
-        prop_assert!(tree.validate().is_ok());
-        prop_assert_eq!(tree.sink_count(), 1usize << levels);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.sink_count(), 1usize << levels);
         // Sinks all carry the same capacitance.
         for id in tree.sinks() {
             match tree.node(id).kind {
-                NodeKind::Sink { capacitance, .. } => prop_assert_eq!(capacitance, 12.0),
-                _ => prop_assert!(false, "non-sink from sinks()"),
+                NodeKind::Sink { capacitance, .. } => assert_eq!(capacitance, 12.0),
+                _ => panic!("non-sink from sinks()"),
             }
         }
     }

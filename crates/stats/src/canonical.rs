@@ -15,7 +15,6 @@
 //! terms and makes merging two forms a single sorted walk.
 
 use crate::gaussian::{norm_cdf, norm_quantile};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one independent `N(0, 1)` variation source.
@@ -23,7 +22,7 @@ use std::fmt;
 /// Ids are allocated by the process-variation model: id conventions (global
 /// inter-die source, spatial region sources, per-device random sources) live
 /// in `varbuf-variation`; this crate treats ids as opaque.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceId(pub u32);
 
 impl fmt::Display for SourceId {
@@ -43,7 +42,7 @@ impl fmt::Display for SourceId {
 /// assert!((a.variance() - 25.0).abs() < 1e-12);
 /// assert!((a.std_dev() - 5.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CanonicalForm {
     nominal: f64,
     terms: Vec<(SourceId, f64)>,

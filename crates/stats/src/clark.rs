@@ -93,8 +93,8 @@ pub fn stat_min(a: &CanonicalForm, b: &CanonicalForm) -> MinMaxResult {
     let (var_a, var_b) = (a.variance(), b.variance());
     let phi = norm_pdf(z);
     let e_min = mu_a * t + mu_b * (1.0 - t) - sigma * phi;
-    let e_min2 = (mu_a * mu_a + var_a) * t + (mu_b * mu_b + var_b) * (1.0 - t)
-        - (mu_a + mu_b) * sigma * phi;
+    let e_min2 =
+        (mu_a * mu_a + var_a) * t + (mu_b * mu_b + var_b) * (1.0 - t) - (mu_a + mu_b) * sigma * phi;
     let var_exact = (e_min2 - e_min * e_min).max(0.0);
     let residual_std = (var_exact - form.variance()).max(0.0).sqrt();
 
@@ -204,7 +204,12 @@ mod tests {
             })
             .collect();
         let (mc_mean, mc_var) = sample_moments(&xs);
-        assert!((r.form.mean() - mc_mean).abs() < 0.05, "mean {} vs {}", r.form.mean(), mc_mean);
+        assert!(
+            (r.form.mean() - mc_mean).abs() < 0.05,
+            "mean {} vs {}",
+            r.form.mean(),
+            mc_mean
+        );
         let var_model = r.form.variance() + r.residual_std * r.residual_std;
         assert!(
             (var_model - mc_var).abs() / mc_var < 0.05,

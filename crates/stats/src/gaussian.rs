@@ -277,7 +277,18 @@ mod tests {
 
     #[test]
     fn quantile_roundtrip() {
-        for &p in &[1e-10, 1e-4, 0.01, 0.05, 0.3, 0.5, 0.77, 0.95, 0.99, 1.0 - 1e-8] {
+        for &p in &[
+            1e-10,
+            1e-4,
+            0.01,
+            0.05,
+            0.3,
+            0.5,
+            0.77,
+            0.95,
+            0.99,
+            1.0 - 1e-8,
+        ] {
             let x = norm_quantile(p);
             let back = norm_cdf(x);
             assert!(

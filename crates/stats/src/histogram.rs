@@ -1,7 +1,5 @@
 //! Fixed-bin histograms for PDF comparisons (Figures 3 and 6).
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width-bin histogram over a closed range.
 ///
 /// Used to compare a Monte Carlo empirical density against the normal PDF
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.count(), 3);
 /// assert_eq!(h.bin_counts()[0], 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -35,7 +33,10 @@ impl Histogram {
     #[must_use]
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty (lo={lo}, hi={hi})");
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo={lo}, hi={hi})"
+        );
         Self {
             lo,
             hi,
@@ -50,9 +51,11 @@ impl Histogram {
     /// fills it. Empty input yields a unit-range empty histogram.
     #[must_use]
     pub fn from_samples(xs: &[f64], bins: usize) -> Self {
-        let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
-            (l.min(x), h.max(x))
-        });
+        let (lo, hi) = xs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+                (l.min(x), h.max(x))
+            });
         let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
             let pad = 0.01 * (hi - lo);
             (lo - pad, hi + pad)

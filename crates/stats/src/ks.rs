@@ -60,13 +60,11 @@ mod tests {
     use super::*;
     use crate::gaussian::norm_cdf;
     use crate::mc::StandardNormal;
-    use rand::distributions::Distribution;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn normal_sample_passes_against_normal_cdf() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let normal = StandardNormal;
         let xs: Vec<f64> = (0..5000).map(|_| normal.sample(&mut rng)).collect();
         let d = ks_statistic(&xs, norm_cdf);
@@ -79,7 +77,7 @@ mod tests {
 
     #[test]
     fn shifted_sample_fails() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let normal = StandardNormal;
         let xs: Vec<f64> = (0..5000).map(|_| normal.sample(&mut rng) + 0.3).collect();
         let d = ks_statistic(&xs, norm_cdf);

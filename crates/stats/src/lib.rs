@@ -19,6 +19,9 @@
 //! * [`linfit`] — ordinary least squares for small dense systems, used by
 //!   the device characterization flow (Section 3.1 / Figure 3).
 //! * [`histogram`] — fixed-bin histograms for PDF comparisons.
+//! * [`rng`] — a deterministic SplitMix64 generator backing benchmark
+//!   generation, Monte Carlo, and the property-style tests, so that the
+//!   whole workspace builds hermetically with no external crates.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod histogram;
 pub mod ks;
 pub mod linfit;
 pub mod mc;
+pub mod rng;
 
 pub use canonical::{CanonicalForm, SourceId};
 pub use clark::{stat_max, stat_min, MinMaxResult};
@@ -49,3 +53,4 @@ pub use gaussian::{norm_cdf, norm_pdf, norm_quantile, prob_greater_normal};
 pub use histogram::Histogram;
 pub use ks::{ks_critical, ks_statistic};
 pub use mc::{MonteCarlo, SampleVector};
+pub use rng::SplitMix64;

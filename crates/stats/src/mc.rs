@@ -9,9 +9,7 @@
 //! quantity exactly for that realization.
 
 use crate::canonical::{CanonicalForm, SourceId};
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::SplitMix64;
 use std::collections::HashMap;
 
 /// One realization of the variation-source vector.
@@ -79,7 +77,7 @@ impl SampleVector {
 /// ```
 #[derive(Debug)]
 pub struct MonteCarlo {
-    rng: StdRng,
+    rng: SplitMix64,
     sources: Vec<SourceId>,
 }
 
@@ -89,7 +87,7 @@ impl MonteCarlo {
     #[must_use]
     pub fn new(seed: u64, sources: Vec<SourceId>) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             sources,
         }
     }
@@ -102,10 +100,9 @@ impl MonteCarlo {
 
     /// Draws one realization of all sources.
     pub fn draw(&mut self) -> SampleVector {
-        let normal = StandardNormal;
         let mut sample = SampleVector::new();
         for &id in &self.sources {
-            sample.set(id, normal.sample(&mut self.rng));
+            sample.set(id, StandardNormal.sample(&mut self.rng));
         }
         sample
     }
@@ -116,18 +113,15 @@ impl MonteCarlo {
     }
 }
 
-/// A standard normal sampler built on the Box–Muller transform so that this
-/// crate only needs `rand`'s uniform primitives (the `rand_distr` crate is
-/// not in the approved dependency list).
+/// A standard normal sampler over the in-tree [`SplitMix64`] generator —
+/// a thin facade kept so call sites read like a distribution draw.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StandardNormal;
 
-impl Distribution<f64> for StandardNormal {
-    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+impl StandardNormal {
+    /// One standard normal draw.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        rng.normal()
     }
 }
 
@@ -173,7 +167,7 @@ mod tests {
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let normal = StandardNormal;
         let xs: Vec<f64> = (0..20_000).map(|_| normal.sample(&mut rng)).collect();
         let (mean, var) = sample_moments(&xs);
@@ -187,10 +181,7 @@ mod tests {
             -5.0,
             vec![(SourceId(0), 1.5), (SourceId(1), 2.0), (SourceId(2), 0.5)],
         );
-        let mut mc = MonteCarlo::new(
-            123,
-            vec![SourceId(0), SourceId(1), SourceId(2)],
-        );
+        let mut mc = MonteCarlo::new(123, vec![SourceId(0), SourceId(1), SourceId(2)]);
         let xs = mc.eval_many(&form, 20_000);
         let (mean, var) = sample_moments(&xs);
         assert!((mean - form.mean()).abs() < 0.05);

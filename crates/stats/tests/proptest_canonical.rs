@@ -1,149 +1,208 @@
-//! Property-based tests on the statistical core data structures: canonical
+//! Property-style tests on the statistical core data structures: canonical
 //! forms, Gaussian orderings, and the statistical min (Clark blend).
+//!
+//! Cases are drawn from the in-tree deterministic [`SplitMix64`] generator
+//! so the suite is hermetic and byte-for-byte reproducible offline.
 
-use proptest::prelude::*;
 use varbuf_stats::canonical::{CanonicalForm, SourceId};
 use varbuf_stats::gaussian::{norm_cdf, norm_quantile};
+use varbuf_stats::rng::SplitMix64;
 use varbuf_stats::{stat_max, stat_min};
 
-/// A strategy producing canonical forms with up to 8 terms over 12 sources.
-fn canonical_form() -> impl Strategy<Value = CanonicalForm> {
-    (
-        -1e3f64..1e3f64,
-        proptest::collection::vec((0u32..12, -10.0f64..10.0), 0..8),
-    )
-        .prop_map(|(nominal, terms)| {
-            CanonicalForm::with_terms(
-                nominal,
-                terms.into_iter().map(|(i, a)| (SourceId(i), a)).collect(),
-            )
-        })
+const CASES: usize = 256;
+
+/// Draws a canonical form with up to 8 terms over 12 sources.
+fn canonical_form(rng: &mut SplitMix64) -> CanonicalForm {
+    let nominal = rng.uniform(-1e3, 1e3);
+    let n_terms = rng.below(8);
+    let terms = (0..n_terms)
+        .map(|_| (SourceId(rng.below(12) as u32), rng.uniform(-10.0, 10.0)))
+        .collect();
+    CanonicalForm::with_terms(nominal, terms)
 }
 
-proptest! {
-    #[test]
-    fn terms_sorted_unique_nonzero(f in canonical_form()) {
+#[test]
+fn terms_sorted_unique_nonzero() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..CASES {
+        let f = canonical_form(&mut rng);
         let terms = f.terms();
         for w in terms.windows(2) {
-            prop_assert!(w[0].0 < w[1].0, "terms not strictly sorted");
+            assert!(w[0].0 < w[1].0, "terms not strictly sorted");
         }
-        prop_assert!(terms.iter().all(|&(_, a)| a != 0.0));
+        assert!(terms.iter().all(|&(_, a)| a != 0.0));
     }
+}
 
-    #[test]
-    fn variance_nonnegative_and_cauchy_schwarz(a in canonical_form(), b in canonical_form()) {
-        prop_assert!(a.variance() >= 0.0);
-        let cov = a.covariance(&b);
+#[test]
+fn variance_nonnegative_and_cauchy_schwarz() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
+        assert!(a.variance() >= 0.0);
         // |cov| <= sigma_a * sigma_b (+ rounding slack).
-        prop_assert!(cov.abs() <= a.std_dev() * b.std_dev() + 1e-9);
+        let cov = a.covariance(&b);
+        assert!(cov.abs() <= a.std_dev() * b.std_dev() + 1e-9);
         let rho = a.correlation(&b);
-        prop_assert!((-1.0..=1.0).contains(&rho));
+        assert!((-1.0..=1.0).contains(&rho));
     }
+}
 
-    #[test]
-    fn addition_is_commutative_and_linear(a in canonical_form(), b in canonical_form()) {
+#[test]
+fn addition_is_commutative_and_linear() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
         let ab = a.add(&b);
         let ba = b.add(&a);
-        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
-        prop_assert_eq!(ab.terms().len(), ba.terms().len());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        assert_eq!(ab.terms().len(), ba.terms().len());
         // Variance of a+b = var(a) + 2cov + var(b).
         let expect = a.variance() + 2.0 * a.covariance(&b) + b.variance();
-        prop_assert!((ab.variance() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        assert!((ab.variance() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
     }
+}
 
-    #[test]
-    fn subtracting_self_is_deterministic_zero(a in canonical_form()) {
+#[test]
+fn subtracting_self_is_deterministic_zero() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
         let d = a.sub(&a);
-        prop_assert!(d.mean().abs() < 1e-9);
-        prop_assert_eq!(d.term_count(), 0);
+        assert!(d.mean().abs() < 1e-9);
+        assert_eq!(d.term_count(), 0);
     }
+}
 
-    #[test]
-    fn prob_complementarity(a in canonical_form(), b in canonical_form()) {
+#[test]
+fn prob_complementarity() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
         let p = a.prob_greater(&b);
         let q = b.prob_greater(&a);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!((p + q - 1.0).abs() < 1e-9, "p={p} q={q}");
+        assert!((0.0..=1.0).contains(&p));
+        assert!((p + q - 1.0).abs() < 1e-9, "p={p} q={q}");
     }
+}
 
-    #[test]
-    fn mean_order_iff_prob_above_half(a in canonical_form(), b in canonical_form()) {
-        // Lemma 4 of the paper: under joint normality, P(a > b) > 0.5 iff
-        // mean(a) > mean(b) (when the difference has nonzero variance).
+#[test]
+fn mean_order_iff_prob_above_half() {
+    // Lemma 4 of the paper: under joint normality, P(a > b) > 0.5 iff
+    // mean(a) > mean(b) (when the difference has nonzero variance).
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
         let diff = a.sub(&b);
-        prop_assume!(diff.std_dev() > 1e-9);
+        if diff.std_dev() <= 1e-9 {
+            continue;
+        }
         let p = a.prob_greater(&b);
         if a.mean() > b.mean() + 1e-9 {
-            prop_assert!(p > 0.5);
+            assert!(p > 0.5);
         } else if a.mean() < b.mean() - 1e-9 {
-            prop_assert!(p < 0.5);
+            assert!(p < 0.5);
         }
     }
+}
 
-    #[test]
-    fn transitivity_of_two_param_ordering(
-        a in canonical_form(),
-        b in canonical_form(),
-        c in canonical_form(),
-    ) {
-        // Lemma 3: P(a>b)>0.5 and P(b>c)>0.5 imply P(a>c)>0.5 under
-        // joint normality (mean ordering is transitive). Rather than
-        // rejecting random triples until the premise holds, sort the three
-        // forms by mean so the premise holds by Lemma 4, then check the
-        // conclusion.
-        let mut v = [a, b, c];
+#[test]
+fn transitivity_of_two_param_ordering() {
+    // Lemma 3: P(a>b)>0.5 and P(b>c)>0.5 imply P(a>c)>0.5 under joint
+    // normality (mean ordering is transitive). Rather than rejecting random
+    // triples until the premise holds, sort the three forms by mean so the
+    // premise holds by Lemma 4, then check the conclusion.
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..CASES {
+        let mut v = [
+            canonical_form(&mut rng),
+            canonical_form(&mut rng),
+            canonical_form(&mut rng),
+        ];
         v.sort_by(|x, y| y.mean().total_cmp(&x.mean()));
         let [hi, mid, lo] = v;
-        prop_assume!(hi.mean() > mid.mean() + 1e-9 && mid.mean() > lo.mean() + 1e-9);
-        prop_assume!(hi.sub(&mid).std_dev() > 1e-9);
-        prop_assume!(mid.sub(&lo).std_dev() > 1e-9);
-        prop_assume!(hi.sub(&lo).std_dev() > 1e-9);
+        if hi.mean() <= mid.mean() + 1e-9 || mid.mean() <= lo.mean() + 1e-9 {
+            continue;
+        }
+        if hi.sub(&mid).std_dev() <= 1e-9
+            || mid.sub(&lo).std_dev() <= 1e-9
+            || hi.sub(&lo).std_dev() <= 1e-9
+        {
+            continue;
+        }
         // Premises (Lemma 4).
-        prop_assert!(hi.prob_greater(&mid) > 0.5);
-        prop_assert!(mid.prob_greater(&lo) > 0.5);
+        assert!(hi.prob_greater(&mid) > 0.5);
+        assert!(mid.prob_greater(&lo) > 0.5);
         // Conclusion (Lemma 3).
-        prop_assert!(hi.prob_greater(&lo) > 0.5);
+        assert!(hi.prob_greater(&lo) > 0.5);
     }
+}
 
-    #[test]
-    fn percentile_monotone_in_alpha(a in canonical_form()) {
+#[test]
+fn percentile_monotone_in_alpha() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
         let p05 = a.percentile(0.05);
         let p50 = a.percentile(0.5);
         let p95 = a.percentile(0.95);
-        prop_assert!(p05 <= p50 + 1e-9 && p50 <= p95 + 1e-9);
-        prop_assert!((p50 - a.mean()).abs() < 1e-6 * (1.0 + a.mean().abs()));
+        assert!(p05 <= p50 + 1e-9 && p50 <= p95 + 1e-9);
+        assert!((p50 - a.mean()).abs() < 1e-6 * (1.0 + a.mean().abs()));
     }
+}
 
-    #[test]
-    fn stat_min_mean_below_operands(a in canonical_form(), b in canonical_form()) {
+#[test]
+fn stat_min_mean_below_operands() {
+    let mut rng = SplitMix64::new(8);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
         let m = stat_min(&a, &b);
-        prop_assert!(m.form.mean() <= a.mean().min(b.mean()) + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&m.tightness));
+        assert!(m.form.mean() <= a.mean().min(b.mean()) + 1e-9);
+        assert!((0.0..=1.0).contains(&m.tightness));
     }
+}
 
-    #[test]
-    fn stat_max_min_sum_identity(a in canonical_form(), b in canonical_form()) {
-        // E[max] + E[min] = E[a] + E[b] for any pair.
+#[test]
+fn stat_max_min_sum_identity() {
+    // E[max] + E[min] = E[a] + E[b] for any pair.
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
         let mx = stat_max(&a, &b);
         let mn = stat_min(&a, &b);
         let got = mx.form.mean() + mn.form.mean();
         let expect = a.mean() + b.mean();
-        prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect.abs()), "{got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+            "{got} vs {expect}"
+        );
     }
+}
 
-    #[test]
-    fn quantile_cdf_roundtrip(p in 1e-6f64..0.999_999f64) {
+#[test]
+fn quantile_cdf_roundtrip() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..CASES {
+        let p = rng.uniform(1e-6, 0.999_999);
         let x = norm_quantile(p);
-        prop_assert!((norm_cdf(x) - p).abs() < 1e-9);
+        assert!((norm_cdf(x) - p).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn linear_combination_matches_pointwise(
-        a in canonical_form(),
-        b in canonical_form(),
-        k1 in -5.0f64..5.0,
-        k2 in -5.0f64..5.0,
-    ) {
+#[test]
+fn linear_combination_matches_pointwise() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..CASES {
+        let a = canonical_form(&mut rng);
+        let b = canonical_form(&mut rng);
+        let k1 = rng.uniform(-5.0, 5.0);
+        let k2 = rng.uniform(-5.0, 5.0);
         // Evaluate both sides on a fixed sample realization.
         use varbuf_stats::mc::SampleVector;
         let mut s = SampleVector::new();
@@ -152,6 +211,6 @@ proptest! {
         }
         let lhs = s.eval(&a.linear_combination(k1, &b, k2));
         let rhs = k1 * s.eval(&a) + k2 * s.eval(&b);
-        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
     }
 }

@@ -15,14 +15,11 @@
 //! linear form, and compare the empirical histogram against the fitted
 //! normal PDF.
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use varbuf_stats::histogram::Histogram;
 use varbuf_stats::linfit::{fit_linear, FitError};
 use varbuf_stats::mc::{sample_moments, StandardNormal};
 use varbuf_stats::norm_pdf;
+use varbuf_stats::rng::SplitMix64;
 
 /// Synthetic nonlinear buffer-device physics.
 ///
@@ -34,7 +31,7 @@ use varbuf_stats::norm_pdf;
 /// C_b(L) = C_b0 · (L / L0)^pc        (pc ≈ 1.1)
 /// T_b(L) = T_b0 · (L / L0)^pt        (pt ≈ 1.45)
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NonlinearDevice {
     /// Nominal channel length `L0`, nm.
     pub l_nominal_nm: f64,
@@ -161,7 +158,7 @@ pub fn characterize_device(
         (0.0..0.3).contains(&rel_sigma),
         "rel_sigma must be in [0, 0.3) to keep channel lengths positive"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let normal = StandardNormal;
     let sigma_l = rel_sigma * device.l_nominal_nm;
 

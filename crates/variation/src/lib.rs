@@ -32,7 +32,7 @@ pub mod model;
 pub mod sources;
 pub mod spatial;
 
-pub use library::{BufferLibrary, BufferType, BufferTypeId};
+pub use library::{BufferLibrary, BufferType, BufferTypeId, UnknownBufferType};
 pub use model::{ProcessModel, VariationBudgets, VariationMode};
 pub use sources::SourceLayout;
 pub use spatial::{SpatialKind, SpatialModel};

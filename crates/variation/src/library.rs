@@ -7,12 +7,34 @@
 //! paper, `R_b` is kept deterministic and all variation is lumped into
 //! `C_b` and `T_b`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a buffer type inside its [`BufferLibrary`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufferTypeId(pub usize);
+
+/// A [`BufferTypeId`] that does not exist in the library it was used
+/// against — typically a stale or corrupted id in an externally supplied
+/// buffer assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownBufferType {
+    /// The offending id.
+    pub id: BufferTypeId,
+    /// Number of types in the library that rejected it.
+    pub library_len: usize,
+}
+
+impl fmt::Display for UnknownBufferType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer type {} is out of range for a library of {} types",
+            self.id, self.library_len
+        )
+    }
+}
+
+impl std::error::Error for UnknownBufferType {}
 
 impl fmt::Display for BufferTypeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -21,7 +43,7 @@ impl fmt::Display for BufferTypeId {
 }
 
 /// One buffer cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufferType {
     /// Cell name.
     pub name: String,
@@ -81,7 +103,7 @@ impl BufferType {
 }
 
 /// An ordered collection of buffer types (`B` in the paper's `O(B·N²)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufferLibrary {
     types: Vec<BufferType>,
 }
@@ -145,10 +167,27 @@ impl BufferLibrary {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range. Use [`try_get`](Self::try_get)
+    /// when the id comes from outside the optimizer (a stored design, a
+    /// user-assembled assignment).
     #[must_use]
     pub fn get(&self, id: BufferTypeId) -> &BufferType {
-        &self.types[id.0]
+        match self.try_get(id) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible lookup of the type at `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownBufferType`] if `id` is out of range.
+    pub fn try_get(&self, id: BufferTypeId) -> Result<&BufferType, UnknownBufferType> {
+        self.types.get(id.0).ok_or(UnknownBufferType {
+            id,
+            library_len: self.types.len(),
+        })
     }
 
     /// Iterator over `(BufferTypeId, &BufferType)`.
@@ -200,5 +239,15 @@ mod tests {
     #[test]
     fn display_of_type_id() {
         assert_eq!(BufferTypeId(2).to_string(), "B2");
+    }
+
+    #[test]
+    fn try_get_reports_out_of_range_ids() {
+        let lib = BufferLibrary::default_65nm();
+        assert_eq!(lib.try_get(BufferTypeId(1)).unwrap().name, "bufx2");
+        let e = lib.try_get(BufferTypeId(9)).unwrap_err();
+        assert_eq!(e.id, BufferTypeId(9));
+        assert_eq!(e.library_len, 3);
+        assert!(e.to_string().contains("out of range"), "{e}");
     }
 }

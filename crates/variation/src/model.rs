@@ -18,7 +18,6 @@
 use crate::library::{BufferLibrary, BufferType, BufferTypeId};
 use crate::sources::SourceLayout;
 use crate::spatial::{SpatialKind, SpatialModel};
-use serde::{Deserialize, Serialize};
 use varbuf_rctree::elmore::BufferValues;
 use varbuf_rctree::geom::{BoundingBox, Point};
 use varbuf_rctree::NodeId;
@@ -27,7 +26,7 @@ use varbuf_stats::CanonicalForm;
 
 /// Per-category standard-deviation budgets, as fractions of the nominal
 /// value (the paper budgets 5% each, Section 5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationBudgets {
     /// Random per-device variation σ, fraction of nominal.
     pub random: f64,
@@ -78,7 +77,7 @@ impl Default for VariationBudgets {
 }
 
 /// Which variation categories an optimization run models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VariationMode {
     /// No variation at all — the deterministic baseline (**NOM**).
     Nominal,
@@ -102,7 +101,7 @@ impl VariationMode {
 }
 
 /// The assembled process model for one die.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessModel {
     budgets: VariationBudgets,
     spatial: SpatialModel,

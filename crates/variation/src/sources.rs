@@ -17,12 +17,11 @@
 //! construction", the key structural fact the paper's pruning rules have
 //! to handle.
 
-use serde::{Deserialize, Serialize};
 use varbuf_rctree::NodeId;
 use varbuf_stats::SourceId;
 
 /// The id-space layout for one die / one optimization run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SourceLayout {
     regions: u32,
     buffer_types: u32,

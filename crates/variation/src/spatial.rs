@@ -14,11 +14,10 @@
 //! corner to 1.5× at the north-east corner for the **heterogeneous** model
 //! (the paper's "linearly increasing fashion").
 
-use serde::{Deserialize, Serialize};
 use varbuf_rctree::geom::{BoundingBox, Point};
 
 /// Which budget-distribution pattern the die uses (Section 5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpatialKind {
     /// Every region has the same variance scale.
     Homogeneous,
@@ -27,7 +26,7 @@ pub enum SpatialKind {
 }
 
 /// The spatial grid plus weight computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpatialModel {
     kind: SpatialKind,
     origin: Point,
@@ -105,10 +104,10 @@ impl SpatialModel {
     /// The region containing `p` (clamped to the grid).
     #[must_use]
     pub fn region_of(&self, p: Point) -> usize {
-        let col = (((p.x - self.origin.x) / self.cell_um) as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let row = (((p.y - self.origin.y) / self.cell_um) as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
+        let col = (((p.x - self.origin.x) / self.cell_um) as isize).clamp(0, self.cols as isize - 1)
+            as usize;
+        let row = (((p.y - self.origin.y) / self.cell_um) as isize).clamp(0, self.rows as isize - 1)
+            as usize;
         row * self.cols + col
     }
 
@@ -155,7 +154,9 @@ impl SpatialModel {
             SpatialKind::Homogeneous => {
                 let cx = self.origin.x + self.cols as f64 * self.cell_um / 2.0;
                 let cy = self.origin.y + self.rows as f64 * self.cell_um / 2.0;
-                let dmax = Point::new(cx, cy).euclid(self.origin).max(f64::MIN_POSITIVE);
+                let dmax = Point::new(cx, cy)
+                    .euclid(self.origin)
+                    .max(f64::MIN_POSITIVE);
                 let d = p.euclid(Point::new(cx, cy)).min(dmax);
                 let unit = d / dmax;
                 0.5 * (2.0 * unit * unit - 1.0)

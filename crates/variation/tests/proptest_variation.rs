@@ -1,16 +1,19 @@
-//! Property-based tests of the process-variation model: spatial weight
+//! Property-style tests of the process-variation model: spatial weight
 //! normalization, correlation structure, source-id uniqueness, and
-//! characterization sanity across device parameters.
+//! characterization sanity across device parameters. Cases are drawn
+//! from the in-tree deterministic [`SplitMix64`] generator.
 
-use proptest::prelude::*;
 use varbuf_rctree::geom::{BoundingBox, Point};
 use varbuf_rctree::NodeId;
+use varbuf_stats::rng::SplitMix64;
 use varbuf_variation::characterize::{characterize_device, NonlinearDevice};
 use varbuf_variation::sources::SourceLayout;
 use varbuf_variation::{
     BufferLibrary, BufferTypeId, ProcessModel, SpatialKind, SpatialModel, VariationBudgets,
     VariationMode,
 };
+
+const CASES: usize = 64;
 
 fn die(side: f64) -> BoundingBox {
     BoundingBox {
@@ -19,107 +22,132 @@ fn die(side: f64) -> BoundingBox {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn spatial_weights_norm_matches_scale(
-        side in 600.0f64..20_000.0,
-        x in 0.0f64..1.0,
-        y in 0.0f64..1.0,
-        hetero in proptest::bool::ANY,
-    ) {
-        let kind = if hetero { SpatialKind::Heterogeneous } else { SpatialKind::Homogeneous };
+#[test]
+fn spatial_weights_norm_matches_scale() {
+    let mut rng = SplitMix64::new(0xE0);
+    for case in 0..CASES {
+        let side = rng.uniform(600.0, 20_000.0);
+        let x = rng.next_f64();
+        let y = rng.next_f64();
+        let kind = if case % 2 == 0 {
+            SpatialKind::Heterogeneous
+        } else {
+            SpatialKind::Homogeneous
+        };
         let m = SpatialModel::paper_defaults(die(side), kind);
         let p = Point::new(x * side, y * side);
         let w = m.weights_at(p);
-        prop_assert!(!w.is_empty());
+        assert!(!w.is_empty());
         let sum_sq: f64 = w.iter().map(|&(_, c)| c * c).sum();
         let scale = m.scale_at(p);
-        prop_assert!((sum_sq.sqrt() - scale).abs() < 1e-9 * scale.max(1.0));
+        assert!((sum_sq.sqrt() - scale).abs() < 1e-9 * scale.max(1.0));
         // All referenced regions exist.
         for &(r, _) in &w {
-            prop_assert!(r < m.region_count());
+            assert!(r < m.region_count());
         }
     }
+}
 
-    #[test]
-    fn spatial_correlation_bounds_and_symmetry(
-        side in 2_000.0f64..20_000.0,
-        ax in 0.0f64..1.0, ay in 0.0f64..1.0,
-        bx in 0.0f64..1.0, by in 0.0f64..1.0,
-    ) {
+#[test]
+fn spatial_correlation_bounds_and_symmetry() {
+    let mut rng = SplitMix64::new(0xE1);
+    for _ in 0..CASES {
+        let side = rng.uniform(2_000.0, 20_000.0);
+        let a = Point::new(rng.next_f64() * side, rng.next_f64() * side);
+        let b = Point::new(rng.next_f64() * side, rng.next_f64() * side);
         let m = SpatialModel::paper_defaults(die(side), SpatialKind::Homogeneous);
-        let a = Point::new(ax * side, ay * side);
-        let b = Point::new(bx * side, by * side);
         let rho_ab = m.correlation(a, b);
         let rho_ba = m.correlation(b, a);
-        prop_assert!((rho_ab - rho_ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&rho_ab), "rho={rho_ab}");
+        assert!((rho_ab - rho_ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&rho_ab), "rho={rho_ab}");
         // Beyond twice the taper distance the supports cannot overlap.
         if a.euclid(b) > 2.0 * 2_000.0 + 2.0 * 500.0 {
-            prop_assert_eq!(rho_ab, 0.0);
+            assert_eq!(rho_ab, 0.0);
         }
     }
+}
 
-    #[test]
-    fn systematic_pattern_bounded(
-        side in 600.0f64..20_000.0,
-        x in -0.2f64..1.2,
-        y in -0.2f64..1.2,
-        hetero in proptest::bool::ANY,
-    ) {
-        let kind = if hetero { SpatialKind::Heterogeneous } else { SpatialKind::Homogeneous };
+#[test]
+fn systematic_pattern_bounded() {
+    let mut rng = SplitMix64::new(0xE2);
+    for case in 0..CASES {
+        let side = rng.uniform(600.0, 20_000.0);
+        let x = rng.uniform(-0.2, 1.2);
+        let y = rng.uniform(-0.2, 1.2);
+        let kind = if case % 2 == 0 {
+            SpatialKind::Heterogeneous
+        } else {
+            SpatialKind::Homogeneous
+        };
         let m = SpatialModel::paper_defaults(die(side), kind);
         let v = m.systematic_pattern(Point::new(x * side, y * side));
-        prop_assert!((-1.0..=1.0).contains(&v), "pattern {v} out of range");
+        assert!((-1.0..=1.0).contains(&v), "pattern {v} out of range");
     }
+}
 
-    #[test]
-    fn source_ids_never_collide(
-        regions in 0usize..500,
-        types in 1usize..5,
-        nodes in 1u32..200,
-    ) {
+#[test]
+fn source_ids_never_collide() {
+    let mut rng = SplitMix64::new(0xE3);
+    for _ in 0..CASES {
+        let regions = rng.below(500);
+        let types = 1 + rng.below(4);
+        let nodes = 1 + rng.below(199) as u32;
         let layout = SourceLayout::new(regions, types);
         let mut seen = std::collections::HashSet::new();
-        prop_assert!(seen.insert(layout.global()));
+        assert!(seen.insert(layout.global()));
         for r in 0..regions {
-            prop_assert!(seen.insert(layout.region(r)));
+            assert!(seen.insert(layout.region(r)));
         }
         for n in 0..nodes {
             for t in 0..types {
-                prop_assert!(seen.insert(layout.device(NodeId(n), t)));
+                assert!(seen.insert(layout.device(NodeId(n), t)));
             }
         }
-        prop_assert_eq!(seen.len(), layout.total_for_nodes(nodes as usize));
+        assert_eq!(seen.len(), layout.total_for_nodes(nodes as usize));
     }
+}
 
-    #[test]
-    fn buffer_forms_have_budgeted_variance(
-        side in 2_000.0f64..12_000.0,
-        x in 0.05f64..0.95,
-        y in 0.05f64..0.95,
-        random in 0.0f64..0.2,
-        inter in 0.0f64..0.2,
-        intra in 0.0f64..0.2,
-    ) {
-        let budgets = VariationBudgets { random, inter_die: inter, intra_die: intra, systematic: 0.0 };
-        let model = ProcessModel::new(die(side), SpatialKind::Homogeneous, budgets, BufferLibrary::single_65nm());
+#[test]
+fn buffer_forms_have_budgeted_variance() {
+    let mut rng = SplitMix64::new(0xE4);
+    for _ in 0..CASES {
+        let side = rng.uniform(2_000.0, 12_000.0);
+        let x = rng.uniform(0.05, 0.95);
+        let y = rng.uniform(0.05, 0.95);
+        let random = rng.uniform(0.0, 0.2);
+        let inter = rng.uniform(0.0, 0.2);
+        let intra = rng.uniform(0.0, 0.2);
+        let budgets = VariationBudgets {
+            random,
+            inter_die: inter,
+            intra_die: intra,
+            systematic: 0.0,
+        };
+        let model = ProcessModel::new(
+            die(side),
+            SpatialKind::Homogeneous,
+            budgets,
+            BufferLibrary::single_65nm(),
+        );
         let loc = Point::new(x * side, y * side);
         let form = model.buffer_cap_form(BufferTypeId(0), NodeId(1), loc, VariationMode::WithinDie);
         let nominal = model.library().get(BufferTypeId(0)).capacitance;
         let expect = (random * random + inter * inter + intra * intra) * nominal * nominal;
-        prop_assert!((form.variance() - expect).abs() < 1e-6 * expect.max(1e-9),
-            "var {} vs expected {expect}", form.variance());
-        prop_assert_eq!(form.mean(), nominal);
+        assert!(
+            (form.variance() - expect).abs() < 1e-6 * expect.max(1e-9),
+            "var {} vs expected {expect}",
+            form.variance()
+        );
+        assert_eq!(form.mean(), nominal);
     }
+}
 
-    #[test]
-    fn characterization_tracks_exponent(
-        cap_exp in 0.6f64..1.6,
-        delay_exp in 0.8f64..2.0,
-    ) {
+#[test]
+fn characterization_tracks_exponent() {
+    let mut rng = SplitMix64::new(0xE5);
+    for _ in 0..16 {
+        let cap_exp = rng.uniform(0.6, 1.6);
+        let delay_exp = rng.uniform(0.8, 2.0);
         let device = NonlinearDevice {
             l_nominal_nm: 65.0,
             cap_nominal: 20.0,
@@ -130,12 +158,12 @@ proptest! {
         let c = characterize_device(&device, 0.10, 4_000, 17).expect("fit");
         // First-order sensitivity at the nominal point is N·p·σ_rel.
         let expect_delay = 40.0 * delay_exp * 0.10;
-        prop_assert!(
+        assert!(
             (c.delay.sensitivity - expect_delay).abs() / expect_delay < 0.1,
             "delay sens {} vs {expect_delay}",
             c.delay.sensitivity
         );
-        prop_assert!(c.delay.r_squared > 0.98);
-        prop_assert!(c.capacitance.r_squared > 0.98);
+        assert!(c.delay.r_squared > 0.98);
+        assert!(c.capacitance.r_squared > 0.98);
     }
 }

@@ -26,12 +26,7 @@ fn main() -> Result<(), InsertionError> {
 
     let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous);
     let start = Instant::now();
-    let wid = optimize_statistical(
-        &tree,
-        &model,
-        VariationMode::WithinDie,
-        &Options::default(),
-    )?;
+    let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())?;
     let elapsed = start.elapsed();
 
     println!(

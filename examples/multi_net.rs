@@ -31,8 +31,16 @@ fn main() -> Result<(), InsertionError> {
         .expect("non-empty");
     let model = ProcessModel::paper_defaults(die, SpatialKind::Heterogeneous);
 
-    let design = Design::optimize(&trees, &model, VariationMode::WithinDie, &Options::default())?;
-    println!("{:<8} {:>9} {:>12} {:>8}", "net", "buffers", "mean RAT", "σ");
+    let design = Design::optimize(
+        &trees,
+        &model,
+        VariationMode::WithinDie,
+        &Options::default(),
+    )?;
+    println!(
+        "{:<8} {:>9} {:>12} {:>8}",
+        "net", "buffers", "mean RAT", "σ"
+    );
     for net in design.nets() {
         println!(
             "{:<8} {:>9} {:>12.1} {:>8.2}",
@@ -44,7 +52,10 @@ fn main() -> Result<(), InsertionError> {
     }
 
     // Joint yield versus the independence product at increasing margins.
-    println!("\n{:>8} {:>14} {:>12} {:>10}", "margin", "independent", "joint (MC)", "ratio");
+    println!(
+        "\n{:>8} {:>14} {:>12} {:>10}",
+        "margin", "independent", "joint (MC)", "ratio"
+    );
     for margin in [0.5, 1.0, 1.645, 2.0] {
         let targets = design.targets_at_margin(margin);
         let indep = design.independent_yield(&targets);

@@ -39,8 +39,13 @@ fn main() {
         ("4P", Box::new(FourParam::default())),
     ];
     for (name, rule) in rules {
-        match optimize_with_rule(&tree, &model, VariationMode::WithinDie, rule.as_ref(), &opts)
-        {
+        match optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            rule.as_ref(),
+            &opts,
+        ) {
             Ok(r) => println!(
                 "{:<6} {:>9.2}s {:>12.1} {:>10} {:>14}",
                 name,

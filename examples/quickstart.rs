@@ -26,7 +26,10 @@ fn main() -> Result<(), InsertionError> {
     // 4. Score every design under the FULL within-die variation — the
     //    silicon does not care what the optimizer believed.
     let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
-    println!("\n{:<6} {:>9} {:>12} {:>12} {:>8}", "algo", "buffers", "mean RAT", "95%-yld RAT", "σ");
+    println!(
+        "\n{:<6} {:>9} {:>12} {:>12} {:>8}",
+        "algo", "buffers", "mean RAT", "95%-yld RAT", "σ"
+    );
     for r in [&nom, &d2d, &wid] {
         let a = silicon.analyze(&r.assignment);
         println!(

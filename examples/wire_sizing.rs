@@ -38,11 +38,7 @@ fn main() -> Result<(), InsertionError> {
         plain.assignment.len(),
         y(&plain.root_rat)
     );
-    let widened = sized
-        .wire_widths
-        .iter()
-        .filter(|&&(_, wi)| wi != 0)
-        .count();
+    let widened = sized.wire_widths.iter().filter(|&&(_, wi)| wi != 0).count();
     println!(
         "with sizing  : {:>4} buffers, 95%-yield RAT {:.1} ps ({} of {} edges widened)",
         sized.assignment.len(),

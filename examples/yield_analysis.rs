@@ -13,7 +13,11 @@ fn main() -> Result<(), InsertionError> {
     let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
     let options = Options::default();
 
-    println!("optimizing `{}` ({} sinks)…", tree.name(), tree.sink_count());
+    println!(
+        "optimizing `{}` ({} sinks)…",
+        tree.name(),
+        tree.sink_count()
+    );
     let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &options)?;
     let nom = optimize_nominal(&tree, &model, &options)?;
 

@@ -11,9 +11,18 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Duration;
 use varbuf::prelude::*;
 use varbuf::rctree::io::{read_tree, write_tree};
 use varbuf::stats::mc::sample_moments;
+
+/// How a subcommand finished: exit code 0 for a clean run, 2 when the
+/// run succeeded but the governor had to degrade it (errors exit 1).
+enum Outcome {
+    Clean,
+    Degraded,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,12 +33,13 @@ fn main() -> ExitCode {
         Some("skew") => cmd_skew(&args[1..]),
         Some("help") | None => {
             print_usage();
-            Ok(())
+            Ok(Outcome::Clean)
         }
         Some(other) => Err(format!("unknown subcommand `{other}` (try `varbuf help`)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => ExitCode::from(2),
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -47,8 +57,17 @@ usage:
             or `random:SINKS:SEED`
   varbuf info FILE
   varbuf opt FILE [--mode nom|d2d|wid] [--spatial homog|hetero]
-                  [--p THRESH] [--sizing] [--mc SAMPLES]
-  varbuf skew FILE [--spatial homog|hetero]"
+                  [--rule 2p|4p|1p] [--p THRESH] [--sizing] [--mc SAMPLES]
+                  [--degrade] [--budget-solutions N] [--budget-time SECS]
+                  [--budget-mem MB]
+  varbuf skew FILE [--spatial homog|hetero]
+
+exit codes:
+  0  success
+  1  error (bad input, or a budget breach without --degrade)
+  2  success with degradation: a --degrade run stayed within budget by
+     falling back to a cheaper pruning rule, tightening pruning, or
+     finishing best-so-far; the design printed is valid but suboptimal"
     );
 }
 
@@ -76,8 +95,8 @@ fn build_tree(spec: &str, subdivide: Option<f64>) -> Result<RoutingTree, String>
         let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
         generate_benchmark(&BenchmarkSpec::random("random", sinks, seed))
     } else {
-        let bench = BenchmarkSpec::named(spec)
-            .ok_or_else(|| format!("unknown benchmark `{spec}`"))?;
+        let bench =
+            BenchmarkSpec::named(spec).ok_or_else(|| format!("unknown benchmark `{spec}`"))?;
         generate_benchmark(&bench)
     };
     Ok(match subdivide {
@@ -98,7 +117,62 @@ fn spatial_kind(args: &[String]) -> SpatialKind {
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+/// The primary pruning rule from `--rule` (with `--p` honored for 2P).
+fn parse_rule(args: &[String]) -> Result<Rc<dyn PruningRule>, String> {
+    let p = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok());
+    match flag_value(args, "--rule") {
+        None | Some("2p") => Ok(match p {
+            Some(p) => Rc::new(TwoParam::try_new(p, p).map_err(|e| e.to_string())?),
+            None => Rc::new(TwoParam::default()),
+        }),
+        Some("4p") => Ok(Rc::new(FourParam::default())),
+        Some("1p") => Ok(Rc::new(OneParam::default())),
+        Some(other) => Err(format!("unknown rule `{other}` (expected 2p, 4p, or 1p)")),
+    }
+}
+
+/// Soft budgets from the `--budget-*` flags; hard limits sit a fixed
+/// factor above each soft limit (4x solutions/memory, 2x time).
+fn parse_budget(args: &[String]) -> Result<Budget, String> {
+    // A budget flag with no value is a typo, not a request for the
+    // default — reject it rather than silently running ungoverned.
+    for key in ["--budget-solutions", "--budget-time", "--budget-mem"] {
+        if has_flag(args, key) && flag_value(args, key).is_none() {
+            return Err(format!("{key} needs a value"));
+        }
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(v) = flag_value(args, "--budget-solutions") {
+        let n: usize = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--budget-solutions needs a positive integer")?;
+        budget.soft_solutions = n;
+        budget.hard_solutions = n.saturating_mul(4);
+    }
+    if let Some(v) = flag_value(args, "--budget-time") {
+        let secs: f64 = v
+            .parse()
+            .ok()
+            .filter(|&s| s > 0.0 && f64::is_finite(s))
+            .ok_or("--budget-time needs a positive number of seconds")?;
+        budget.soft_time = Duration::from_secs_f64(secs);
+        budget.hard_time = Duration::from_secs_f64(secs * 2.0);
+    }
+    if let Some(v) = flag_value(args, "--budget-mem") {
+        let mb: usize = v
+            .parse()
+            .ok()
+            .filter(|&m| m > 0)
+            .ok_or("--budget-mem needs a positive number of MiB")?;
+        budget.soft_mem_bytes = mb.saturating_mul(1 << 20);
+        budget.hard_mem_bytes = budget.soft_mem_bytes.saturating_mul(4);
+    }
+    Ok(budget)
+}
+
+fn cmd_gen(args: &[String]) -> Result<Outcome, String> {
     let spec = args.first().ok_or("gen needs a spec")?;
     let subdivide = flag_value(args, "--subdivide").and_then(|v| v.parse().ok());
     let tree = build_tree(spec, subdivide)?;
@@ -116,10 +190,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             write_tree(&tree, std::io::stdout().lock()).map_err(|e| e.to_string())?;
         }
     }
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<Outcome, String> {
     let path = args.first().ok_or("info needs a FILE")?;
     let tree = load_tree(path)?;
     tree.validate().map_err(|e| e.to_string())?;
@@ -134,10 +208,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         bb.width() / 1000.0,
         bb.height() / 1000.0
     );
-    Ok(())
+    Ok(Outcome::Clean)
 }
 
-fn cmd_opt(args: &[String]) -> Result<(), String> {
+fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     let path = args.first().ok_or("opt needs a FILE")?;
     let tree = load_tree(path)?;
     let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
@@ -146,22 +220,56 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         Some("d2d") => VariationMode::DieToDie,
         _ => VariationMode::WithinDie,
     };
+    let rule = parse_rule(args)?;
     let mut options = Options::default();
     if let Some(p) = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok()) {
-        options.rule = TwoParam::new(p, p);
+        options.rule = TwoParam::try_new(p, p).map_err(|e| e.to_string())?;
     }
+    let degrade = has_flag(args, "--degrade")
+        || has_flag(args, "--budget-solutions")
+        || has_flag(args, "--budget-time")
+        || has_flag(args, "--budget-mem");
 
-    let (assignment, widths, rat_desc) = if has_flag(args, "--sizing") {
-        let sizing = WireSizing::default_three();
-        let r = optimize_with_sizing(
+    let mut outcome = Outcome::Clean;
+    let (assignment, widths, rat_desc) = if degrade {
+        if matches!(mode, VariationMode::Nominal) {
+            return Err("--degrade / --budget-* need a statistical mode (d2d or wid)".to_owned());
+        }
+        let budget = parse_budget(args)?;
+        let sizing = if has_flag(args, "--sizing") {
+            WireSizing::default_three()
+        } else {
+            WireSizing::single()
+        };
+        let record_widths = sizing.widths().len() > 1;
+        let g = optimize_governed_detailed(
             &tree,
             &model,
             mode,
-            &options.rule,
+            fallback_cascade(rule),
             &sizing,
             &options.dp,
+            &budget,
+            None,
+            None,
         )
         .map_err(|e| e.to_string())?;
+        if g.degradation.degraded() {
+            outcome = Outcome::Degraded;
+            print!("{}", g.degradation.summary());
+        }
+        let r = g.result;
+        let desc = format!(
+            "RAT {:.1} ± {:.2} ps",
+            r.root_rat.mean(),
+            r.root_rat.std_dev()
+        );
+        let widths = record_widths.then(|| sizing.edge_widths(&r.wire_widths));
+        (r.assignment, widths, desc)
+    } else if has_flag(args, "--sizing") {
+        let sizing = WireSizing::default_three();
+        let r = optimize_with_sizing(&tree, &model, mode, rule.as_ref(), &sizing, &options.dp)
+            .map_err(|e| e.to_string())?;
         let desc = format!(
             "RAT {:.1} ± {:.2} ps ({} widened edges)",
             r.root_rat.mean(),
@@ -169,13 +277,33 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
             r.wire_widths.iter().filter(|&&(_, w)| w != 0).count()
         );
         (r.assignment, Some(sizing.edge_widths(&r.wire_widths)), desc)
+    } else if flag_value(args, "--rule").is_some_and(|r| r != "2p") {
+        if matches!(mode, VariationMode::Nominal) {
+            return Err("--rule applies to statistical modes (d2d or wid)".to_owned());
+        }
+        let r = optimize_with_rule(&tree, &model, mode, rule.as_ref(), &options.dp)
+            .map_err(|e| e.to_string())?;
+        let desc = format!(
+            "RAT {:.1} ± {:.2} ps",
+            r.root_rat.mean(),
+            r.root_rat.std_dev()
+        );
+        (r.assignment, None, desc)
     } else {
         let r = optimize_statistical(&tree, &model, mode, &options).map_err(|e| e.to_string())?;
-        let desc = format!("RAT {:.1} ± {:.2} ps", r.root_rat.mean(), r.root_rat.std_dev());
+        let desc = format!(
+            "RAT {:.1} ± {:.2} ps",
+            r.root_rat.mean(),
+            r.root_rat.std_dev()
+        );
         (r.assignment, None, desc)
     };
 
-    println!("mode {}: {} buffers, {rat_desc}", mode.label(), assignment.len());
+    println!(
+        "mode {}: {} buffers, {rat_desc}",
+        mode.label(),
+        assignment.len()
+    );
 
     // Always score under the full silicon model.
     let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
@@ -183,7 +311,12 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         Some(w) => {
             let rat = silicon.rat_form_sized(&assignment, w);
             let y95 = rat.percentile(0.05);
-            println!("silicon (WID): mean {:.1}, sigma {:.2}, 95%-yield RAT {:.1}", rat.mean(), rat.std_dev(), y95);
+            println!(
+                "silicon (WID): mean {:.1}, sigma {:.2}, 95%-yield RAT {:.1}",
+                rat.mean(),
+                rat.std_dev(),
+                y95
+            );
             None
         }
         None => {
@@ -204,7 +337,11 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         }
         let mc = silicon.monte_carlo(&assignment, samples, 42);
         let (mean, var) = sample_moments(&mc);
-        println!("monte carlo ({samples} samples): mean {:.1}, sigma {:.2}", mean, var.sqrt());
+        println!(
+            "monte carlo ({samples} samples): mean {:.1}, sigma {:.2}",
+            mean,
+            var.sqrt()
+        );
         if let Some(a) = analysis {
             println!(
                 "model-vs-MC mean error: {:.3}%",
@@ -212,20 +349,15 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(outcome)
 }
 
-fn cmd_skew(args: &[String]) -> Result<(), String> {
+fn cmd_skew(args: &[String]) -> Result<Outcome, String> {
     let path = args.first().ok_or("skew needs a FILE")?;
     let tree = load_tree(path)?;
     let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
-    let wid = optimize_statistical(
-        &tree,
-        &model,
-        VariationMode::WithinDie,
-        &Options::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
+        .map_err(|e| e.to_string())?;
     let analysis =
         SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie).analyze(&wid.assignment);
     let skew = analysis.global_skew();
@@ -244,5 +376,5 @@ fn cmd_skew(args: &[String]) -> Result<(), String> {
             100.0 * analysis.skew_yield(target)
         );
     }
-    Ok(())
+    Ok(Outcome::Clean)
 }

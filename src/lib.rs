@@ -48,11 +48,15 @@ pub use varbuf_variation as variation;
 pub mod prelude {
     pub use varbuf_core::criticality::{sink_criticalities, CriticalityReport};
     pub use varbuf_core::design::{Design, DesignNet};
-    pub use varbuf_core::dp::{optimize_with_sizing, DpOptions, RootSelection, WireSizing};
+    pub use varbuf_core::dp::{
+        fallback_cascade, optimize_governed, optimize_governed_detailed, optimize_with_rule,
+        optimize_with_sizing, DpOptions, GovernedResult, RootSelection, WireSizing,
+    };
     pub use varbuf_core::driver::{
         optimize_all_modes, optimize_nominal, optimize_statistical, OptimizeResult, Options,
     };
-    pub use varbuf_core::prune::{FourParam, OneParam, PruningRule, TwoParam};
+    pub use varbuf_core::governor::{Budget, Degradation, DegradationEvent};
+    pub use varbuf_core::prune::{FourParam, OneParam, PruningRule, RuleConfigError, TwoParam};
     pub use varbuf_core::skew::{SkewAnalysis, SkewAnalyzer};
     pub use varbuf_core::yield_eval::{YieldAnalysis, YieldEvaluator};
     pub use varbuf_core::InsertionError;
@@ -62,7 +66,7 @@ pub mod prelude {
     pub use varbuf_rctree::{NodeId, Point, RoutingTree, WireParams};
     pub use varbuf_stats::{CanonicalForm, SourceId};
     pub use varbuf_variation::{
-        BufferLibrary, BufferType, BufferTypeId, ProcessModel, SpatialKind, VariationBudgets,
-        VariationMode,
+        BufferLibrary, BufferType, BufferTypeId, ProcessModel, SpatialKind, UnknownBufferType,
+        VariationBudgets, VariationMode,
     };
 }

@@ -16,6 +16,17 @@ fn run(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// Like [`run`] but returning the raw exit code — the degradation
+/// contract distinguishes 0 (clean) from 2 (degraded success).
+fn run_code(args: &[&str]) -> (i32, String, String) {
+    let out = varbuf().args(args).output().expect("binary runs");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn help_prints_usage() {
     let (ok, stdout, _) = run(&["help"]);
@@ -75,7 +86,10 @@ fn gen_named_benchmark_to_stdout() {
     assert!(ok);
     assert!(stdout.starts_with("varbuf-tree v1"));
     // 267 sinks → 267 sink lines.
-    assert_eq!(stdout.lines().filter(|l| l.starts_with("sink ")).count(), 267);
+    assert_eq!(
+        stdout.lines().filter(|l| l.starts_with("sink ")).count(),
+        267
+    );
 }
 
 #[test]
@@ -86,16 +100,88 @@ fn info_rejects_missing_file() {
 }
 
 #[test]
+fn degraded_opt_exits_two_with_report() {
+    let dir = std::env::temp_dir().join(format!("varbuf-cli-deg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let tree_path = dir.join("net.tree");
+    let tree = tree_path.to_str().expect("utf8 path");
+    let (ok, ..) = run(&["gen", "random:120:6", "-o", tree]);
+    assert!(ok);
+
+    // 4P under a solution budget it cannot meet: the governor falls back
+    // to 2P, the run succeeds, and the exit code flags the degradation.
+    let (code, stdout, stderr) =
+        run_code(&["opt", tree, "--rule", "4p", "--budget-solutions", "200"]);
+    assert_eq!(code, 2, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("degraded run"), "{stdout}");
+    assert!(stdout.contains("fell back from 4P"), "{stdout}");
+    assert!(stdout.contains("mode WID:"), "a design is still printed");
+    assert!(stdout.contains("silicon (WID):"));
+
+    // The same budget with headroom to spare: clean exit 0, no report.
+    let (code, stdout, _) = run_code(&["opt", tree, "--degrade", "--budget-solutions", "100000"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("degraded run"), "{stdout}");
+    assert!(stdout.contains("mode WID:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_flags_are_validated() {
+    let dir = std::env::temp_dir().join(format!("varbuf-cli-bv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let tree_path = dir.join("net.tree");
+    let tree = tree_path.to_str().expect("utf8 path");
+    let (ok, ..) = run(&["gen", "random:10:1", "-o", tree]);
+    assert!(ok);
+
+    let (code, _, stderr) = run_code(&["opt", tree, "--budget-solutions", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--budget-solutions"), "{stderr}");
+
+    // A bare budget flag is a typo, not a request for defaults.
+    let (code, _, stderr) = run_code(&["opt", tree, "--budget-solutions"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&["opt", tree, "--budget-time", "-3"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--budget-time"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&["opt", tree, "--rule", "5p"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&["opt", tree, "--mode", "nom", "--degrade"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("statistical mode"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_documents_exit_code_contract() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("--degrade"), "{stdout}");
+    assert!(stdout.contains("exit codes"), "{stdout}");
+    assert!(stdout.contains("success with degradation"), "{stdout}");
+}
+
+#[test]
 fn opt_rejects_bad_p_threshold_gracefully() {
-    // `--p 0.4` violates the 2P precondition; the library panics with a
-    // clear message — the CLI must not silently succeed.
+    // `--p 0.4` violates the 2P precondition; the CLI must report a
+    // clean typed error (exit 1), not a panic backtrace.
     let dir = std::env::temp_dir().join(format!("varbuf-cli-p-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let tree_path = dir.join("net.tree");
     let tree = tree_path.to_str().expect("utf8 path");
     let (ok, ..) = run(&["gen", "random:10:1", "-o", tree]);
     assert!(ok);
-    let out = varbuf().args(["opt", tree, "--p", "0.4"]).output().expect("runs");
-    assert!(!out.status.success());
+    let (code, _, stderr) = run_code(&["opt", tree, "--p", "0.4"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("invalid 2P configuration"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }

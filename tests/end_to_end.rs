@@ -54,13 +54,20 @@ fn statistical_mean_is_consistent_with_deterministic_elmore() {
     let mc = silicon.monte_carlo(&wid.assignment, 3000, 99);
     let (mc_mean, _) = sample_moments(&mc);
     let rel = (analytic.rat.mean() - mc_mean).abs() / mc_mean.abs();
-    assert!(rel < 0.01, "analytic {} vs MC {}", analytic.rat.mean(), mc_mean);
+    assert!(
+        rel < 0.01,
+        "analytic {} vs MC {}",
+        analytic.rat.mean(),
+        mc_mean
+    );
 
     // And the pure-nominal (no shift) evaluation matches plain Elmore.
     let nom_eval = YieldEvaluator::new(&tree, &model, VariationMode::Nominal);
     let nominal_rat = nom_eval.rat_form(&wid.assignment);
-    let elmore = ElmoreEvaluator::new(&tree)
-        .evaluate(&assignment_with_nominal_values(&wid.assignment, model.library()));
+    let elmore = ElmoreEvaluator::new(&tree).evaluate(
+        &assignment_with_nominal_values(&wid.assignment, model.library())
+            .expect("ids from this library"),
+    );
     assert!(
         (nominal_rat.mean() - elmore.root_rat).abs() <= 1e-6 * elmore.root_rat.abs(),
         "canonical nominal {} vs Elmore {} (min-correction must vanish without variance)",
@@ -83,8 +90,14 @@ fn pruning_rules_agree_on_tiny_nets() {
         Box::new(FourParam::default()),
     ];
     for rule in &rules {
-        let r = optimize_with_rule(&tree, &model, VariationMode::WithinDie, rule.as_ref(), &opts)
-            .expect("completes");
+        let r = optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            rule.as_ref(),
+            &opts,
+        )
+        .expect("completes");
         means.push(r.root_rat.mean());
     }
     let spread = (means.iter().copied().fold(f64::NEG_INFINITY, f64::max)
@@ -135,8 +148,13 @@ fn io_roundtrip_preserves_optimization_results() {
     let a = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
         .expect("a");
     let model_b = ProcessModel::paper_defaults(back.bounding_box(), SpatialKind::Homogeneous);
-    let b = optimize_statistical(&back, &model_b, VariationMode::WithinDie, &Options::default())
-        .expect("b");
+    let b = optimize_statistical(
+        &back,
+        &model_b,
+        VariationMode::WithinDie,
+        &Options::default(),
+    )
+    .expect("b");
     assert_eq!(a.assignment.len(), b.assignment.len());
     assert!((a.root_rat.mean() - b.root_rat.mean()).abs() < 1e-9);
 }
@@ -152,6 +170,60 @@ fn htree_capacity_smoke() {
         .expect("completes");
     assert!(r.buffer_count() > 0);
     assert!(r.stats.max_solutions_per_node < 10_000);
+}
+
+#[test]
+fn governed_facade_survives_budget_the_strict_engine_cannot() {
+    use std::rc::Rc;
+    // Through the public facade: a solution budget that makes strict 4P
+    // abort is absorbed by the governed engine via rule fallback, and
+    // the degraded design still scores sanely under the silicon model.
+    let (tree, model) = small_setup(64, 17, SpatialKind::Heterogeneous);
+    let tight = DpOptions {
+        max_solutions_per_node: 150,
+        ..DpOptions::default()
+    };
+    let strict = optimize_with_rule(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        &FourParam::default(),
+        &tight,
+    );
+    assert!(strict.is_err(), "strict 4P must abort under this cap");
+
+    let budget = Budget {
+        soft_solutions: 150,
+        hard_solutions: 600,
+        ..Budget::unlimited()
+    };
+    let governed = optimize_governed(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        Rc::new(FourParam::default()),
+        &tight,
+        &budget,
+    )
+    .expect("governed run completes");
+    assert!(governed.degradation.degraded());
+    assert!(governed.degradation.rule_fallbacks() >= 1);
+
+    // The degraded design is a real design: the silicon evaluator agrees
+    // with the DP's claimed RAT and lands near a pure-2P design.
+    let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+    let rat = silicon.rat_form(&governed.result.assignment);
+    assert!((rat.mean() - governed.result.root_rat.mean()).abs() < 1e-6 * rat.mean().abs());
+    let pure = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
+        .expect("2P");
+    let rel =
+        (governed.result.root_rat.mean() - pure.root_rat.mean()).abs() / pure.root_rat.mean().abs();
+    assert!(
+        rel < 0.02,
+        "degraded 4P {} vs 2P {}",
+        governed.result.root_rat.mean(),
+        pure.root_rat.mean()
+    );
 }
 
 #[test]

@@ -86,8 +86,7 @@ fn sized_design_matches_sized_elmore_at_nominal() {
     // deterministic Elmore evaluator once the widths and buffers are
     // applied — with the zero-variance model so the min-corrections
     // vanish.
-    let tree =
-        generate_benchmark(&BenchmarkSpec::random("ext-size", 24, 3)).subdivided(1000.0);
+    let tree = generate_benchmark(&BenchmarkSpec::random("ext-size", 24, 3)).subdivided(1000.0);
     let lib = BufferLibrary::default_65nm();
     let model = ProcessModel::new(
         tree.bounding_box(),
@@ -125,6 +124,50 @@ fn sized_design_matches_sized_elmore_at_nominal() {
         "Elmore {} vs DP {}",
         rep.root_rat,
         sized.root_rat.mean()
+    );
+}
+
+#[test]
+fn governed_wire_sizing_degrades_but_keeps_consistent_widths() {
+    use std::rc::Rc;
+    // Wire sizing triples the decision space, so a modest solution
+    // budget forces degradation — and the degraded result's widths must
+    // still index into the sizing table and re-evaluate consistently.
+    let tree = generate_benchmark(&BenchmarkSpec::random("ext-gov", 40, 7)).subdivided(500.0);
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+    let sizing = WireSizing::default_three();
+    let budget = Budget {
+        soft_solutions: 12,
+        hard_solutions: 48,
+        ..Budget::unlimited()
+    };
+    let governed = optimize_governed_detailed(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        fallback_cascade(Rc::new(TwoParam::new(0.9, 0.9))),
+        &sizing,
+        &DpOptions::default(),
+        &budget,
+        None,
+        None,
+    )
+    .expect("governed sizing completes");
+    assert!(governed.degradation.degraded());
+    let r = &governed.result;
+    assert!(r
+        .wire_widths
+        .iter()
+        .all(|&(_, wi)| (wi as usize) < sizing.widths().len()));
+    let ye = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
+    let rat = ye.rat_form_sized(&r.assignment, &sizing.edge_widths(&r.wire_widths));
+    // Degradation may tighten epsilon-sparsification, so the DP's forms
+    // can drift slightly from the exact re-evaluation — allow 0.1%.
+    assert!(
+        (rat.mean() - r.root_rat.mean()).abs() < 1e-3 * r.root_rat.mean().abs(),
+        "evaluator {} vs degraded DP {}",
+        rat.mean(),
+        r.root_rat.mean()
     );
 }
 
