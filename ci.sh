@@ -3,6 +3,8 @@
 #   1. formatting        (cargo fmt --check)
 #   2. lints             (cargo clippy, warnings are errors)
 #   3. tier-1 build+test (the full offline workspace suite)
+#   4. smoke bench       (scaling bench, shrunk via VARBUF_BENCH_SMOKE,
+#                         must emit a parseable BENCH_dp.json)
 # No network access is required; the workspace has no external
 # dependencies.
 set -euo pipefail
@@ -19,5 +21,14 @@ cargo build --workspace
 
 echo "==> cargo test --workspace"
 cargo test --workspace
+
+echo "==> smoke bench (VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling)"
+VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling -- --jobs 2
+test -s BENCH_dp.json || { echo "BENCH_dp.json missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; json.load(open('BENCH_dp.json'))"
+else
+  echo "(python3 unavailable; skipped JSON well-formedness check)"
+fi
 
 echo "==> ci.sh: all gates passed"

@@ -4,7 +4,7 @@
 //! admission control. A third variant runs 4P under a solution budget it
 //! cannot meet, pricing the full fallback cascade.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use varbuf_bench::harness::{black_box, BenchConfig, Bencher};
 use varbuf_core::dp::{optimize_governed, optimize_with_rule, DpOptions};
 use varbuf_core::governor::Budget;
@@ -39,7 +39,7 @@ fn main() {
                 black_box(&tree),
                 &model,
                 VariationMode::WithinDie,
-                Rc::new(TwoParam::default()),
+                Arc::new(TwoParam::default()),
                 &opts,
                 &unlimited,
             )
@@ -62,7 +62,7 @@ fn main() {
                 black_box(&tree),
                 &model,
                 VariationMode::WithinDie,
-                Rc::new(FourParam::default()),
+                Arc::new(FourParam::default()),
                 &capped,
                 &tight,
             )

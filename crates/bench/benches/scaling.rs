@@ -1,32 +1,147 @@
 //! Benchmark of the end-to-end DP across benchmark sizes — the measured
-//! backbone of Figure 5's linearity claim.
+//! backbone of Figure 5's linearity claim — plus the batch-throughput
+//! comparison for the parallel engine (`--jobs 1` vs `--jobs 4`).
+//!
+//! All DP timings route through [`optimize_batch`], so the wall-clock
+//! columns reflect the engine the CLI and experiment binaries actually
+//! run; with one worker the batch path is the plain sequential loop, so
+//! `--jobs 1` reproduces the historical numbers. On top of the printed
+//! tables the run writes machine-readable `BENCH_dp.json` at the repo
+//! root (median ns, solutions/sec, peak list size per bench, plus the
+//! thread count the speedup must be judged against).
+//!
+//! `VARBUF_BENCH_SMOKE=1` shrinks sizes and budgets to a CI-friendly
+//! smoke run.
 
-use varbuf_bench::harness::{black_box, BenchConfig, Bencher};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use varbuf_bench::harness::{black_box, BenchConfig, Bencher, JsonReport};
 use varbuf_core::det::optimize_deterministic;
-use varbuf_core::dp::{optimize_with_rule, DpOptions};
+use varbuf_core::dp::DpOptions;
+use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
 use varbuf_core::prune::TwoParam;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_rctree::RoutingTree;
 use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
 
+fn request<'a>(tree: &'a RoutingTree, model: &'a ProcessModel, jobs: usize) -> BatchRequest<'a> {
+    let mut req = BatchRequest::new(
+        tree,
+        model,
+        VariationMode::WithinDie,
+        Arc::new(TwoParam::default()),
+    );
+    req.strict = true;
+    req.options = DpOptions {
+        jobs,
+        ..DpOptions::default()
+    };
+    req
+}
+
 fn main() {
-    let mut group = Bencher::new("dp_scaling").with_config(BenchConfig::slow());
-    for &sinks in &[128usize, 256, 512, 1024] {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .map_or(1, |n: usize| if n == 0 { default_jobs() } else { n });
+    let smoke = std::env::var_os("VARBUF_BENCH_SMOKE").is_some();
+
+    let mut report = JsonReport::new();
+    report.meta_str("bench", "scaling");
+    report.meta_num("threads_available", default_jobs() as f64);
+    report.meta_num("jobs", jobs as f64);
+    report.meta_num("smoke", u32::from(smoke).into());
+
+    // Per-size scaling, Figure 5 style.
+    let sizes: &[usize] = if smoke { &[64] } else { &[128, 256, 512, 1024] };
+    let config = if smoke {
+        BenchConfig {
+            warmup: Duration::from_millis(10),
+            measure: Duration::from_millis(200),
+            max_iters: 5,
+        }
+    } else {
+        BenchConfig::slow()
+    };
+    let mut group = Bencher::new("dp_scaling").with_config(config);
+    for &sinks in sizes {
         let tree = generate_benchmark(&BenchmarkSpec::random("scale", sinks, 77)).subdivided(500.0);
         let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
 
-        group.bench(&format!("2P-WID/{sinks}"), || {
-            optimize_with_rule(
-                black_box(&tree),
-                &model,
-                VariationMode::WithinDie,
-                &TwoParam::default(),
-                &DpOptions::default(),
-            )
+        let reqs = vec![request(&tree, &model, jobs)];
+        let stats = optimize_batch(&reqs, 1)
+            .pop()
+            .expect("one request")
             .expect("completes")
-        });
+            .result
+            .stats;
+        group
+            .bench(&format!("2P-WID/{sinks}"), || {
+                optimize_batch(black_box(&reqs), 1)
+            })
+            .annotate_dp(stats.solutions_generated, stats.max_solutions_per_node);
         group.bench(&format!("deterministic/{sinks}"), || {
             optimize_deterministic(black_box(&tree), model.library()).expect("completes")
         });
     }
     group.finish();
+    report.record_group("dp_scaling", group.results());
+
+    // Batch throughput: independent nets fanned across the worker pool.
+    let (net_count, net_sinks) = if smoke { (3, 24) } else { (8, 64) };
+    let trees: Vec<RoutingTree> = (0..net_count)
+        .map(|i| {
+            generate_benchmark(&BenchmarkSpec::random("batch", net_sinks, 100 + i as u64))
+                .subdivided(500.0)
+        })
+        .collect();
+    let models: Vec<ProcessModel> = trees
+        .iter()
+        .map(|t| ProcessModel::paper_defaults(t.bounding_box(), SpatialKind::Heterogeneous))
+        .collect();
+    let reqs: Vec<BatchRequest> = trees
+        .iter()
+        .zip(&models)
+        .map(|(t, m)| request(t, m, 1))
+        .collect();
+
+    let sample: Vec<_> = optimize_batch(&reqs, 1)
+        .into_iter()
+        .map(|r| r.expect("completes").result.stats)
+        .collect();
+    let total_generated: usize = sample.iter().map(|s| s.solutions_generated).sum();
+    let peak_list = sample
+        .iter()
+        .map(|s| s.max_solutions_per_node)
+        .max()
+        .unwrap_or(0);
+
+    let mut batch = Bencher::new("batch_throughput").with_config(config);
+    let mut medians = [Duration::ZERO; 2];
+    for (slot, workers) in [1usize, 4].into_iter().enumerate() {
+        medians[slot] = batch
+            .bench(&format!("{net_count}nets/jobs{workers}"), || {
+                optimize_batch(black_box(&reqs), workers)
+            })
+            .annotate_dp(total_generated, peak_list)
+            .median;
+    }
+    batch.finish();
+    report.record_group("batch_throughput", batch.results());
+
+    let speedup = medians[0].as_secs_f64() / medians[1].as_secs_f64().max(f64::MIN_POSITIVE);
+    report.meta_num("batch_speedup_jobs4_vs_jobs1", speedup);
+    println!(
+        "batch throughput: jobs=4 vs jobs=1 speedup {speedup:.2}x \
+         ({net_count} requests on {} hardware threads)",
+        default_jobs()
+    );
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp.json");
+    report.write(&path).expect("write BENCH_dp.json");
+    println!("wrote {}", path.display());
 }

@@ -1,16 +1,28 @@
 //! Table 5 — number of buffers inserted by each algorithm (heterogeneous
 //! spatial model), with the ratio versus WID in parentheses. The paper's
 //! shape: WID always uses the fewest buffers (NOM avg 1.15×, D2D 1.13×).
+//!
+//! `--jobs N` fans each row's statistical optimizations across the
+//! batch worker pool; the table is bit-identical at any job count.
 
-use varbuf_bench::{rat_optimization_row, SUITE};
+use varbuf_bench::{rat_optimization_row_jobs, SUITE};
+use varbuf_core::pool::default_jobs;
 use varbuf_variation::SpatialKind;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .map_or(1, |n: usize| if n == 0 { default_jobs() } else { n });
+
     println!("Table 5: number of buffers under different variation models");
     println!("{:<6} {:>16} {:>16} {:>8}", "Bench", "NOM", "D2D", "WID");
     let mut ratio_sums = [0.0_f64; 2];
     for name in SUITE {
-        let row = rat_optimization_row(name, SpatialKind::Heterogeneous);
+        let row = rat_optimization_row_jobs(name, SpatialKind::Heterogeneous, jobs);
         let wid = row.algos[2].buffers as f64;
         let nom = row.algos[0].buffers;
         let d2d = row.algos[1].buffers;

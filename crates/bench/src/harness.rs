@@ -59,9 +59,24 @@ pub struct BenchResult {
     pub median: Duration,
     /// Mean iteration.
     pub mean: Duration,
+    /// Candidate solutions generated per second of median iteration
+    /// (DP benches annotate this from `DpStats`; `None` elsewhere).
+    pub solutions_per_sec: Option<f64>,
+    /// Largest candidate list the benched run held at any node.
+    pub max_list_size: Option<usize>,
 }
 
 impl BenchResult {
+    /// Attaches DP throughput metadata to this result: `generated` is
+    /// the number of candidate solutions one iteration produced,
+    /// `max_list` the peak list size it reached. Feeds `BENCH_dp.json`.
+    pub fn annotate_dp(&mut self, generated: usize, max_list: usize) -> &mut Self {
+        let secs = self.median.as_secs_f64();
+        self.solutions_per_sec = (secs > 0.0).then(|| generated as f64 / secs);
+        self.max_list_size = Some(max_list);
+        self
+    }
+
     fn render(d: Duration) -> String {
         let ns = d.as_nanos();
         if ns < 1_000 {
@@ -104,7 +119,7 @@ impl Bencher {
 
     /// Runs one benchmark: `f` is called repeatedly; its return value is
     /// passed through [`black_box`] so the computation cannot be elided.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut BenchResult {
         // Warmup.
         let start = Instant::now();
         while start.elapsed() < self.config.warmup {
@@ -138,6 +153,8 @@ impl Bencher {
             min,
             median,
             mean,
+            solutions_per_sec: None,
+            max_list_size: None,
         };
         println!(
             "{}/{:<40} {:>12} median, {:>12} mean, {:>12} min ({} iters)",
@@ -149,7 +166,7 @@ impl Bencher {
             result.iters
         );
         self.results.push(result);
-        self.results.last().expect("just pushed")
+        self.results.last_mut().expect("just pushed")
     }
 
     /// All results recorded so far.
@@ -168,9 +185,129 @@ impl Bencher {
     }
 }
 
+/// Machine-readable sibling of the printed tables.
+///
+/// Accumulates [`BenchResult`]s across groups plus free-form metadata
+/// and serializes them as one JSON document — `BENCH_dp.json` at the
+/// repo root for the DP benches. Hand-rolled (the workspace is
+/// dependency-free), so only the shapes used here are supported:
+/// string/number metadata and a flat `benches` array.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    /// `key -> already-rendered JSON value`, emitted in insert order.
+    meta: Vec<(String, String)>,
+    /// `(group, result)` pairs, emitted in insert order.
+    entries: Vec<(String, BenchResult)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a numeric metadata field (e.g. `threads_available`).
+    pub fn meta_num(&mut self, key: &str, value: f64) {
+        self.meta.push((key.to_owned(), format!("{value}")));
+    }
+
+    /// Records a string metadata field (e.g. the bench binary name).
+    pub fn meta_str(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_owned(), json_string(value)));
+    }
+
+    /// Records every result of a finished group.
+    pub fn record_group(&mut self, group: &str, results: &[BenchResult]) {
+        for r in results {
+            self.entries.push((group.to_owned(), r.clone()));
+        }
+    }
+
+    /// Serializes the report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (key, value) in &self.meta {
+            out.push_str(&format!("  {}: {value},\n", json_string(key)));
+        }
+        out.push_str("  \"benches\": [\n");
+        for (i, (group, r)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"name\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"iters\": {}, \"solutions_per_sec\": {}, \"max_list_size\": {}}}{}\n",
+                json_string(group),
+                json_string(&r.name),
+                r.median.as_nanos(),
+                r.mean.as_nanos(),
+                r.min.as_nanos(),
+                r.iters,
+                r.solutions_per_sec
+                    .map_or_else(|| "null".to_owned(), |v| format!("{v:.1}")),
+                r.max_list_size
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_round_trips_structure() {
+        let mut report = JsonReport::new();
+        report.meta_num("threads_available", 4.0);
+        report.meta_str("source", "unit \"test\"");
+        let mut r = BenchResult {
+            name: "2P/128".to_owned(),
+            iters: 3,
+            min: Duration::from_nanos(10),
+            median: Duration::from_micros(2),
+            mean: Duration::from_micros(3),
+            solutions_per_sec: None,
+            max_list_size: None,
+        };
+        r.annotate_dp(1000, 42);
+        report.record_group("dp", &[r]);
+        let json = report.to_json();
+        assert!(json.contains("\"threads_available\": 4"));
+        assert!(json.contains("\"source\": \"unit \\\"test\\\"\""));
+        assert!(json.contains("\"median_ns\": 2000"));
+        assert!(json.contains("\"max_list_size\": 42"));
+        assert!(json.contains("\"solutions_per_sec\": 500000000.0"));
+        // Balanced braces/brackets — cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
 
     #[test]
     fn bench_records_samples() {

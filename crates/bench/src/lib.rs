@@ -97,14 +97,54 @@ pub struct AlgoScore {
 /// engine caps on this suite).
 #[must_use]
 pub fn rat_optimization_row(name: &str, kind: SpatialKind) -> RatRow {
-    use varbuf_core::driver::optimize_all_modes;
+    rat_optimization_row_jobs(name, kind, 1)
+}
+
+/// [`rat_optimization_row`] with the statistical optimizations (D2D,
+/// WID) fanned across `jobs` workers via [`varbuf_core::optimize_batch`]
+/// — bit-identical to the sequential row at any job count (NOM is the
+/// deterministic van Ginneken DP, which has no statistical engine to
+/// parallelize and runs inline).
+///
+/// # Panics
+///
+/// Panics if any optimizer fails (the 2P-based algorithms never hit the
+/// engine caps on this suite).
+#[must_use]
+pub fn rat_optimization_row_jobs(name: &str, kind: SpatialKind, jobs: usize) -> RatRow {
+    use std::sync::Arc;
+    use varbuf_core::driver::{optimize_nominal, OptimizeResult};
+    use varbuf_core::pool::{optimize_batch, BatchRequest};
     use varbuf_core::yield_eval::YieldEvaluator;
     use varbuf_variation::VariationMode;
 
     let tree = load(name);
     let model = model_for(&tree, kind);
-    let results =
-        optimize_all_modes(&tree, &model, &options()).expect("suite optimizations succeed");
+    let opts = options();
+    let nom = optimize_nominal(&tree, &model, &opts).expect("suite optimizations succeed");
+    let statistical_modes = [VariationMode::DieToDie, VariationMode::WithinDie];
+    let requests: Vec<BatchRequest> = statistical_modes
+        .iter()
+        .map(|&mode| {
+            let mut req = BatchRequest::new(&tree, &model, mode, Arc::new(opts.rule));
+            req.strict = true;
+            req.options = opts.dp;
+            req
+        })
+        .collect();
+    let mut results = vec![nom];
+    for (r, &mode) in optimize_batch(&requests, jobs)
+        .into_iter()
+        .zip(&statistical_modes)
+    {
+        let r = r.expect("suite optimizations succeed").result;
+        results.push(OptimizeResult {
+            mode,
+            root_rat: r.root_rat,
+            assignment: r.assignment,
+            stats: r.stats,
+        });
+    }
     let silicon = YieldEvaluator::new(&tree, &model, VariationMode::WithinDie);
 
     let analyses: Vec<_> = results

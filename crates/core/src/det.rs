@@ -13,7 +13,7 @@ use crate::metrics::DpStats;
 use crate::ops::{buffer_extend_det, driver_rat_det, merge_pair_det, wire_extend_det};
 use crate::solution::DetSolution;
 use crate::trace::Trace;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use varbuf_rctree::tree::NodeKind;
 use varbuf_rctree::{NodeId, RoutingTree};
@@ -222,7 +222,7 @@ pub fn assignment_with_nominal_values(
 
 // Keep an explicit reference to Trace so the module docs read naturally.
 #[allow(unused)]
-fn _trace_type_anchor(_: Rc<Trace>) {}
+fn _trace_type_anchor(_: Arc<Trace>) {}
 
 #[cfg(test)]
 mod tests {

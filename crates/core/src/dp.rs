@@ -29,10 +29,10 @@ use crate::governor::{
 };
 use crate::metrics::DpStats;
 use crate::ops::{buffer_extend_stat, driver_rat_stat, merge_pair_stat, wire_extend_stat};
-use crate::prune::{prune_solutions, MergeStrategy, PruningRule, TwoParam};
+use crate::prune::{prune_solutions_in_place, MergeStrategy, PruningRule, TwoParam};
 use crate::solution::StatSolution;
-use std::rc::Rc;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use varbuf_rctree::tree::NodeKind;
 use varbuf_rctree::{NodeId, RoutingTree};
 use varbuf_stats::CanonicalForm;
@@ -84,6 +84,13 @@ pub struct DpOptions {
     pub sparsify_epsilon: f64,
     /// Winner criterion at the root.
     pub root_selection: RootSelection,
+    /// Worker threads for intra-tree parallelism (`1` = sequential).
+    /// Independent sibling subtrees are solved concurrently and joined
+    /// at branch nodes in fixed child order; results are bit-identical
+    /// to the sequential engine (see `pool` module docs for the
+    /// determinism contract and when the engine falls back to one
+    /// thread).
+    pub jobs: usize,
 }
 
 impl Default for DpOptions {
@@ -93,6 +100,7 @@ impl Default for DpOptions {
             time_limit: Duration::from_secs(4 * 3600),
             sparsify_epsilon: 0.0,
             root_selection: RootSelection::YieldRat(0.95),
+            jobs: 1,
         }
     }
 }
@@ -269,13 +277,13 @@ pub fn optimize_with_sizing(
 /// rule, then plain mean dominance — each strictly cheaper than the
 /// last.
 #[must_use]
-pub fn fallback_cascade(primary: Rc<dyn PruningRule>) -> Vec<Rc<dyn PruningRule>> {
+pub fn fallback_cascade(primary: Arc<dyn PruningRule>) -> Vec<Arc<dyn PruningRule>> {
     let primary_is_two_param = primary.name() == "2P";
     let mut cascade = vec![primary];
     if !primary_is_two_param {
-        cascade.push(Rc::new(TwoParam::new(0.9, 0.9)) as Rc<dyn PruningRule>);
+        cascade.push(Arc::new(TwoParam::new(0.9, 0.9)) as Arc<dyn PruningRule>);
     }
-    cascade.push(Rc::new(TwoParam::default()) as Rc<dyn PruningRule>);
+    cascade.push(Arc::new(TwoParam::default()) as Arc<dyn PruningRule>);
     cascade
 }
 
@@ -293,7 +301,7 @@ pub fn optimize_governed(
     tree: &RoutingTree,
     model: &ProcessModel,
     mode: VariationMode,
-    primary: Rc<dyn PruningRule>,
+    primary: Arc<dyn PruningRule>,
     options: &DpOptions,
     budget: &Budget,
 ) -> Result<GovernedResult, InsertionError> {
@@ -326,7 +334,7 @@ pub fn optimize_governed_detailed(
     tree: &RoutingTree,
     model: &ProcessModel,
     mode: VariationMode,
-    cascade: Vec<Rc<dyn PruningRule>>,
+    cascade: Vec<Arc<dyn PruningRule>>,
     sizing: &WireSizing,
     options: &DpOptions,
     budget: &Budget,
@@ -361,13 +369,15 @@ pub fn optimize_governed_detailed(
 
 /// The rule in force right now: the caller's fixed rule on the legacy
 /// path, or the governor's current cascade entry on the governed path.
-enum RuleHandle<'a> {
+pub(crate) enum RuleHandle<'a> {
+    /// A caller-owned rule borrowed for the whole run.
     Static(&'a dyn PruningRule),
-    Shared(Rc<dyn PruningRule>),
+    /// A shared handle to the governor's active cascade entry.
+    Shared(Arc<dyn PruningRule>),
 }
 
 impl RuleHandle<'_> {
-    fn get(&self) -> &dyn PruningRule {
+    pub(crate) fn get(&self) -> &dyn PruningRule {
         match self {
             RuleHandle::Static(r) => *r,
             RuleHandle::Shared(rc) => rc.as_ref(),
@@ -375,21 +385,162 @@ impl RuleHandle<'_> {
     }
 }
 
-/// Fetches the active rule. Cheap; call again after any governor
-/// interaction that may have advanced the cascade.
-fn current_rule<'a>(
-    static_rule: Option<&'a dyn PruningRule>,
-    governor: &Governor,
-) -> RuleHandle<'a> {
-    match static_rule {
-        Some(r) => RuleHandle::Static(r),
-        None => RuleHandle::Shared(governor.active_rule()),
+impl Clone for RuleHandle<'_> {
+    fn clone(&self) -> Self {
+        match self {
+            RuleHandle::Static(r) => RuleHandle::Static(*r),
+            RuleHandle::Shared(a) => RuleHandle::Shared(Arc::clone(a)),
+        }
+    }
+}
+
+/// Control-flow signal inside the engine: a typed error to surface to
+/// the caller, or *pressure* — the speculative parallel phase detected
+/// that the governor would have to degrade, so the whole run must be
+/// redone sequentially under the real governor (see [`crate::pool`]).
+pub(crate) enum EngineInterrupt {
+    /// A hard failure the caller sees as-is.
+    Error(InsertionError),
+    /// Raised only by the parallel probe; never escapes `run_engine`.
+    Pressure,
+}
+
+impl From<InsertionError> for EngineInterrupt {
+    fn from(e: InsertionError) -> Self {
+        EngineInterrupt::Error(e)
+    }
+}
+
+impl EngineInterrupt {
+    fn into_error(self) -> InsertionError {
+        match self {
+            EngineInterrupt::Error(e) => e,
+            EngineInterrupt::Pressure => {
+                unreachable!("pressure is raised only by the parallel probe")
+            }
+        }
+    }
+}
+
+/// The DP's resource-policy interface. The sequential engine wires it
+/// straight to the [`Governor`]; the parallel engine substitutes a
+/// frozen probe that never mutates the caller's governor and raises
+/// [`EngineInterrupt::Pressure`] the moment a degradation *would*
+/// happen ([`crate::pool`]).
+///
+/// `'r` is the lifetime of a caller-supplied static rule, deliberately
+/// independent of `&self` so a fetched [`RuleHandle`] does not freeze
+/// the supervisor against later `&mut` calls.
+pub(crate) trait Supervisor<'r> {
+    /// The active pruning rule. Cheap; fetch again after any call that
+    /// may have advanced the fallback cascade.
+    fn rule(&self) -> RuleHandle<'r>;
+    /// Current epsilon-sparsification level.
+    fn epsilon(&self) -> f64;
+    /// Whether integrity screening (sanitize + re-admission) applies.
+    fn is_governed(&self) -> bool;
+    /// Whether panic completion is engaged.
+    fn panicking(&self) -> bool;
+    /// Wall-clock policy check.
+    fn check_time(&mut self) -> Result<(), EngineInterrupt>;
+    /// Offers a candidate count (materialized or about to be).
+    fn admit(&mut self, node: NodeId, solutions: usize) -> Result<Admission, EngineInterrupt>;
+    /// Drops non-finite candidates per the governor's integrity policy.
+    fn sanitize(
+        &mut self,
+        node: NodeId,
+        sols: &mut Vec<StatSolution>,
+    ) -> Result<(), EngineInterrupt>;
+    /// Live-memory accounting after a list is stored/freed.
+    fn note_memory(&mut self, stored: &[StatSolution], freed: usize);
+}
+
+/// The sequential supervisor: a thin veneer over the caller's governor,
+/// preserving the exact call sequence the degradation tests pin down.
+struct GovSupervisor<'r, 'g> {
+    static_rule: Option<&'r dyn PruningRule>,
+    governor: &'g mut Governor,
+}
+
+impl<'r> Supervisor<'r> for GovSupervisor<'r, '_> {
+    fn rule(&self) -> RuleHandle<'r> {
+        match self.static_rule {
+            Some(r) => RuleHandle::Static(r),
+            None => RuleHandle::Shared(self.governor.active_rule()),
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.governor.epsilon()
+    }
+
+    fn is_governed(&self) -> bool {
+        self.governor.is_governed()
+    }
+
+    fn panicking(&self) -> bool {
+        self.governor.panicking()
+    }
+
+    fn check_time(&mut self) -> Result<(), EngineInterrupt> {
+        self.governor.check_time().map_err(Into::into)
+    }
+
+    fn admit(&mut self, node: NodeId, solutions: usize) -> Result<Admission, EngineInterrupt> {
+        self.governor.admit(node, solutions).map_err(Into::into)
+    }
+
+    fn sanitize(
+        &mut self,
+        node: NodeId,
+        sols: &mut Vec<StatSolution>,
+    ) -> Result<(), EngineInterrupt> {
+        self.governor.sanitize(node, sols).map_err(Into::into)
+    }
+
+    fn note_memory(&mut self, stored: &[StatSolution], freed: usize) {
+        self.governor.note_memory(stored, freed);
+    }
+}
+
+/// Recycles the engine's transient allocations: candidate-list `Vec`s
+/// (several die at every node otherwise) and the dominance-flag scratch
+/// of the quadratic prune. One pool per worker — never shared.
+#[derive(Default)]
+pub(crate) struct SolPool {
+    lists: Vec<Vec<StatSolution>>,
+    flags: Vec<bool>,
+}
+
+impl SolPool {
+    /// Spare list allocations to hold; beyond this, freed lists really
+    /// are freed so the pool cannot turn into a leak.
+    const KEEP: usize = 8;
+
+    fn take(&mut self, capacity: usize) -> Vec<StatSolution> {
+        match self.lists.pop() {
+            Some(mut v) => {
+                v.reserve(capacity);
+                v
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    fn put(&mut self, mut v: Vec<StatSolution>) {
+        if self.lists.len() < Self::KEEP && v.capacity() > 0 {
+            v.clear();
+            self.lists.push(v);
+        }
     }
 }
 
 /// The shared DP engine behind both the strict and the governed entry
-/// points. Every resource decision is delegated to `governor`.
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+/// points. Every resource decision is delegated to `governor`; when
+/// [`DpOptions::jobs`] > 1 and the run is eligible, a speculative
+/// parallel phase runs first (see [`crate::pool`]) and the sequential
+/// loop below is the authoritative fallback.
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     tree: &RoutingTree,
     model: &ProcessModel,
@@ -404,153 +555,236 @@ fn run_engine(
     if tree.sink_count() == 0 {
         return Err(InsertionError::NoSinks);
     }
-    let mut stats = DpStats::default();
-    let wire = tree.wire();
 
+    // Speculative parallel phase: `None` means ineligible or aborted on
+    // pressure — fall through to the sequential engine with the
+    // governor untouched, so results stay bit-identical.
+    if faults.is_none() {
+        if let Some(outcome) = crate::pool::try_parallel_tree(
+            tree,
+            model,
+            mode,
+            static_rule,
+            sizing,
+            options,
+            governor,
+        ) {
+            return match outcome {
+                Ok((root_list, mut stats)) => {
+                    stats.runtime = governor.elapsed();
+                    Ok(select_winner(tree, options, &root_list, stats))
+                }
+                Err(e) => Err(e),
+            };
+        }
+    }
+
+    let mut stats = DpStats::default();
     let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
+    let mut pool = SolPool::default();
+    let mut sup = GovSupervisor {
+        static_rule,
+        governor,
+    };
 
     for id in tree.postorder() {
-        governor.check_time()?;
-        let node = tree.node(id);
-        stats.nodes_processed += 1;
-
-        // 1. Base list for the subtree seen at this node.
-        let mut sols: Vec<StatSolution> = match node.kind {
-            NodeKind::Sink {
-                capacitance,
-                required_arrival,
-            } => vec![StatSolution::new(
-                CanonicalForm::constant(capacitance),
-                CanonicalForm::constant(required_arrival),
-            )],
-            NodeKind::Internal | NodeKind::Source { .. } => {
-                let mut acc: Option<Vec<StatSolution>> = None;
-                for &c in &node.children {
-                    let record_width = sizing.widths().len() > 1;
-                    let mut lifted: Vec<StatSolution> =
-                        Vec::with_capacity(lists[c.index()].len() * sizing.widths().len());
-                    for s in &lists[c.index()] {
-                        for (wi, &w) in sizing.widths().iter().enumerate() {
-                            let mut seg = wire.segment(tree.node(c).edge_length);
-                            seg.resistance /= w;
-                            seg.capacitance *= w;
-                            let mut out = wire_extend_stat(s, &seg);
-                            if record_width {
-                                out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
-                            }
-                            sparsify(&mut out, governor.epsilon());
-                            lifted.push(out);
-                        }
-                    }
-                    let freed: usize = lists[c.index()].iter().map(solution_footprint).sum();
-                    lists[c.index()].clear();
-                    governor.note_memory(&[], freed);
-                    stats.solutions_generated += lifted.len();
-                    let before = lifted.len();
-                    lifted = prune_solutions(current_rule(static_rule, governor).get(), lifted);
-                    stats.solutions_pruned += before - lifted.len();
-
-                    acc = Some(match acc {
-                        None => lifted,
-                        Some(prev) => {
-                            merge_lists(static_rule, governor, prev, lifted, id, &mut stats)?
-                        }
-                    });
-                    if let Some(list) = acc.as_mut() {
-                        admit_list(static_rule, governor, id, list, &mut stats)?;
-                    }
-                }
-                acc.expect("validated internal nodes have children")
-            }
-        };
-
-        // 2. Offer a buffer at legal positions.
-        if node.is_candidate {
-            governor.check_time()?;
-            let mut buffered: Vec<StatSolution> = Vec::new();
-            {
-                let rh = current_rule(static_rule, governor);
-                let rule = rh.get();
-                for (ty, _) in model.library().iter() {
-                    let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
-                    let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
-                    let resistance = model.buffer_resistance(ty);
-                    let max_load = model.library().get(ty).max_load;
-                    let drivable = |s: &&StatSolution| max_load.is_none_or(|m| s.load_mean() <= m);
-                    match rule.strategy() {
-                        MergeStrategy::SortedLinear => {
-                            // All buffered options share the load form, so only
-                            // the best RAT (by the rule's scalar key) survives:
-                            // generate just that one.
-                            if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
-                                let ka = a.rat_mean() - resistance * a.load_mean();
-                                let kb = b.rat_mean() - resistance * b.load_mean();
-                                ka.total_cmp(&kb)
-                            }) {
-                                let mut s = buffer_extend_stat(
-                                    best,
-                                    &cap_form,
-                                    &delay_form,
-                                    resistance,
-                                    id,
-                                    ty,
-                                );
-                                sparsify(&mut s, governor.epsilon());
-                                buffered.push(s);
-                                stats.solutions_generated += 1;
-                            }
-                        }
-                        MergeStrategy::CrossProduct => {
-                            // A partial order may keep several incomparable
-                            // buffered options alive: generate them all.
-                            for s in sols.iter().filter(drivable) {
-                                let mut b = buffer_extend_stat(
-                                    s,
-                                    &cap_form,
-                                    &delay_form,
-                                    resistance,
-                                    id,
-                                    ty,
-                                );
-                                sparsify(&mut b, governor.epsilon());
-                                buffered.push(b);
-                                stats.solutions_generated += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            sols.extend(buffered);
-            admit_list(static_rule, governor, id, &mut sols, &mut stats)?;
-            let before = sols.len();
-            sols = prune_full(static_rule, governor, sols)?;
-            stats.solutions_pruned += before - sols.len();
-        }
-
-        // 3. Fault-injection hook, then integrity screening.
-        if let Some(inj) = faults.as_deref_mut() {
-            inj.on_node(id, &mut sols);
-        }
-        if governor.is_governed() {
-            governor.sanitize(id, &mut sols)?;
-            admit_list(static_rule, governor, id, &mut sols, &mut stats)?;
-        }
-        if governor.panicking() {
-            keep_best(current_rule(static_rule, governor).get(), &mut sols);
-        }
-
-        governor.note_memory(&sols, 0);
-        stats.max_solutions_per_node = stats.max_solutions_per_node.max(sols.len());
+        let children: Vec<Vec<StatSolution>> = tree
+            .node(id)
+            .children
+            .iter()
+            .map(|c| std::mem::take(&mut lists[c.index()]))
+            .collect();
+        let sols = process_node(
+            tree,
+            model,
+            mode,
+            sizing,
+            &mut sup,
+            id,
+            children,
+            faults.as_deref_mut(),
+            &mut pool,
+            &mut stats,
+        )
+        .map_err(EngineInterrupt::into_error)?;
         lists[id.index()] = sols;
     }
 
-    // 4. Driver step and winner selection (by the rule's RAT key).
+    stats.runtime = governor.elapsed();
+    Ok(select_winner(
+        tree,
+        options,
+        &lists[tree.root().index()],
+        stats,
+    ))
+}
+
+/// One node of the DP, shared verbatim by the sequential and parallel
+/// engines: builds the node's base list from its children (taken as
+/// owned lists in fixed child order), offers buffers, and applies the
+/// supervisor's admission/integrity policy. Returns the node's
+/// surviving candidate list.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub(crate) fn process_node<'r, S: Supervisor<'r>>(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    sizing: &WireSizing,
+    sup: &mut S,
+    id: NodeId,
+    mut children: Vec<Vec<StatSolution>>,
+    faults: Option<&mut FaultInjector>,
+    pool: &mut SolPool,
+    stats: &mut DpStats,
+) -> Result<Vec<StatSolution>, EngineInterrupt> {
+    sup.check_time()?;
+    let node = tree.node(id);
+    let wire = tree.wire();
+    stats.nodes_processed += 1;
+
+    // 1. Base list for the subtree seen at this node.
+    let mut sols: Vec<StatSolution> = match node.kind {
+        NodeKind::Sink {
+            capacitance,
+            required_arrival,
+        } => vec![StatSolution::new(
+            CanonicalForm::constant(capacitance),
+            CanonicalForm::constant(required_arrival),
+        )],
+        NodeKind::Internal | NodeKind::Source { .. } => {
+            let mut acc: Option<Vec<StatSolution>> = None;
+            for (slot, &c) in node.children.iter().enumerate() {
+                let child_list = std::mem::take(&mut children[slot]);
+                let record_width = sizing.widths().len() > 1;
+                let t_lift = Instant::now();
+                let mut lifted = pool.take(child_list.len() * sizing.widths().len());
+                for s in &child_list {
+                    for (wi, &w) in sizing.widths().iter().enumerate() {
+                        let mut seg = wire.segment(tree.node(c).edge_length);
+                        seg.resistance /= w;
+                        seg.capacitance *= w;
+                        let mut out = wire_extend_stat(s, &seg);
+                        if record_width {
+                            out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
+                        }
+                        sparsify(&mut out, sup.epsilon());
+                        lifted.push(out);
+                    }
+                }
+                stats.merge_time += t_lift.elapsed();
+                let freed: usize = child_list.iter().map(solution_footprint).sum();
+                pool.put(child_list);
+                sup.note_memory(&[], freed);
+                stats.solutions_generated += lifted.len();
+                let before = lifted.len();
+                let t_prune = Instant::now();
+                prune_solutions_in_place(sup.rule().get(), &mut lifted);
+                stats.prune_time += t_prune.elapsed();
+                stats.solutions_pruned += before - lifted.len();
+
+                acc = Some(match acc {
+                    None => lifted,
+                    Some(prev) => merge_lists(sup, prev, lifted, id, pool, stats)?,
+                });
+                if let Some(list) = acc.as_mut() {
+                    admit_list(sup, id, list, stats)?;
+                }
+            }
+            acc.expect("validated internal nodes have children")
+        }
+    };
+
+    // 2. Offer a buffer at legal positions.
+    if node.is_candidate {
+        sup.check_time()?;
+        let t_buf = Instant::now();
+        let mut buffered = pool.take(0);
+        {
+            let rh = sup.rule();
+            let rule = rh.get();
+            for (ty, _) in model.library().iter() {
+                let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
+                let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
+                let resistance = model.buffer_resistance(ty);
+                let max_load = model.library().get(ty).max_load;
+                let drivable = |s: &&StatSolution| max_load.is_none_or(|m| s.load_mean() <= m);
+                match rule.strategy() {
+                    MergeStrategy::SortedLinear => {
+                        // All buffered options share the load form, so only
+                        // the best RAT (by the rule's scalar key) survives:
+                        // generate just that one.
+                        if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
+                            let ka = a.rat_mean() - resistance * a.load_mean();
+                            let kb = b.rat_mean() - resistance * b.load_mean();
+                            ka.total_cmp(&kb)
+                        }) {
+                            let mut s = buffer_extend_stat(
+                                best,
+                                &cap_form,
+                                &delay_form,
+                                resistance,
+                                id,
+                                ty,
+                            );
+                            sparsify(&mut s, sup.epsilon());
+                            buffered.push(s);
+                            stats.solutions_generated += 1;
+                        }
+                    }
+                    MergeStrategy::CrossProduct => {
+                        // A partial order may keep several incomparable
+                        // buffered options alive: generate them all.
+                        for s in sols.iter().filter(drivable) {
+                            let mut b =
+                                buffer_extend_stat(s, &cap_form, &delay_form, resistance, id, ty);
+                            sparsify(&mut b, sup.epsilon());
+                            buffered.push(b);
+                            stats.solutions_generated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        sols.append(&mut buffered);
+        pool.put(buffered);
+        stats.buffer_time += t_buf.elapsed();
+        admit_list(sup, id, &mut sols, stats)?;
+        let before = sols.len();
+        prune_full(sup, &mut sols, pool, stats)?;
+        stats.solutions_pruned += before - sols.len();
+    }
+
+    // 3. Fault-injection hook, then integrity screening.
+    if let Some(inj) = faults {
+        inj.on_node(id, &mut sols);
+    }
+    if sup.is_governed() {
+        sup.sanitize(id, &mut sols)?;
+        admit_list(sup, id, &mut sols, stats)?;
+    }
+    if sup.panicking() {
+        keep_best(sup.rule().get(), &mut sols);
+    }
+
+    sup.note_memory(&sols, 0);
+    stats.max_solutions_per_node = stats.max_solutions_per_node.max(sols.len());
+    Ok(sols)
+}
+
+/// Driver step and winner selection at the root (by the configured
+/// root-selection key).
+fn select_winner(
+    tree: &RoutingTree,
+    options: &DpOptions,
+    root_list: &[StatSolution],
+    stats: DpStats,
+) -> StatResult {
     let root = tree.root();
     let driver_res = match tree.node(root).kind {
         NodeKind::Source { driver_resistance } => driver_resistance,
         _ => unreachable!("validated root is a source"),
     };
-    let winner = lists[root.index()]
+    let winner = root_list
         .iter()
         .max_by(|a, b| {
             let ka = options.root_selection.key(&driver_rat_stat(a, driver_res));
@@ -558,14 +792,12 @@ fn run_engine(
             ka.total_cmp(&kb)
         })
         .expect("at least one candidate always survives");
-
-    stats.runtime = governor.elapsed();
-    Ok(StatResult {
+    StatResult {
         root_rat: driver_rat_stat(winner, driver_res),
         assignment: winner.trace.collect(),
         wire_widths: winner.trace.collect_wires(),
         stats,
-    })
+    }
 }
 
 fn sparsify(s: &mut StatSolution, epsilon: f64) {
@@ -575,23 +807,23 @@ fn sparsify(s: &mut StatSolution, epsilon: f64) {
     }
 }
 
-/// Offers a node's candidate list to the governor, applying whatever the
-/// verdict requires (re-prune under a fallback rule, spread-preserving
-/// truncation) until the list is admitted.
-fn admit_list(
-    static_rule: Option<&dyn PruningRule>,
-    governor: &mut Governor,
+/// Offers a node's candidate list to the supervisor, applying whatever
+/// the verdict requires (re-prune under a fallback rule, spread-
+/// preserving truncation) until the list is admitted.
+fn admit_list<'r, S: Supervisor<'r>>(
+    sup: &mut S,
     node: NodeId,
     sols: &mut Vec<StatSolution>,
     stats: &mut DpStats,
-) -> Result<(), InsertionError> {
+) -> Result<(), EngineInterrupt> {
     loop {
-        match governor.admit(node, sols.len())? {
+        match sup.admit(node, sols.len())? {
             Admission::Ok => return Ok(()),
             Admission::Reprune => {
                 let before = sols.len();
-                let taken = std::mem::take(sols);
-                *sols = prune_solutions(current_rule(static_rule, governor).get(), taken);
+                let t = Instant::now();
+                prune_solutions_in_place(sup.rule().get(), sols);
+                stats.prune_time += t.elapsed();
                 stats.solutions_pruned += before - sols.len();
             }
             Admission::Truncate(n) => {
@@ -600,7 +832,9 @@ fn admit_list(
                     return Ok(());
                 }
                 let before = sols.len();
-                truncate_spread(current_rule(static_rule, governor).get(), sols, n);
+                let t = Instant::now();
+                truncate_spread(sup.rule().get(), sols, n);
+                stats.prune_time += t.elapsed();
                 stats.solutions_pruned += before - sols.len();
             }
         }
@@ -608,14 +842,14 @@ fn admit_list(
 }
 
 /// Merges two candidate lists at a branch node.
-fn merge_lists(
-    static_rule: Option<&dyn PruningRule>,
-    governor: &mut Governor,
+fn merge_lists<'r, S: Supervisor<'r>>(
+    sup: &mut S,
     mut a: Vec<StatSolution>,
     mut b: Vec<StatSolution>,
     node: NodeId,
+    pool: &mut SolPool,
     stats: &mut DpStats,
-) -> Result<Vec<StatSolution>, InsertionError> {
+) -> Result<Vec<StatSolution>, EngineInterrupt> {
     if a.is_empty() || b.is_empty() {
         return Ok(if a.is_empty() { b } else { a });
     }
@@ -623,14 +857,15 @@ fn merge_lists(
     // merge) or shrink the operands; `forced` breaks the loop if a
     // truncation could not shrink them further.
     let mut forced = false;
-    let merged = loop {
-        let rh = current_rule(static_rule, governor);
+    let mut merged = loop {
+        let rh = sup.rule();
         let rule = rh.get();
         match rule.strategy() {
             MergeStrategy::SortedLinear => {
                 // Figure 1: both lists sorted ascending in (load key, RAT key);
                 // walk both, advancing the side whose RAT constrains the min.
-                let mut out = Vec::with_capacity(a.len() + b.len());
+                let t = Instant::now();
+                let mut out = pool.take(a.len() + b.len());
                 let (mut i, mut j) = (0, 0);
                 loop {
                     out.push(merge_pair_stat(&a[i], &b[j]));
@@ -647,6 +882,7 @@ fn merge_lists(
                         break;
                     }
                 }
+                stats.merge_time += t.elapsed();
                 break out;
             }
             MergeStrategy::CrossProduct => {
@@ -655,32 +891,39 @@ fn merge_lists(
                 let admission = if forced {
                     Admission::Ok
                 } else {
-                    governor.admit(node, needed)?
+                    sup.admit(node, needed)?
                 };
                 match admission {
                     Admission::Ok => {
-                        drop(rh);
-                        let mut out = Vec::with_capacity(needed);
+                        let t = Instant::now();
+                        let mut out = pool.take(0);
                         'rows: for sa in &a {
-                            governor.check_time()?;
-                            if governor.panicking() {
+                            sup.check_time()?;
+                            if sup.panicking() {
                                 // A hard breach mid-merge: the pairs formed so
                                 // far are valid candidates; stop generating.
                                 break 'rows;
                             }
+                            // Grow one row at a time (amortized) instead of
+                            // reserving the full n·m up front, so a panic-
+                            // completion bail doesn't pay for rows it never
+                            // materializes.
+                            out.reserve(b.len());
                             for sb in &b {
                                 out.push(merge_pair_stat(sa, sb));
                             }
                         }
                         stats.solutions_generated += out.len();
+                        stats.merge_time += t.elapsed();
                         break out;
                     }
                     Admission::Reprune => {
-                        drop(rh);
-                        let rh = current_rule(static_rule, governor);
                         let before = a.len() + b.len();
-                        a = prune_solutions(rh.get(), a);
-                        b = prune_solutions(rh.get(), b);
+                        let t = Instant::now();
+                        let rh = sup.rule();
+                        prune_solutions_in_place(rh.get(), &mut a);
+                        prune_solutions_in_place(rh.get(), &mut b);
+                        stats.prune_time += t.elapsed();
                         stats.solutions_pruned += before - a.len() - b.len();
                     }
                     Admission::Truncate(n) => {
@@ -691,18 +934,22 @@ fn merge_lists(
                             continue;
                         }
                         let before = a.len() + b.len();
+                        let t = Instant::now();
                         truncate_spread(rule, &mut a, keep);
                         truncate_spread(rule, &mut b, keep);
+                        stats.prune_time += t.elapsed();
                         stats.solutions_pruned += before - a.len() - b.len();
                     }
                 }
             }
         }
     };
+    pool.put(a);
+    pool.put(b);
     let before = merged.len();
-    let pruned = prune_full(static_rule, governor, merged)?;
-    stats.solutions_pruned += before - pruned.len();
-    Ok(pruned)
+    prune_full(sup, &mut merged, pool, stats)?;
+    stats.solutions_pruned += before - merged.len();
+    Ok(merged)
 }
 
 /// Pruning with the engine's wall-clock limit enforced *inside* the
@@ -710,22 +957,29 @@ fn merge_lists(
 /// candidate list can otherwise outlive any between-node time check.
 /// Under panic completion the sweep bails early: a superset of the
 /// non-dominated set is still valid, and the node-level reduction keeps
-/// one candidate anyway.
-fn prune_full(
-    static_rule: Option<&dyn PruningRule>,
-    governor: &mut Governor,
-    mut sols: Vec<StatSolution>,
-) -> Result<Vec<StatSolution>, InsertionError> {
-    let rh = current_rule(static_rule, governor);
+/// one candidate anyway. In-place; the dominance flags live in the
+/// worker's [`SolPool`] scratch.
+fn prune_full<'r, S: Supervisor<'r>>(
+    sup: &mut S,
+    sols: &mut Vec<StatSolution>,
+    pool: &mut SolPool,
+    stats: &mut DpStats,
+) -> Result<(), EngineInterrupt> {
+    let rh = sup.rule();
     let rule = rh.get();
+    let t = Instant::now();
     if rule.strategy() == MergeStrategy::SortedLinear {
-        return Ok(prune_solutions(rule, sols));
+        prune_solutions_in_place(rule, sols);
+        stats.prune_time += t.elapsed();
+        return Ok(());
     }
-    let mut dominated = vec![false; sols.len()];
+    let dominated = &mut pool.flags;
+    dominated.clear();
+    dominated.resize(sols.len(), false);
     'outer: for i in 0..sols.len() {
         if i % 256 == 0 {
-            governor.check_time()?;
-            if governor.panicking() {
+            sup.check_time()?;
+            if sup.panicking() {
                 break 'outer;
             }
         }
@@ -744,7 +998,8 @@ fn prune_full(
     let mut iter = dominated.iter();
     sols.retain(|_| !iter.next().expect("same length"));
     sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
-    Ok(sols)
+    stats.prune_time += t.elapsed();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1080,7 +1335,7 @@ mod tests {
             &tree,
             &model,
             VariationMode::WithinDie,
-            Rc::new(TwoParam::default()),
+            Arc::new(TwoParam::default()),
             &DpOptions::default(),
             &Budget::unlimited(),
         )
@@ -1097,13 +1352,13 @@ mod tests {
 
     #[test]
     fn fallback_cascade_shapes() {
-        let from_four = fallback_cascade(Rc::new(FourParam::default()));
+        let from_four = fallback_cascade(Arc::new(FourParam::default()));
         assert_eq!(from_four.len(), 3);
         assert_eq!(from_four[0].name(), "4P");
         assert_eq!(from_four[2].name(), "2P");
-        let from_two = fallback_cascade(Rc::new(TwoParam::new(0.75, 0.75)));
+        let from_two = fallback_cascade(Arc::new(TwoParam::new(0.75, 0.75)));
         assert_eq!(from_two.len(), 2);
-        let from_one = fallback_cascade(Rc::new(OneParam::default()));
+        let from_one = fallback_cascade(Arc::new(OneParam::default()));
         assert_eq!(from_one.len(), 3);
         assert_eq!(from_one[0].name(), "1P");
     }

@@ -27,7 +27,7 @@ use crate::error::InsertionError;
 use crate::prune::PruningRule;
 use crate::solution::StatSolution;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use varbuf_rctree::NodeId;
 
@@ -395,7 +395,7 @@ pub enum Admission {
 /// Estimated heap footprint of one candidate solution, in bytes.
 ///
 /// Canonical-form terms are `(u32, f64)` pairs in a `Vec` (16 aligned
-/// bytes each); the struct bodies, two `Vec` headers and the trace `Rc`
+/// bytes each); the struct bodies, two `Vec` headers and the trace `Arc`
 /// cost roughly 128 bytes more. An estimate is all the budget needs —
 /// it is compared against user-supplied soft limits, not against an
 /// allocator.
@@ -416,13 +416,17 @@ pub struct Governor {
     clock: Box<dyn Clock>,
     /// Fallback rules, cheapest last. `active` indexes into it; an empty
     /// cascade means the engine's caller-supplied rule stays active.
-    cascade: Vec<Rc<dyn PruningRule>>,
+    cascade: Vec<Arc<dyn PruningRule>>,
     active: usize,
     /// `None` ⇒ strict mode (breach = typed error, no degradation).
     governed: bool,
     epsilon: f64,
     max_epsilon: f64,
     panic_mode: bool,
+    /// Whether `clock` is the real monotonic clock (false after
+    /// [`Governor::with_clock`]) — the parallel engine refuses to run on
+    /// scripted clocks, whose reads are order-dependent.
+    real_clock: bool,
     /// Soft-time pressure is acted on once per escalation, not per node.
     time_steps_taken: u32,
     mem_steps_taken: u32,
@@ -447,6 +451,7 @@ impl Governor {
             epsilon: base_epsilon,
             max_epsilon: base_epsilon,
             panic_mode: false,
+            real_clock: true,
             time_steps_taken: 0,
             mem_steps_taken: 0,
             live_bytes: 0,
@@ -466,7 +471,7 @@ impl Governor {
     ///
     /// Panics if `cascade` is empty — a governed run owns its rule.
     #[must_use]
-    pub fn governed(budget: Budget, cascade: Vec<Rc<dyn PruningRule>>, base_epsilon: f64) -> Self {
+    pub fn governed(budget: Budget, cascade: Vec<Arc<dyn PruningRule>>, base_epsilon: f64) -> Self {
         assert!(!cascade.is_empty(), "governed cascade must not be empty");
         let initial_rule = cascade[0].name().to_owned();
         Self {
@@ -478,6 +483,7 @@ impl Governor {
             epsilon: base_epsilon,
             max_epsilon: 1e-2,
             panic_mode: false,
+            real_clock: true,
             time_steps_taken: 0,
             mem_steps_taken: 0,
             live_bytes: 0,
@@ -492,7 +498,25 @@ impl Governor {
     #[must_use]
     pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
         self.clock = clock;
+        self.real_clock = false;
         self
+    }
+
+    /// The budget this governor enforces.
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Whether the governor still runs on the real monotonic clock.
+    pub(crate) fn uses_real_clock(&self) -> bool {
+        self.real_clock
+    }
+
+    /// Whether no degradation of any kind has happened yet — the state
+    /// the parallel engine snapshots before forking workers.
+    pub(crate) fn pristine(&self) -> bool {
+        self.events.is_empty() && !self.panic_mode && self.active == 0 && self.poisoned_total == 0
     }
 
     /// The rule a governed run is currently pruning with.
@@ -501,8 +525,8 @@ impl Governor {
     ///
     /// Panics on a strict governor, whose rule lives with the caller.
     #[must_use]
-    pub fn active_rule(&self) -> Rc<dyn PruningRule> {
-        Rc::clone(&self.cascade[self.active])
+    pub fn active_rule(&self) -> Arc<dyn PruningRule> {
+        Arc::clone(&self.cascade[self.active])
     }
 
     /// Whether this governor degrades (true) or aborts (false) on breach.
@@ -819,11 +843,11 @@ mod tests {
         StatSolution::new(CanonicalForm::constant(load), CanonicalForm::constant(rat))
     }
 
-    fn governed_cascade() -> Vec<Rc<dyn PruningRule>> {
+    fn governed_cascade() -> Vec<Arc<dyn PruningRule>> {
         vec![
-            Rc::new(FourParam::default()),
-            Rc::new(TwoParam::new(0.9, 0.9)),
-            Rc::new(TwoParam::default()),
+            Arc::new(FourParam::default()),
+            Arc::new(TwoParam::new(0.9, 0.9)),
+            Arc::new(TwoParam::default()),
         ]
     }
 

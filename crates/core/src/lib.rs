@@ -23,7 +23,11 @@
 //!   tightening, best-so-far panic completion) behind
 //!   [`dp::optimize_governed`];
 //! * [`faultinject`] — deterministic clock skew and solution poisoning
-//!   for exercising the degradation paths in tests.
+//!   for exercising the degradation paths in tests;
+//! * [`pool`] — the std-only parallel execution layer: the
+//!   [`pool::optimize_batch`] worker pool over independent nets and the
+//!   speculative intra-tree scheduler behind [`dp::DpOptions::jobs`],
+//!   both bit-identical to the sequential engine.
 //!
 //! # Quick start
 //!
@@ -54,6 +58,7 @@ pub mod faultinject;
 pub mod governor;
 pub mod metrics;
 pub mod ops;
+pub mod pool;
 pub mod prune;
 pub mod skew;
 pub mod solution;
@@ -65,6 +70,7 @@ pub use dp::{optimize_governed, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
 pub use error::InsertionError;
 pub use governor::{Budget, Degradation, DegradationEvent, Governor};
+pub use pool::{default_jobs, optimize_batch, BatchRequest};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
 pub use solution::StatSolution;
 pub use yield_eval::{YieldAnalysis, YieldEvaluator};

@@ -16,6 +16,16 @@ pub struct DpStats {
     pub solutions_pruned: usize,
     /// Wall-clock runtime.
     pub runtime: Duration,
+    /// Time spent generating branch-merge combinations (both the linear
+    /// walk and the 4P cross product). Under the parallel engine this is
+    /// the *sum* across workers, so it can exceed `runtime`.
+    pub merge_time: Duration,
+    /// Time spent in dominance pruning (list pruning plus the quadratic
+    /// cross-product sweep). Summed across workers in parallel runs.
+    pub prune_time: Duration,
+    /// Time spent offering buffers at candidate nodes. Summed across
+    /// workers in parallel runs.
+    pub buffer_time: Duration,
     /// Pruning-rule fallback steps a governed run took (0 = primary rule
     /// held for the whole run).
     pub rule_fallbacks: usize,
@@ -47,6 +57,54 @@ impl DpStats {
             || self.list_truncations > 0
             || self.poisoned_dropped > 0
             || self.panic_completion
+    }
+
+    /// One-line attribution of where the run's time went — the
+    /// phase-level companion to `runtime` used by the bench output.
+    #[must_use]
+    pub fn phase_summary(&self) -> String {
+        format!(
+            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms (of {:.1}ms total)",
+            self.merge_time.as_secs_f64() * 1e3,
+            self.prune_time.as_secs_f64() * 1e3,
+            self.buffer_time.as_secs_f64() * 1e3,
+            self.runtime.as_secs_f64() * 1e3,
+        )
+    }
+
+    /// This record with every wall-clock field zeroed — counters only.
+    ///
+    /// Timings vary run to run even when the computation is bit-for-bit
+    /// identical; the determinism suite compares `sans_times()` records.
+    #[must_use]
+    pub fn sans_times(mut self) -> Self {
+        self.runtime = Duration::ZERO;
+        self.merge_time = Duration::ZERO;
+        self.prune_time = Duration::ZERO;
+        self.buffer_time = Duration::ZERO;
+        self
+    }
+
+    /// Accumulates another run's counters into this one (batch/parallel
+    /// reduction): sums counts and times, maxes the peak list size, and
+    /// ORs the panic flag. `runtime` is maxed, not summed — in a parallel
+    /// reduction it reflects the longest worker.
+    pub fn absorb(&mut self, other: &DpStats) {
+        self.nodes_processed += other.nodes_processed;
+        self.max_solutions_per_node = self
+            .max_solutions_per_node
+            .max(other.max_solutions_per_node);
+        self.solutions_generated += other.solutions_generated;
+        self.solutions_pruned += other.solutions_pruned;
+        self.runtime = self.runtime.max(other.runtime);
+        self.merge_time += other.merge_time;
+        self.prune_time += other.prune_time;
+        self.buffer_time += other.buffer_time;
+        self.rule_fallbacks += other.rule_fallbacks;
+        self.epsilon_tightenings += other.epsilon_tightenings;
+        self.list_truncations += other.list_truncations;
+        self.poisoned_dropped += other.poisoned_dropped;
+        self.panic_completion |= other.panic_completion;
     }
 }
 

@@ -67,8 +67,10 @@ pub enum MergeStrategy {
 ///
 /// This trait is sealed in spirit: the three implementations in this
 /// module are the rules the paper studies, and the DP engine treats them
-/// uniformly through it.
-pub trait PruningRule: fmt::Debug {
+/// uniformly through it. Rules must be `Send + Sync` so the parallel
+/// engine can consult one rule object from every worker; the three
+/// paper rules are plain `Copy` value types, so this costs nothing.
+pub trait PruningRule: fmt::Debug + Send + Sync {
     /// Human-readable rule name (`"2P"`, `"4P"`, `"1P"`).
     fn name(&self) -> &'static str;
 
@@ -333,6 +335,15 @@ impl PruningRule for OneParam {
 /// ascending RAT key).
 #[must_use]
 pub fn prune_solutions(rule: &dyn PruningRule, mut sols: Vec<StatSolution>) -> Vec<StatSolution> {
+    prune_solutions_in_place(rule, &mut sols);
+    sols
+}
+
+/// [`prune_solutions`] without the by-value round trip: the survivors are
+/// compacted to the front of `sols` and the tail truncated, so the DP hot
+/// path reuses one buffer instead of allocating a `kept` vector per
+/// prune. Output order is identical to [`prune_solutions`].
+pub fn prune_solutions_in_place(rule: &dyn PruningRule, sols: &mut Vec<StatSolution>) {
     match rule.strategy() {
         MergeStrategy::SortedLinear => {
             sols.sort_by(|a, b| {
@@ -340,16 +351,16 @@ pub fn prune_solutions(rule: &dyn PruningRule, mut sols: Vec<StatSolution>) -> V
                     .total_cmp(&rule.load_key(b))
                     .then(rule.rat_key(b).total_cmp(&rule.rat_key(a)))
             });
-            let mut kept: Vec<StatSolution> = Vec::with_capacity(sols.len());
-            for s in sols {
-                if let Some(last) = kept.last() {
-                    if rule.dominates(last, &s) {
-                        continue;
-                    }
+            // In-place compaction: `w` is one past the last kept entry.
+            let mut w = 0usize;
+            for r in 0..sols.len() {
+                if w > 0 && rule.dominates(&sols[w - 1], &sols[r]) {
+                    continue;
                 }
-                kept.push(s);
+                sols.swap(w, r);
+                w += 1;
             }
-            kept
+            sols.truncate(w);
         }
         MergeStrategy::CrossProduct => {
             let mut dominated = vec![false; sols.len()];
@@ -366,13 +377,9 @@ pub fn prune_solutions(rule: &dyn PruningRule, mut sols: Vec<StatSolution>) -> V
                     }
                 }
             }
-            let mut kept: Vec<StatSolution> = sols
-                .into_iter()
-                .zip(dominated)
-                .filter_map(|(s, d)| (!d).then_some(s))
-                .collect();
-            kept.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
-            kept
+            let mut flags = dominated.iter();
+            sols.retain(|_| !flags.next().expect("same length"));
+            sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Candidate-solution types for the dynamic programs.
 
 use crate::trace::Trace;
-use std::rc::Rc;
+use std::sync::Arc;
 use varbuf_stats::CanonicalForm;
 
 /// A deterministic candidate: `(L, T)` plus its decision trace.
@@ -12,7 +12,7 @@ pub struct DetSolution {
     /// Required arrival time `T`, ps.
     pub rat: f64,
     /// The buffer decisions that produced this candidate.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
 }
 
 impl DetSolution {
@@ -36,7 +36,7 @@ pub struct StatSolution {
     /// Required arrival time `T` as a canonical form, ps.
     pub rat: CanonicalForm,
     /// The buffer decisions that produced this candidate.
-    pub trace: Rc<Trace>,
+    pub trace: Arc<Trace>,
 }
 
 impl StatSolution {

@@ -4,12 +4,12 @@
 //! each must remember which buffers it inserted so the winning solution at
 //! the root can be turned back into a concrete [`BufferAssignment`]. A
 //! [`Trace`] is a persistent (structurally shared) DAG of decisions:
-//! cloning is an `Rc` bump, and merging two subtree solutions is a single
+//! cloning is an `Arc` bump, and merging two subtree solutions is a single
 //! `Join` node — no per-solution vector copying anywhere in the DP.
 //!
 //! [`BufferAssignment`]: varbuf_rctree::elmore::BufferAssignment
 
-use std::rc::Rc;
+use std::sync::Arc;
 use varbuf_rctree::NodeId;
 use varbuf_variation::BufferTypeId;
 
@@ -25,7 +25,7 @@ pub enum Trace {
         /// The library type used.
         ty: BufferTypeId,
         /// Decisions made downstream of this one.
-        rest: Rc<Trace>,
+        rest: Arc<Trace>,
     },
     /// A non-default width chosen for the edge above `node`
     /// (simultaneous buffer insertion and wire sizing, ref. \[8\]).
@@ -35,29 +35,29 @@ pub enum Trace {
         /// Index into the sizing option's width table.
         width_index: u8,
         /// Decisions made downstream of this one.
-        rest: Rc<Trace>,
+        rest: Arc<Trace>,
     },
     /// The union of two subtree traces (a branch merge).
-    Join(Rc<Trace>, Rc<Trace>),
+    Join(Arc<Trace>, Arc<Trace>),
 }
 
 impl Trace {
     /// The shared empty trace.
     #[must_use]
-    pub fn empty() -> Rc<Trace> {
-        Rc::new(Trace::Empty)
+    pub fn empty() -> Arc<Trace> {
+        Arc::new(Trace::Empty)
     }
 
     /// Extends `rest` with a buffer decision.
     #[must_use]
-    pub fn buffer(node: NodeId, ty: BufferTypeId, rest: Rc<Trace>) -> Rc<Trace> {
-        Rc::new(Trace::Buffer { node, ty, rest })
+    pub fn buffer(node: NodeId, ty: BufferTypeId, rest: Arc<Trace>) -> Arc<Trace> {
+        Arc::new(Trace::Buffer { node, ty, rest })
     }
 
     /// Extends `rest` with a wire-sizing decision.
     #[must_use]
-    pub fn wire(node: NodeId, width_index: u8, rest: Rc<Trace>) -> Rc<Trace> {
-        Rc::new(Trace::Wire {
+    pub fn wire(node: NodeId, width_index: u8, rest: Arc<Trace>) -> Arc<Trace> {
+        Arc::new(Trace::Wire {
             node,
             width_index,
             rest,
@@ -66,12 +66,12 @@ impl Trace {
 
     /// Joins two traces at a branch point.
     #[must_use]
-    pub fn join(a: Rc<Trace>, b: Rc<Trace>) -> Rc<Trace> {
+    pub fn join(a: Arc<Trace>, b: Arc<Trace>) -> Arc<Trace> {
         // Tiny optimization: joining with an empty side is a no-op.
         match (&*a, &*b) {
             (Trace::Empty, _) => b,
             (_, Trace::Empty) => a,
-            _ => Rc::new(Trace::Join(a, b)),
+            _ => Arc::new(Trace::Join(a, b)),
         }
     }
 
@@ -81,7 +81,7 @@ impl Trace {
     /// The DP never records two decisions for the same node inside one
     /// solution, so the output has no duplicates.
     #[must_use]
-    pub fn collect(self: &Rc<Trace>) -> Vec<(NodeId, BufferTypeId)> {
+    pub fn collect(self: &Arc<Trace>) -> Vec<(NodeId, BufferTypeId)> {
         let mut out = Vec::new();
         let mut stack: Vec<&Trace> = vec![self];
         while let Some(t) = stack.pop() {
@@ -103,7 +103,7 @@ impl Trace {
 
     /// Collects every `(node, width index)` wire-sizing decision.
     #[must_use]
-    pub fn collect_wires(self: &Rc<Trace>) -> Vec<(NodeId, u8)> {
+    pub fn collect_wires(self: &Arc<Trace>) -> Vec<(NodeId, u8)> {
         let mut out = Vec::new();
         let mut stack: Vec<&Trace> = vec![self];
         while let Some(t) = stack.pop() {
@@ -129,7 +129,7 @@ impl Trace {
 
     /// Number of buffer decisions in the trace.
     #[must_use]
-    pub fn buffer_count(self: &Rc<Trace>) -> usize {
+    pub fn buffer_count(self: &Arc<Trace>) -> usize {
         self.collect().len()
     }
 }
@@ -168,7 +168,7 @@ mod tests {
         assert_eq!(j.buffer_count(), 2);
         // Joining with empty returns the other side unchanged.
         let k = Trace::join(left.clone(), Trace::empty());
-        assert!(Rc::ptr_eq(&k, &left));
+        assert!(Arc::ptr_eq(&k, &left));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! 2. a hard wall-clock breach (scripted through an injected clock, no
 //!    sleeping) still yields a best-so-far design instead of an error.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 use varbuf_core::dp::{
     optimize_governed, optimize_governed_detailed, optimize_with_rule, DpOptions, GovernedResult,
@@ -74,7 +74,7 @@ fn solution_cap_that_kills_strict_4p_degrades_to_2p_and_completes() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        Rc::new(FourParam::default()),
+        Arc::new(FourParam::default()),
         &options,
         &budget,
     )
@@ -109,7 +109,7 @@ fn hard_wall_clock_breach_returns_best_so_far_not_err() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        varbuf_core::dp::fallback_cascade(Rc::new(TwoParam::default())),
+        varbuf_core::dp::fallback_cascade(Arc::new(TwoParam::default())),
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
@@ -141,7 +141,7 @@ fn frozen_clock_past_hard_limit_still_completes_whole_tree() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        varbuf_core::dp::fallback_cascade(Rc::new(TwoParam::default())),
+        varbuf_core::dp::fallback_cascade(Arc::new(TwoParam::default())),
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
@@ -168,7 +168,7 @@ fn soft_time_pressure_triggers_rule_fallback_not_panic() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        varbuf_core::dp::fallback_cascade(Rc::new(FourParam::default())),
+        varbuf_core::dp::fallback_cascade(Arc::new(FourParam::default())),
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
@@ -200,7 +200,7 @@ fn poisoned_solutions_are_dropped_and_reported() {
             &tree,
             &model,
             VariationMode::WithinDie,
-            varbuf_core::dp::fallback_cascade(Rc::new(TwoParam::default())),
+            varbuf_core::dp::fallback_cascade(Arc::new(TwoParam::default())),
             &WireSizing::single(),
             &DpOptions::default(),
             &Budget::unlimited(),
@@ -237,7 +237,7 @@ fn padding_pressure_forces_truncation_but_run_completes() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        varbuf_core::dp::fallback_cascade(Rc::new(TwoParam::new(0.9, 0.9))),
+        varbuf_core::dp::fallback_cascade(Arc::new(TwoParam::new(0.9, 0.9))),
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
@@ -264,7 +264,7 @@ fn memory_budget_pressure_degrades_gracefully() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        Rc::new(FourParam::default()),
+        Arc::new(FourParam::default()),
         &DpOptions::default(),
         &budget,
     )
@@ -307,7 +307,7 @@ fn fallback_cascade_never_worse_than_pure_two_param() {
             &tree,
             &model,
             VariationMode::WithinDie,
-            Rc::new(FourParam::default()),
+            Arc::new(FourParam::default()),
             &options,
             &budget,
         )
@@ -330,7 +330,7 @@ fn unpressured_governed_run_reports_clean() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        Rc::new(TwoParam::default()),
+        Arc::new(TwoParam::default()),
         &DpOptions::default(),
         &Budget::unlimited(),
     )

@@ -1,0 +1,274 @@
+//! Bit-for-bit determinism of the parallel engine.
+//!
+//! The contract (see `pool` module docs): for every pruning rule and
+//! any `jobs` count, batch and intra-tree parallel results — winning
+//! RAT form, assignment, wire widths, `DpStats` counters, degradation
+//! events — are identical to the sequential engine's, bit for bit.
+
+use std::sync::Arc;
+use std::time::Duration;
+use varbuf_core::dp::{
+    optimize_governed, optimize_with_rule, DpOptions, GovernedResult, StatResult,
+};
+use varbuf_core::governor::Budget;
+use varbuf_core::pool::{optimize_batch, BatchRequest};
+use varbuf_core::prune::{FourParam, OneParam, PruningRule, TwoParam};
+use varbuf_core::InsertionError;
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_rctree::RoutingTree;
+use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
+
+/// SplitMix64-style seeds for the generated benchmark topologies.
+const SEEDS: [u64; 3] = [0x9E37_79B9, 0x85EB_CA6B, 0xC2B2_AE35];
+
+fn model_for(tree: &RoutingTree) -> ProcessModel {
+    ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Homogeneous)
+}
+
+/// All three rules with tree sizes each can digest (the 4P cross
+/// product blows up fast, mirroring the paper's 9-sink ceiling).
+fn rule_suite() -> Vec<(&'static str, Arc<dyn PruningRule>, usize)> {
+    vec![
+        (
+            "1P",
+            Arc::new(OneParam::default()) as Arc<dyn PruningRule>,
+            40,
+        ),
+        (
+            "2P",
+            Arc::new(TwoParam::default()) as Arc<dyn PruningRule>,
+            40,
+        ),
+        (
+            "4P",
+            Arc::new(FourParam::default()) as Arc<dyn PruningRule>,
+            6,
+        ),
+    ]
+}
+
+/// Bitwise equality of two results, durations excluded (wall-clock
+/// fields are the only thing allowed to differ between runs).
+fn assert_bit_identical(label: &str, seq: &StatResult, par: &StatResult) {
+    assert_eq!(seq.assignment, par.assignment, "{label}: assignment");
+    assert_eq!(seq.wire_widths, par.wire_widths, "{label}: wire widths");
+    assert_eq!(
+        seq.root_rat.mean().to_bits(),
+        par.root_rat.mean().to_bits(),
+        "{label}: RAT mean bits"
+    );
+    assert_eq!(
+        seq.root_rat.variance().to_bits(),
+        par.root_rat.variance().to_bits(),
+        "{label}: RAT variance bits"
+    );
+    let (ts, tp) = (seq.root_rat.terms(), par.root_rat.terms());
+    assert_eq!(ts.len(), tp.len(), "{label}: term count");
+    for (a, b) in ts.iter().zip(tp) {
+        assert_eq!(a.0, b.0, "{label}: term source");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "{label}: term coefficient");
+    }
+    assert_eq!(
+        seq.stats.sans_times(),
+        par.stats.sans_times(),
+        "{label}: DpStats counters"
+    );
+}
+
+fn assert_same_degradation(label: &str, seq: &GovernedResult, par: &GovernedResult) {
+    assert_bit_identical(label, &seq.result, &par.result);
+    // Event timestamps are wall clock; triggers and actions are not.
+    let strip = |g: &GovernedResult| {
+        g.degradation
+            .events
+            .iter()
+            .map(|e| (e.trigger.clone(), e.action.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(seq), strip(par), "{label}: degradation events");
+    assert_eq!(
+        seq.degradation.final_rule, par.degradation.final_rule,
+        "{label}: final rule"
+    );
+    assert_eq!(
+        seq.degradation.panic_completion, par.degradation.panic_completion,
+        "{label}: panic completion"
+    );
+}
+
+#[test]
+fn strict_parallel_is_bit_identical_for_all_rules() {
+    for (name, rule, sinks) in rule_suite() {
+        for seed in SEEDS {
+            let tree = generate_benchmark(&BenchmarkSpec::random("det-strict", sinks, seed));
+            let model = model_for(&tree);
+            let run = |jobs: usize| {
+                optimize_with_rule(
+                    &tree,
+                    &model,
+                    VariationMode::WithinDie,
+                    rule.as_ref(),
+                    &DpOptions {
+                        jobs,
+                        ..DpOptions::default()
+                    },
+                )
+                .expect("strict run")
+            };
+            let seq = run(1);
+            let par = run(4);
+            assert_bit_identical(&format!("{name}/seed{seed:x}/strict"), &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn governed_parallel_is_bit_identical_for_all_rules() {
+    for (name, rule, sinks) in rule_suite() {
+        for seed in SEEDS {
+            let tree = generate_benchmark(&BenchmarkSpec::random("det-gov", sinks, seed));
+            let model = model_for(&tree);
+            let run = |jobs: usize| {
+                optimize_governed(
+                    &tree,
+                    &model,
+                    VariationMode::WithinDie,
+                    Arc::clone(&rule),
+                    &DpOptions {
+                        jobs,
+                        ..DpOptions::default()
+                    },
+                    &Budget::unlimited(),
+                )
+                .expect("governed run")
+            };
+            let seq = run(1);
+            let par = run(4);
+            assert_same_degradation(&format!("{name}/seed{seed:x}/governed"), &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn governed_under_pressure_matches_including_degradation_counters() {
+    // A tight solution budget forces the degradation ladder: the
+    // speculative parallel phase must detect the pressure, abandon
+    // itself, and reproduce the sequential run — including every
+    // recorded trigger/action pair — bit for bit.
+    let budget = Budget {
+        soft_solutions: 6,
+        hard_solutions: 24,
+        ..Budget::unlimited()
+    };
+    for (name, rule, sinks) in rule_suite() {
+        for seed in SEEDS {
+            let tree = generate_benchmark(&BenchmarkSpec::random("det-press", sinks, seed));
+            let model = model_for(&tree);
+            let run = |jobs: usize| {
+                optimize_governed(
+                    &tree,
+                    &model,
+                    VariationMode::WithinDie,
+                    Arc::clone(&rule),
+                    &DpOptions {
+                        jobs,
+                        ..DpOptions::default()
+                    },
+                    &budget,
+                )
+                .expect("governed run")
+            };
+            let seq = run(1);
+            let par = run(4);
+            let label = format!("{name}/seed{seed:x}/pressure");
+            assert_same_degradation(&label, &seq, &par);
+            assert!(
+                seq.result.stats.degraded(),
+                "{label}: budget was meant to force degradation"
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_capacity_error_is_deterministic_across_jobs() {
+    // The 4P cross product on a bigger tree breaches a tight cap; the
+    // parallel engine must surface the same first-in-postorder breach
+    // the sequential engine hits.
+    let tree = generate_benchmark(&BenchmarkSpec::random("det-cap", 100, 11));
+    let model = model_for(&tree);
+    let run = |jobs: usize| -> InsertionError {
+        optimize_with_rule(
+            &tree,
+            &model,
+            VariationMode::WithinDie,
+            &FourParam::default(),
+            &DpOptions {
+                max_solutions_per_node: 150,
+                jobs,
+                ..DpOptions::default()
+            },
+        )
+        .expect_err("cap was meant to breach")
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert!(matches!(seq, InsertionError::CapacityExceeded { .. }));
+    assert_eq!(format!("{seq:?}"), format!("{par:?}"), "breach identity");
+}
+
+#[test]
+fn batch_is_bit_identical_to_serial_loop_and_order_preserving() {
+    let trees: Vec<RoutingTree> = SEEDS
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| generate_benchmark(&BenchmarkSpec::random("det-batch", 24 + 8 * i, seed)))
+        .collect();
+    let models: Vec<ProcessModel> = trees.iter().map(model_for).collect();
+    let mut requests = Vec::new();
+    for (tree, model) in trees.iter().zip(&models) {
+        for strict in [false, true] {
+            let mut req = BatchRequest::new(
+                tree,
+                model,
+                VariationMode::WithinDie,
+                Arc::new(TwoParam::default()),
+            );
+            req.strict = strict;
+            requests.push(req);
+        }
+    }
+    // One deliberately failing request: batch must report errors in
+    // place without disturbing its neighbors' slots.
+    let mut failing = BatchRequest::new(
+        &trees[0],
+        &models[0],
+        VariationMode::WithinDie,
+        Arc::new(FourParam::default()),
+    );
+    failing.strict = true;
+    failing.options = DpOptions {
+        max_solutions_per_node: 10,
+        time_limit: Duration::from_secs(4 * 3600),
+        ..DpOptions::default()
+    };
+    requests.push(failing);
+
+    let serial = optimize_batch(&requests, 1);
+    let batched = optimize_batch(&requests, 4);
+    assert_eq!(serial.len(), requests.len());
+    assert_eq!(batched.len(), requests.len());
+    for (i, (s, p)) in serial.iter().zip(&batched).enumerate() {
+        match (s, p) {
+            (Ok(s), Ok(p)) => assert_same_degradation(&format!("batch[{i}]"), s, p),
+            (Err(es), Err(ep)) => {
+                assert_eq!(format!("{es:?}"), format!("{ep:?}"), "batch[{i}]: error")
+            }
+            _ => panic!("batch[{i}]: Ok/Err divergence between jobs=1 and jobs=4"),
+        }
+    }
+    assert!(
+        serial.last().expect("non-empty").is_err(),
+        "failing request must error in both"
+    );
+}

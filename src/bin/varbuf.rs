@@ -11,7 +11,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 use varbuf::prelude::*;
 use varbuf::rctree::io::{read_tree, write_tree};
@@ -59,7 +59,9 @@ usage:
   varbuf opt FILE [--mode nom|d2d|wid] [--spatial homog|hetero]
                   [--rule 2p|4p|1p] [--p THRESH] [--sizing] [--mc SAMPLES]
                   [--degrade] [--budget-solutions N] [--budget-time SECS]
-                  [--budget-mem MB]
+                  [--budget-mem MB] [--jobs N]
+      --jobs N: worker threads for the DP (0 = all cores); results are
+                bit-identical to --jobs 1
   varbuf skew FILE [--spatial homog|hetero]
 
 exit codes:
@@ -118,15 +120,15 @@ fn spatial_kind(args: &[String]) -> SpatialKind {
 }
 
 /// The primary pruning rule from `--rule` (with `--p` honored for 2P).
-fn parse_rule(args: &[String]) -> Result<Rc<dyn PruningRule>, String> {
+fn parse_rule(args: &[String]) -> Result<Arc<dyn PruningRule>, String> {
     let p = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok());
     match flag_value(args, "--rule") {
         None | Some("2p") => Ok(match p {
-            Some(p) => Rc::new(TwoParam::try_new(p, p).map_err(|e| e.to_string())?),
-            None => Rc::new(TwoParam::default()),
+            Some(p) => Arc::new(TwoParam::try_new(p, p).map_err(|e| e.to_string())?),
+            None => Arc::new(TwoParam::default()),
         }),
-        Some("4p") => Ok(Rc::new(FourParam::default())),
-        Some("1p") => Ok(Rc::new(OneParam::default())),
+        Some("4p") => Ok(Arc::new(FourParam::default())),
+        Some("1p") => Ok(Arc::new(OneParam::default())),
         Some(other) => Err(format!("unknown rule `{other}` (expected 2p, 4p, or 1p)")),
     }
 }
@@ -225,6 +227,12 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     if let Some(p) = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok()) {
         options.rule = TwoParam::try_new(p, p).map_err(|e| e.to_string())?;
     }
+    if let Some(v) = flag_value(args, "--jobs") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| "--jobs needs an integer".to_owned())?;
+        options.dp.jobs = if n == 0 { default_jobs() } else { n };
+    }
     let degrade = has_flag(args, "--degrade")
         || has_flag(args, "--budget-solutions")
         || has_flag(args, "--budget-time")
@@ -259,6 +267,7 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
             print!("{}", g.degradation.summary());
         }
         let r = g.result;
+        println!("phases: {}", r.stats.phase_summary());
         let desc = format!(
             "RAT {:.1} ± {:.2} ps",
             r.root_rat.mean(),

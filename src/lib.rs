@@ -56,6 +56,7 @@ pub mod prelude {
         optimize_all_modes, optimize_nominal, optimize_statistical, OptimizeResult, Options,
     };
     pub use varbuf_core::governor::{Budget, Degradation, DegradationEvent};
+    pub use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
     pub use varbuf_core::prune::{FourParam, OneParam, PruningRule, RuleConfigError, TwoParam};
     pub use varbuf_core::skew::{SkewAnalysis, SkewAnalyzer};
     pub use varbuf_core::yield_eval::{YieldAnalysis, YieldEvaluator};

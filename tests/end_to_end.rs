@@ -174,7 +174,7 @@ fn htree_capacity_smoke() {
 
 #[test]
 fn governed_facade_survives_budget_the_strict_engine_cannot() {
-    use std::rc::Rc;
+    use std::sync::Arc;
     // Through the public facade: a solution budget that makes strict 4P
     // abort is absorbed by the governed engine via rule fallback, and
     // the degraded design still scores sanely under the silicon model.
@@ -201,7 +201,7 @@ fn governed_facade_survives_budget_the_strict_engine_cannot() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        Rc::new(FourParam::default()),
+        Arc::new(FourParam::default()),
         &tight,
         &budget,
     )

@@ -129,7 +129,7 @@ fn sized_design_matches_sized_elmore_at_nominal() {
 
 #[test]
 fn governed_wire_sizing_degrades_but_keeps_consistent_widths() {
-    use std::rc::Rc;
+    use std::sync::Arc;
     // Wire sizing triples the decision space, so a modest solution
     // budget forces degradation — and the degraded result's widths must
     // still index into the sizing table and re-evaluate consistently.
@@ -145,7 +145,7 @@ fn governed_wire_sizing_degrades_but_keeps_consistent_widths() {
         &tree,
         &model,
         VariationMode::WithinDie,
-        fallback_cascade(Rc::new(TwoParam::new(0.9, 0.9))),
+        fallback_cascade(Arc::new(TwoParam::new(0.9, 0.9))),
         &sizing,
         &DpOptions::default(),
         &budget,
