@@ -26,9 +26,21 @@ echo "==> smoke bench (VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling)"
 VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling -- --jobs 2
 test -s BENCH_dp.json || { echo "BENCH_dp.json missing or empty" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json; json.load(open('BENCH_dp.json'))"
+  python3 - <<'EOF'
+import json, math, sys
+r = json.load(open('BENCH_dp.json'))
+ratio = r.get('stat_vs_det_ratio')
+if not isinstance(ratio, (int, float)) or not math.isfinite(ratio) or ratio <= 0:
+    sys.exit('BENCH_dp.json: stat_vs_det_ratio missing or not a finite positive number')
+groups = {b.get('group') for b in r.get('benches', [])}
+if 'canonical_kernels' not in groups:
+    sys.exit('BENCH_dp.json: canonical_kernels bench group missing')
+if 'dp_scaling' not in groups:
+    sys.exit('BENCH_dp.json: dp_scaling bench group missing')
+print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, groups={sorted(g for g in groups if g)}')
+EOF
 else
-  echo "(python3 unavailable; skipped JSON well-formedness check)"
+  echo "(python3 unavailable; skipped BENCH_dp.json schema check)"
 fi
 
 echo "==> ci.sh: all gates passed"

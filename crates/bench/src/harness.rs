@@ -13,6 +13,57 @@ use std::time::{Duration, Instant};
 /// Re-export of [`std::hint::black_box`] so bench files need one import.
 pub use std::hint::black_box;
 
+/// Allocation counting for hot-path regression assertions.
+///
+/// The DP's steady-state node visit is supposed to be (nearly)
+/// allocation-free: solution carcasses, candidate lists, and prune
+/// scratch all come from the engine's recycling pool, so the only
+/// allocations left per candidate are the trace `Arc`s that record
+/// lineage. [`CountingAlloc`] wraps the system allocator and counts
+/// every allocation and reallocation; a bench binary installs it with
+/// `#[global_allocator]` and asserts on [`alloc_count`] deltas around a
+/// measured region, turning an allocation regression (per-candidate
+/// heap traffic creeping back into the kernels) into a loud failure.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`System`] wrapper counting allocations and reallocations
+    /// (frees are not counted — the assertion is about acquisition
+    /// pressure, and `realloc` already covers growth).
+    pub struct CountingAlloc;
+
+    // SAFETY: pure forwarding to `System`'s implementation; the counter
+    // is a relaxed atomic with no effect on allocation semantics. This
+    // is the crate's single `unsafe` exemption (see `lib.rs`).
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Allocations (plus reallocations) since process start. Only
+    /// meaningful when [`CountingAlloc`] is installed as the global
+    /// allocator; returns a frozen 0 otherwise.
+    #[must_use]
+    pub fn alloc_count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-benchmark tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchConfig {

@@ -28,12 +28,15 @@ use crate::governor::{
     keep_best, solution_footprint, truncate_spread, Admission, Budget, Clock, Degradation, Governor,
 };
 use crate::metrics::DpStats;
-use crate::ops::{buffer_extend_stat, driver_rat_stat, merge_pair_stat, wire_extend_stat};
-use crate::prune::{prune_solutions_in_place, MergeStrategy, PruningRule, TwoParam};
+use crate::ops::{
+    buffer_extend_stat_into, driver_rat_stat, merge_pair_stat_into, wire_extend_stat_into,
+};
+use crate::prune::{prune_solutions_keyed, MergeStrategy, PruneScratch, PruningRule, TwoParam};
 use crate::solution::StatSolution;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use varbuf_rctree::tree::NodeKind;
+use varbuf_rctree::wire::WireSegment;
 use varbuf_rctree::{NodeId, RoutingTree};
 use varbuf_stats::CanonicalForm;
 use varbuf_variation::{BufferTypeId, ProcessModel, VariationMode};
@@ -503,12 +506,105 @@ impl<'r> Supervisor<'r> for GovSupervisor<'r, '_> {
     }
 }
 
-/// Recycles the engine's transient allocations: candidate-list `Vec`s
-/// (several die at every node otherwise) and the dominance-flag scratch
-/// of the quadratic prune. One pool per worker — never shared.
+/// Immutable per-run context: the run's inputs plus every node-indexed
+/// table the DP would otherwise recompute at each visit. Built once in
+/// `run_engine` *before* the speculative parallel phase, then shared
+/// read-only by the sequential loop and every pool worker:
+///
+/// * **device forms** — the `(C_b, T_b)` canonical-form pair of every
+///   `(candidate node, buffer type)` combination, computed by one
+///   [`ProcessModel::precompute_device_forms`] sweep. This evaluates the
+///   spatial-correlation weights once per location instead of `2·B`
+///   times per node visit, and removes the per-call term-vector
+///   allocations from the buffering step entirely;
+/// * **wire segments** — the width-scaled RC segment of every
+///   `(edge, width index)` pair; segments depend on nothing else, so the
+///   lift step becomes a pure table lookup.
+///
+/// Both tables hold bitwise the values the per-call paths produce
+/// (pinned by `precomputed_device_forms_match_per_call_path_bitwise` in
+/// `varbuf-variation` and by this module's golden regressions), so
+/// cached and uncached runs are indistinguishable.
+pub(crate) struct RunCtx<'a> {
+    pub(crate) tree: &'a RoutingTree,
+    pub(crate) model: &'a ProcessModel,
+    pub(crate) sizing: &'a WireSizing,
+    /// `node.index()` → row of `device_forms` (`u32::MAX` for nodes that
+    /// are not buffer candidates).
+    device_rows: Vec<u32>,
+    /// Per candidate node: `(cap_form, delay_form)` indexed by buffer
+    /// type id. Shared through the model's per-net memo, so repeat runs
+    /// on one net (governed retries, yield re-evaluation) skip the
+    /// spatial taper scan and hand out the *same* table.
+    device_forms: std::sync::Arc<varbuf_variation::DeviceFormTable>,
+    /// `node.index() * widths + wi` → the edge segment above `node`
+    /// scaled to width `wi`.
+    segments: Vec<WireSegment>,
+}
+
+impl<'a> RunCtx<'a> {
+    fn new(
+        tree: &'a RoutingTree,
+        model: &'a ProcessModel,
+        mode: VariationMode,
+        sizing: &'a WireSizing,
+    ) -> Self {
+        let mut device_rows = vec![u32::MAX; tree.len()];
+        let mut locations = Vec::new();
+        for (i, row) in device_rows.iter_mut().enumerate() {
+            let id = NodeId(u32::try_from(i).expect("node count fits u32"));
+            let node = tree.node(id);
+            if node.is_candidate {
+                *row = u32::try_from(locations.len()).expect("node count fits u32");
+                locations.push((id, node.location));
+            }
+        }
+        let device_forms = model.device_forms_cached(&locations, mode);
+        let wire = tree.wire();
+        let widths = sizing.widths();
+        let mut segments = Vec::with_capacity(tree.len() * widths.len());
+        for i in 0..tree.len() {
+            let length = tree.node(NodeId(i as u32)).edge_length;
+            for &w in widths {
+                let mut seg = wire.segment(length);
+                seg.resistance /= w;
+                seg.capacitance *= w;
+                segments.push(seg);
+            }
+        }
+        Self {
+            tree,
+            model,
+            sizing,
+            device_rows,
+            device_forms,
+            segments,
+        }
+    }
+
+    /// The pre-scaled RC segment of the edge above `node` at width `wi`.
+    fn segment(&self, node: NodeId, wi: usize) -> &WireSegment {
+        &self.segments[node.index() * self.sizing.widths().len() + wi]
+    }
+
+    /// The cached `(cap_form, delay_form)` pairs of a candidate node,
+    /// indexed by buffer-type id.
+    fn device_forms(&self, node: NodeId) -> &[(CanonicalForm, CanonicalForm)] {
+        &self.device_forms[self.device_rows[node.index()] as usize]
+    }
+}
+
+/// Recycles the engine's transient allocations: candidate-list `Vec`s,
+/// the solution carcasses inside them (term vectors keep their
+/// capacity), the batched-key prune scratch, the sorted-merge key
+/// buffers, and the dominance-flag scratch of the quadratic prune. One
+/// pool per worker — never shared.
 #[derive(Default)]
 pub(crate) struct SolPool {
     lists: Vec<Vec<StatSolution>>,
+    sols: Vec<StatSolution>,
+    pub(crate) scratch: PruneScratch,
+    merge_keys: (Vec<f64>, Vec<f64>),
     flags: Vec<bool>,
 }
 
@@ -516,6 +612,12 @@ impl SolPool {
     /// Spare list allocations to hold; beyond this, freed lists really
     /// are freed so the pool cannot turn into a leak.
     const KEEP: usize = 8;
+    /// Spare solution carcasses to hold. A recycled carcass keeps its
+    /// two term buffers and — until its next reuse overwrites it — a
+    /// stale trace `Arc`; both are bounded by this constant, so the
+    /// pool pins at most a few hundred retired traces while turning the
+    /// steady-state node visit allocation-free.
+    const KEEP_SOLS: usize = 256;
 
     fn take(&mut self, capacity: usize) -> Vec<StatSolution> {
         match self.lists.pop() {
@@ -528,10 +630,32 @@ impl SolPool {
     }
 
     fn put(&mut self, mut v: Vec<StatSolution>) {
+        if self.sols.len() < Self::KEEP_SOLS {
+            let room = Self::KEEP_SOLS - self.sols.len();
+            let keep = v.len().min(room);
+            self.sols.extend(v.drain(..keep));
+        }
+        v.clear();
         if self.lists.len() < Self::KEEP && v.capacity() > 0 {
-            v.clear();
             self.lists.push(v);
         }
+    }
+
+    /// A recycled solution carcass (or a fresh empty one): the caller
+    /// must overwrite load, RAT and trace before the solution is read.
+    fn take_sol(&mut self) -> StatSolution {
+        self.sols.pop().unwrap_or_else(|| {
+            StatSolution::new(CanonicalForm::constant(0.0), CanonicalForm::constant(0.0))
+        })
+    }
+
+    /// Reclaims the carcasses the last keyed prune eliminated (up to
+    /// [`Self::KEEP_SOLS`]; the surplus is freed). Called after every
+    /// prune so dominated solutions feed the next node's `take_sol`
+    /// instead of round-tripping through the allocator.
+    fn reclaim_pruned(&mut self) {
+        let room = Self::KEEP_SOLS.saturating_sub(self.sols.len());
+        self.sols.extend(self.scratch.drain_retired().take(room));
     }
 }
 
@@ -556,19 +680,17 @@ fn run_engine(
         return Err(InsertionError::NoSinks);
     }
 
+    // All node-indexed tables (device forms, wire segments) are built
+    // once here, before the speculative phase, so the parallel workers
+    // and the sequential fallback read the exact same cached values.
+    let ctx = RunCtx::new(tree, model, mode, sizing);
+
     // Speculative parallel phase: `None` means ineligible or aborted on
     // pressure — fall through to the sequential engine with the
     // governor untouched, so results stay bit-identical.
     if faults.is_none() {
-        if let Some(outcome) = crate::pool::try_parallel_tree(
-            tree,
-            model,
-            mode,
-            static_rule,
-            sizing,
-            options,
-            governor,
-        ) {
+        if let Some(outcome) = crate::pool::try_parallel_tree(&ctx, static_rule, options, governor)
+        {
             return match outcome {
                 Ok((root_list, mut stats)) => {
                     stats.runtime = governor.elapsed();
@@ -595,10 +717,7 @@ fn run_engine(
             .map(|c| std::mem::take(&mut lists[c.index()]))
             .collect();
         let sols = process_node(
-            tree,
-            model,
-            mode,
-            sizing,
+            &ctx,
             &mut sup,
             id,
             children,
@@ -624,12 +743,14 @@ fn run_engine(
 /// owned lists in fixed child order), offers buffers, and applies the
 /// supervisor's admission/integrity policy. Returns the node's
 /// surviving candidate list.
+///
+/// The hot path is allocation-free in steady state: wire segments and
+/// device forms come from [`RunCtx`]'s tables, new solutions are
+/// recycled carcasses from the worker's [`SolPool`], and pruning runs
+/// over the pool's batched-key scratch.
 #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 pub(crate) fn process_node<'r, S: Supervisor<'r>>(
-    tree: &RoutingTree,
-    model: &ProcessModel,
-    mode: VariationMode,
-    sizing: &WireSizing,
+    ctx: &RunCtx<'_>,
     sup: &mut S,
     id: NodeId,
     mut children: Vec<Vec<StatSolution>>,
@@ -638,8 +759,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
     stats: &mut DpStats,
 ) -> Result<Vec<StatSolution>, EngineInterrupt> {
     sup.check_time()?;
-    let node = tree.node(id);
-    let wire = tree.wire();
+    let node = ctx.tree.node(id);
     stats.nodes_processed += 1;
 
     // 1. Base list for the subtree seen at this node.
@@ -655,15 +775,14 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
             let mut acc: Option<Vec<StatSolution>> = None;
             for (slot, &c) in node.children.iter().enumerate() {
                 let child_list = std::mem::take(&mut children[slot]);
-                let record_width = sizing.widths().len() > 1;
+                let widths = ctx.sizing.widths().len();
+                let record_width = widths > 1;
                 let t_lift = Instant::now();
-                let mut lifted = pool.take(child_list.len() * sizing.widths().len());
+                let mut lifted = pool.take(child_list.len() * widths);
                 for s in &child_list {
-                    for (wi, &w) in sizing.widths().iter().enumerate() {
-                        let mut seg = wire.segment(tree.node(c).edge_length);
-                        seg.resistance /= w;
-                        seg.capacitance *= w;
-                        let mut out = wire_extend_stat(s, &seg);
+                    for wi in 0..widths {
+                        let mut out = pool.take_sol();
+                        wire_extend_stat_into(&mut out, s, ctx.segment(c, wi));
                         if record_width {
                             out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
                         }
@@ -678,7 +797,8 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                 stats.solutions_generated += lifted.len();
                 let before = lifted.len();
                 let t_prune = Instant::now();
-                prune_solutions_in_place(sup.rule().get(), &mut lifted);
+                prune_solutions_keyed(sup.rule().get(), &mut lifted, &mut pool.scratch);
+                pool.reclaim_pruned();
                 stats.prune_time += t_prune.elapsed();
                 stats.solutions_pruned += before - lifted.len();
 
@@ -687,7 +807,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                     Some(prev) => merge_lists(sup, prev, lifted, id, pool, stats)?,
                 });
                 if let Some(list) = acc.as_mut() {
-                    admit_list(sup, id, list, stats)?;
+                    admit_list(sup, id, list, pool, stats)?;
                 }
             }
             acc.expect("validated internal nodes have children")
@@ -702,11 +822,11 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
         {
             let rh = sup.rule();
             let rule = rh.get();
-            for (ty, _) in model.library().iter() {
-                let cap_form = model.buffer_cap_form(ty, id, node.location, mode);
-                let delay_form = model.buffer_delay_form(ty, id, node.location, mode);
-                let resistance = model.buffer_resistance(ty);
-                let max_load = model.library().get(ty).max_load;
+            let forms = ctx.device_forms(id);
+            for (ty, bt) in ctx.model.library().iter() {
+                let (cap_form, delay_form) = &forms[ty.0];
+                let resistance = bt.resistance;
+                let max_load = bt.max_load;
                 let drivable = |s: &&StatSolution| max_load.is_none_or(|m| s.load_mean() <= m);
                 match rule.strategy() {
                     MergeStrategy::SortedLinear => {
@@ -718,13 +838,9 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                             let kb = b.rat_mean() - resistance * b.load_mean();
                             ka.total_cmp(&kb)
                         }) {
-                            let mut s = buffer_extend_stat(
-                                best,
-                                &cap_form,
-                                &delay_form,
-                                resistance,
-                                id,
-                                ty,
+                            let mut s = pool.take_sol();
+                            buffer_extend_stat_into(
+                                &mut s, best, cap_form, delay_form, resistance, id, ty,
                             );
                             sparsify(&mut s, sup.epsilon());
                             buffered.push(s);
@@ -735,8 +851,10 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                         // A partial order may keep several incomparable
                         // buffered options alive: generate them all.
                         for s in sols.iter().filter(drivable) {
-                            let mut b =
-                                buffer_extend_stat(s, &cap_form, &delay_form, resistance, id, ty);
+                            let mut b = pool.take_sol();
+                            buffer_extend_stat_into(
+                                &mut b, s, cap_form, delay_form, resistance, id, ty,
+                            );
                             sparsify(&mut b, sup.epsilon());
                             buffered.push(b);
                             stats.solutions_generated += 1;
@@ -748,7 +866,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
         sols.append(&mut buffered);
         pool.put(buffered);
         stats.buffer_time += t_buf.elapsed();
-        admit_list(sup, id, &mut sols, stats)?;
+        admit_list(sup, id, &mut sols, pool, stats)?;
         let before = sols.len();
         prune_full(sup, &mut sols, pool, stats)?;
         stats.solutions_pruned += before - sols.len();
@@ -760,7 +878,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
     }
     if sup.is_governed() {
         sup.sanitize(id, &mut sols)?;
-        admit_list(sup, id, &mut sols, stats)?;
+        admit_list(sup, id, &mut sols, pool, stats)?;
     }
     if sup.panicking() {
         keep_best(sup.rule().get(), &mut sols);
@@ -814,6 +932,7 @@ fn admit_list<'r, S: Supervisor<'r>>(
     sup: &mut S,
     node: NodeId,
     sols: &mut Vec<StatSolution>,
+    pool: &mut SolPool,
     stats: &mut DpStats,
 ) -> Result<(), EngineInterrupt> {
     loop {
@@ -822,7 +941,8 @@ fn admit_list<'r, S: Supervisor<'r>>(
             Admission::Reprune => {
                 let before = sols.len();
                 let t = Instant::now();
-                prune_solutions_in_place(sup.rule().get(), sols);
+                prune_solutions_keyed(sup.rule().get(), sols, &mut pool.scratch);
+                pool.reclaim_pruned();
                 stats.prune_time += t.elapsed();
                 stats.solutions_pruned += before - sols.len();
             }
@@ -864,13 +984,23 @@ fn merge_lists<'r, S: Supervisor<'r>>(
             MergeStrategy::SortedLinear => {
                 // Figure 1: both lists sorted ascending in (load key, RAT key);
                 // walk both, advancing the side whose RAT constrains the min.
+                // Each side's RAT keys are computed once up front (the same
+                // deterministic values `rat_key` returns per comparison, so
+                // the walk is bit-identical) into recycled buffers.
                 let t = Instant::now();
+                let (mut ka, mut kb) = std::mem::take(&mut pool.merge_keys);
+                ka.clear();
+                ka.extend(a.iter().map(|s| rule.rat_key(s)));
+                kb.clear();
+                kb.extend(b.iter().map(|s| rule.rat_key(s)));
                 let mut out = pool.take(a.len() + b.len());
                 let (mut i, mut j) = (0, 0);
                 loop {
-                    out.push(merge_pair_stat(&a[i], &b[j]));
+                    let mut m = pool.take_sol();
+                    merge_pair_stat_into(&mut m, &a[i], &b[j]);
+                    out.push(m);
                     stats.solutions_generated += 1;
-                    match rule.rat_key(&a[i]).total_cmp(&rule.rat_key(&b[j])) {
+                    match ka[i].total_cmp(&kb[j]) {
                         std::cmp::Ordering::Less => i += 1,
                         std::cmp::Ordering::Greater => j += 1,
                         std::cmp::Ordering::Equal => {
@@ -882,6 +1012,7 @@ fn merge_lists<'r, S: Supervisor<'r>>(
                         break;
                     }
                 }
+                pool.merge_keys = (ka, kb);
                 stats.merge_time += t.elapsed();
                 break out;
             }
@@ -910,7 +1041,9 @@ fn merge_lists<'r, S: Supervisor<'r>>(
                             // materializes.
                             out.reserve(b.len());
                             for sb in &b {
-                                out.push(merge_pair_stat(sa, sb));
+                                let mut m = pool.take_sol();
+                                merge_pair_stat_into(&mut m, sa, sb);
+                                out.push(m);
                             }
                         }
                         stats.solutions_generated += out.len();
@@ -921,8 +1054,10 @@ fn merge_lists<'r, S: Supervisor<'r>>(
                         let before = a.len() + b.len();
                         let t = Instant::now();
                         let rh = sup.rule();
-                        prune_solutions_in_place(rh.get(), &mut a);
-                        prune_solutions_in_place(rh.get(), &mut b);
+                        prune_solutions_keyed(rh.get(), &mut a, &mut pool.scratch);
+                        pool.reclaim_pruned();
+                        prune_solutions_keyed(rh.get(), &mut b, &mut pool.scratch);
+                        pool.reclaim_pruned();
                         stats.prune_time += t.elapsed();
                         stats.solutions_pruned += before - a.len() - b.len();
                     }
@@ -969,10 +1104,18 @@ fn prune_full<'r, S: Supervisor<'r>>(
     let rule = rh.get();
     let t = Instant::now();
     if rule.strategy() == MergeStrategy::SortedLinear {
-        prune_solutions_in_place(rule, sols);
+        prune_solutions_keyed(rule, sols, &mut pool.scratch);
+        pool.reclaim_pruned();
         stats.prune_time += t.elapsed();
         return Ok(());
     }
+    // CrossProduct: the same batched-key sweep `prune_solutions_keyed`
+    // runs, but with the engine's wall-clock check and the panic-
+    // completion bail threaded through the quadratic loop. Keys are
+    // computed once per solution (4P's four percentiles) instead of
+    // per pairwise comparison.
+    rule.batch_keys(sols, &mut pool.scratch.keys);
+    let keys = &pool.scratch.keys;
     let dominated = &mut pool.flags;
     dominated.clear();
     dominated.resize(sols.len(), false);
@@ -986,17 +1129,30 @@ fn prune_full<'r, S: Supervisor<'r>>(
         if dominated[i] {
             continue;
         }
+        // Index loop: `j` feeds the keyed dominance check while
+        // `dominated[j]` is written under an active read of
+        // `dominated[i]` — an iterator form would fight the borrow.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..sols.len() {
             if i == j || dominated[j] {
                 continue;
             }
-            if rule.dominates(&sols[i], &sols[j]) {
+            if rule.dominates_keyed(keys, i, j, sols) {
                 dominated[j] = true;
             }
         }
     }
-    let mut iter = dominated.iter();
-    sols.retain(|_| !iter.next().expect("same length"));
+    // Order-preserving compaction (what `retain` does), keeping the
+    // dominated carcasses in the tail so the pool can reclaim them.
+    let mut w = 0usize;
+    for (r, &dom) in dominated.iter().enumerate() {
+        if !dom {
+            sols.swap(w, r);
+            w += 1;
+        }
+    }
+    let room = SolPool::KEEP_SOLS.saturating_sub(pool.sols.len());
+    pool.sols.extend(sols.drain(w..).take(room));
     sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
     stats.prune_time += t.elapsed();
     Ok(())

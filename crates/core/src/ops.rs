@@ -14,6 +14,7 @@ use crate::solution::{DetSolution, StatSolution};
 use crate::trace::Trace;
 use varbuf_rctree::wire::WireSegment;
 use varbuf_rctree::NodeId;
+use varbuf_stats::clark::stat_min_assign;
 use varbuf_stats::{stat_min, CanonicalForm};
 use varbuf_variation::BufferTypeId;
 
@@ -30,6 +31,36 @@ pub fn wire_extend_stat(sol: &StatSolution, seg: &WireSegment) -> StatSolution {
         rat,
         trace: sol.trace.clone(),
     }
+}
+
+/// In-place [`wire_extend_stat`]: writes the extended solution into a
+/// recycled `dest` (which must be distinct from `sol`), reusing its term
+/// buffers. Bitwise identical to the allocating version.
+pub fn wire_extend_stat_into(dest: &mut StatSolution, sol: &StatSolution, seg: &WireSegment) {
+    dest.load.copy_from(&sol.load);
+    dest.load.add_constant(seg.capacitance);
+    // T' couples the load's sensitivities into the RAT: −r·l · L.
+    dest.rat
+        .lin_comb_into(&sol.rat, 1.0, &sol.load, -seg.resistance);
+    dest.rat
+        .add_constant(-0.5 * seg.resistance * seg.capacitance);
+    dest.trace = sol.trace.clone();
+}
+
+/// [`wire_extend_stat`] mutating the solution itself — for the
+/// single-width lift, where the child list is consumed and each
+/// solution can be extended where it sits instead of copied. Bitwise
+/// identical to the copying versions: the RAT update is
+/// [`CanonicalForm::add_scaled_assign`] (documented bit-equal to the
+/// `linear_combination` the copying kernel runs) against the load
+/// *before* its constant shift, the same operand order both kernels
+/// use. The trace is untouched — the same `Arc` the copying path
+/// clones.
+pub fn wire_extend_stat_in_place(sol: &mut StatSolution, seg: &WireSegment) {
+    sol.rat.add_scaled_assign(&sol.load, -seg.resistance);
+    sol.rat
+        .add_constant(-0.5 * seg.resistance * seg.capacitance);
+    sol.load.add_constant(seg.capacitance);
 }
 
 /// Wire extension, deterministic (eqs. (25)–(26)).
@@ -64,6 +95,25 @@ pub fn buffer_extend_stat(
     }
 }
 
+/// In-place [`buffer_extend_stat`]: writes into a recycled `dest`
+/// (distinct from `sol`), fusing the `−R·L` coupling and the `−T_b`
+/// subtraction into one merge walk. Bitwise identical to the allocating
+/// two-pass version (pinned by `lin_comb_sub_into`'s own tests).
+pub fn buffer_extend_stat_into(
+    dest: &mut StatSolution,
+    sol: &StatSolution,
+    cap_form: &CanonicalForm,
+    delay_form: &CanonicalForm,
+    resistance: f64,
+    node: NodeId,
+    ty: BufferTypeId,
+) {
+    dest.rat
+        .lin_comb_sub_into(&sol.rat, 1.0, &sol.load, -resistance, delay_form);
+    dest.load.copy_from(cap_form);
+    dest.trace = Trace::buffer(node, ty, sol.trace.clone());
+}
+
 /// Buffer extension, deterministic (eqs. (27)–(28)).
 #[must_use]
 pub fn buffer_extend_det(
@@ -90,6 +140,16 @@ pub fn merge_pair_stat(a: &StatSolution, b: &StatSolution) -> StatSolution {
         rat: stat_min(&a.rat, &b.rat).form,
         trace: Trace::join(a.trace.clone(), b.trace.clone()),
     }
+}
+
+/// In-place [`merge_pair_stat`]: writes into a recycled `dest` (distinct
+/// from both operands). Bitwise identical to the allocating version —
+/// the load add is the same sorted merge and the RAT min goes through
+/// [`stat_min_assign`], which reproduces `stat_min` exactly.
+pub fn merge_pair_stat_into(dest: &mut StatSolution, a: &StatSolution, b: &StatSolution) {
+    dest.load.lin_comb_into(&a.load, 1.0, &b.load, 1.0);
+    stat_min_assign(&mut dest.rat, &a.rat, &b.rat);
+    dest.trace = Trace::join(a.trace.clone(), b.trace.clone());
 }
 
 /// Branch merge of one pair, deterministic (eqs. (29)–(30)).
@@ -135,6 +195,28 @@ mod tests {
             CanonicalForm::with_terms(load, vec![(SourceId(0), lterm)]),
             CanonicalForm::with_terms(rat, vec![(SourceId(1), rterm)]),
         )
+    }
+
+    #[test]
+    fn wire_extend_in_place_matches_copying_kernel_bitwise() {
+        // Load sources both overlapping the RAT's and disjoint from it,
+        // so the in-place update exercises matches and insertions.
+        let mut s = StatSolution::new(
+            CanonicalForm::with_terms(30.0, vec![(SourceId(0), 2.0), (SourceId(3), -0.5)]),
+            CanonicalForm::with_terms(-100.0, vec![(SourceId(1), 3.0), (SourceId(3), 0.25)]),
+        );
+        let seg = wire_seg(750.0);
+        let reference = wire_extend_stat(&s, &seg);
+        wire_extend_stat_in_place(&mut s, &seg);
+        for (a, b) in [(&reference.load, &s.load), (&reference.rat, &s.rat)] {
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+            assert_eq!(a.terms().len(), b.terms().len());
+            for (x, y) in a.terms().iter().zip(b.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+        assert!(std::sync::Arc::ptr_eq(&reference.trace, &s.trace));
     }
 
     #[test]
@@ -199,6 +281,42 @@ mod tests {
         );
         assert_eq!(dm.load, 30.0);
         assert_eq!(dm.rat, -100.0);
+    }
+
+    fn assert_form_bits(a: &CanonicalForm, b: &CanonicalForm) {
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.terms().len(), b.terms().len());
+        for (x, y) in a.terms().iter().zip(b.terms()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn into_ops_match_allocating_ops_bitwise() {
+        let a = stat(30.0, 2.0, -100.0, 3.0);
+        let b = stat(12.0, -0.7, -80.0, 1.1);
+        let seg = wire_seg(750.0);
+        let cap = CanonicalForm::with_terms(20.0, vec![(SourceId(5), 1.0)]);
+        let delay = CanonicalForm::with_terms(35.0, vec![(SourceId(1), 1.8)]);
+        // Recycled destination with stale content that must be overwritten.
+        let mut dest = stat(9.9, 9.9, 9.9, 9.9);
+
+        let w = wire_extend_stat(&a, &seg);
+        wire_extend_stat_into(&mut dest, &a, &seg);
+        assert_form_bits(&dest.load, &w.load);
+        assert_form_bits(&dest.rat, &w.rat);
+
+        let bf = buffer_extend_stat(&a, &cap, &delay, 0.2, NodeId(3), BufferTypeId(0));
+        buffer_extend_stat_into(&mut dest, &a, &cap, &delay, 0.2, NodeId(3), BufferTypeId(0));
+        assert_form_bits(&dest.load, &bf.load);
+        assert_form_bits(&dest.rat, &bf.rat);
+        assert_eq!(dest.trace.buffer_count(), 1);
+
+        let m = merge_pair_stat(&a, &b);
+        merge_pair_stat_into(&mut dest, &a, &b);
+        assert_form_bits(&dest.load, &m.load);
+        assert_form_bits(&dest.rat, &m.rat);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 
 use crate::dp::{
     fallback_cascade, optimize_governed_detailed, optimize_with_sizing, process_node, DpOptions,
-    EngineInterrupt, GovernedResult, RuleHandle, SolPool, Supervisor, WireSizing,
+    EngineInterrupt, GovernedResult, RuleHandle, RunCtx, SolPool, Supervisor, WireSizing,
 };
 use crate::error::InsertionError;
 use crate::governor::{Admission, Budget, Degradation, Governor};
@@ -392,16 +392,14 @@ impl Scheduler {
 /// sequential engine with the governor untouched. `Some(Ok)` carries
 /// the root's candidate list plus worker-merged stats; `Some(Err)` is
 /// a deterministic strict-mode error (smallest postorder position).
-#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+#[allow(clippy::type_complexity)]
 pub(crate) fn try_parallel_tree(
-    tree: &RoutingTree,
-    model: &ProcessModel,
-    mode: VariationMode,
+    ctx: &RunCtx<'_>,
     static_rule: Option<&dyn PruningRule>,
-    sizing: &WireSizing,
     options: &DpOptions,
     governor: &Governor,
 ) -> Option<Result<(Vec<StatSolution>, DpStats), InsertionError>> {
+    let tree = ctx.tree;
     if options.jobs <= 1 || !governor.uses_real_clock() || !governor.pristine() {
         return None;
     }
@@ -458,18 +456,12 @@ pub(crate) fn try_parallel_tree(
         let mut handles = Vec::with_capacity(workers - 1);
         for _ in 1..workers {
             let rule = rule.clone();
-            handles.push(s.spawn(|| {
-                worker(
-                    tree, model, mode, sizing, &shared, rule, epsilon, &sched, &pos, &pending,
-                    &slots,
-                )
-            }));
+            handles.push(
+                s.spawn(|| worker(ctx, &shared, rule, epsilon, &sched, &pos, &pending, &slots)),
+            );
         }
         worker_stats.push(worker(
-            tree,
-            model,
-            mode,
-            sizing,
+            ctx,
             &shared,
             rule.clone(),
             epsilon,
@@ -506,10 +498,7 @@ pub(crate) fn try_parallel_tree(
 /// unblocks.
 #[allow(clippy::too_many_arguments)]
 fn worker(
-    tree: &RoutingTree,
-    model: &ProcessModel,
-    mode: VariationMode,
-    sizing: &WireSizing,
+    ctx: &RunCtx<'_>,
     shared: &ProbeShared,
     rule: RuleHandle<'_>,
     epsilon: f64,
@@ -518,6 +507,7 @@ fn worker(
     pending: &[AtomicUsize],
     slots: &[Mutex<Option<Vec<StatSolution>>>],
 ) -> DpStats {
+    let tree = ctx.tree;
     let mut sup = ProbeSupervisor {
         shared,
         rule,
@@ -553,9 +543,7 @@ fn worker(
                     .unwrap_or_default()
             })
             .collect();
-        match process_node(
-            tree, model, mode, sizing, &mut sup, id, children, None, &mut pool, &mut stats,
-        ) {
+        match process_node(ctx, &mut sup, id, children, None, &mut pool, &mut stats) {
             Ok(sols) => sched.complete(tree, id, sols, slots, pending, &mut next),
             Err(EngineInterrupt::Pressure) => {
                 shared.raise_pressure();

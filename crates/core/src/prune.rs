@@ -20,6 +20,71 @@
 
 use crate::solution::StatSolution;
 use std::fmt;
+use varbuf_stats::norm_quantile;
+
+/// Structure-of-arrays scratch holding every solution's pruning keys,
+/// computed **once** per prune/merge instead of once per comparison.
+///
+/// `load`/`rat` hold the rule's scalar keys (load ascending = better, RAT
+/// descending = better); `aux` holds rule-specific extra columns (the 4P
+/// rule stores its four percentile arrays there). The table is recycled
+/// across nodes by the DP's solution pool, so batch key computation is
+/// allocation-free once the vectors have grown to the high-water mark.
+#[derive(Debug, Default, Clone)]
+pub struct KeyTable {
+    /// Load keys (ascending = better), aligned with the solution list.
+    pub load: Vec<f64>,
+    /// RAT keys (descending = better), aligned with the solution list.
+    pub rat: Vec<f64>,
+    /// Rule-specific auxiliary columns; unused ones stay empty.
+    pub aux: [Vec<f64>; 4],
+}
+
+impl KeyTable {
+    /// Empties all columns, retaining capacity.
+    pub fn clear(&mut self) {
+        self.load.clear();
+        self.rat.clear();
+        for a in &mut self.aux {
+            a.clear();
+        }
+    }
+
+    /// Number of keyed solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Whether the table holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.load.is_empty()
+    }
+
+    /// Swaps the keys of solutions `i` and `j` in every populated column
+    /// (keeps the table aligned when the solution list is permuted).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.load.swap(i, j);
+        self.rat.swap(i, j);
+        for a in &mut self.aux {
+            if !a.is_empty() {
+                a.swap(i, j);
+            }
+        }
+    }
+
+    /// Truncates every populated column to `len`.
+    pub fn truncate(&mut self, len: usize) {
+        self.load.truncate(len);
+        self.rat.truncate(len);
+        for a in &mut self.aux {
+            if !a.is_empty() {
+                a.truncate(len);
+            }
+        }
+    }
+}
 
 /// A rule was configured with thresholds outside its valid range.
 ///
@@ -85,6 +150,29 @@ pub trait PruningRule: fmt::Debug + Send + Sync {
 
     /// Whether `a` dominates `b` (so `b` may be discarded).
     fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool;
+
+    /// Computes every solution's keys in one batch into `keys`
+    /// (cleared first). The default fills `load`/`rat` from
+    /// [`load_key`](Self::load_key)/[`rat_key`](Self::rat_key); rules
+    /// with more expensive keys (4P percentiles) override this to hoist
+    /// shared work (e.g. `norm_quantile` lookups) out of the per-solution
+    /// loop. Key values are bitwise what the scalar accessors return.
+    fn batch_keys(&self, sols: &[StatSolution], keys: &mut KeyTable) {
+        keys.clear();
+        keys.load.extend(sols.iter().map(|s| self.load_key(s)));
+        keys.rat.extend(sols.iter().map(|s| self.rat_key(s)));
+    }
+
+    /// [`dominates`](Self::dominates) evaluated through precomputed keys:
+    /// decides whether solution `a` (by index) dominates solution `b`.
+    /// `keys` must be aligned with `sols` (same order). The default
+    /// ignores the keys and delegates to the form-based check; rules
+    /// whose dominance is a pure key comparison override it so pruning
+    /// sweeps touch only flat `f64` columns.
+    fn dominates_keyed(&self, keys: &KeyTable, a: usize, b: usize, sols: &[StatSolution]) -> bool {
+        let _ = keys;
+        self.dominates(&sols[a], &sols[b])
+    }
 }
 
 /// The proposed two-parameter rule, eqs. (6)–(7).
@@ -164,6 +252,17 @@ impl PruningRule for TwoParam {
             return a.load_mean() <= b.load_mean() && a.rat_mean() >= b.rat_mean();
         }
         a.load.prob_less(&b.load) >= self.p_load && a.rat.prob_greater(&b.rat) >= self.p_rat
+    }
+
+    fn dominates_keyed(&self, keys: &KeyTable, a: usize, b: usize, sols: &[StatSolution]) -> bool {
+        if self.p_load == 0.5 && self.p_rat == 0.5 {
+            // The keys ARE the means — the whole check reads two flat
+            // columns (the 2P hot path).
+            return keys.load[a] <= keys.load[b] && keys.rat[a] >= keys.rat[b];
+        }
+        // Thresholded 2P needs the probability integrals; prob_less /
+        // prob_greater are allocation-free via `sub_stats`.
+        self.dominates(&sols[a], &sols[b])
     }
 }
 
@@ -255,6 +354,44 @@ impl PruningRule for FourParam {
         a.load.percentile(self.alpha_u) < b.load.percentile(self.alpha_l)
             && a.rat.percentile(self.beta_l) > b.rat.percentile(self.beta_u)
     }
+
+    fn batch_keys(&self, sols: &[StatSolution], keys: &mut KeyTable) {
+        keys.clear();
+        keys.load.extend(sols.iter().map(|s| s.load_mean()));
+        keys.rat.extend(sols.iter().map(|s| s.rat_mean()));
+        // Hoist the four quantile inversions out of the per-solution loop
+        // (`norm_quantile` is deterministic, so the products are bitwise
+        // what per-call `percentile` computes), and take each form's
+        // std_dev once instead of once per percentile.
+        let z_al = norm_quantile(self.alpha_l);
+        let z_au = norm_quantile(self.alpha_u);
+        let z_bl = norm_quantile(self.beta_l);
+        let z_bu = norm_quantile(self.beta_u);
+        for s in sols {
+            let (lm, ls) = (s.load.mean(), s.load.std_dev());
+            if ls == 0.0 {
+                keys.aux[0].push(lm);
+                keys.aux[1].push(lm);
+            } else {
+                keys.aux[0].push(lm + z_al * ls);
+                keys.aux[1].push(lm + z_au * ls);
+            }
+            let (rm, rs) = (s.rat.mean(), s.rat.std_dev());
+            if rs == 0.0 {
+                keys.aux[2].push(rm);
+                keys.aux[3].push(rm);
+            } else {
+                keys.aux[2].push(rm + z_bl * rs);
+                keys.aux[3].push(rm + z_bu * rs);
+            }
+        }
+    }
+
+    fn dominates_keyed(&self, keys: &KeyTable, a: usize, b: usize, _sols: &[StatSolution]) -> bool {
+        // aux[0] = π_{α_l}(L), aux[1] = π_{α_u}(L),
+        // aux[2] = π_{β_l}(T), aux[3] = π_{β_u}(T).
+        keys.aux[1][a] < keys.aux[0][b] && keys.aux[2][a] > keys.aux[3][b]
+    }
 }
 
 /// The one-parameter percentile rule of \[8\]: deterministic dominance on
@@ -322,6 +459,12 @@ impl PruningRule for OneParam {
     fn dominates(&self, a: &StatSolution, b: &StatSolution) -> bool {
         self.load_key(a) <= self.load_key(b) && self.rat_key(a) >= self.rat_key(b)
     }
+
+    fn dominates_keyed(&self, keys: &KeyTable, a: usize, b: usize, _sols: &[StatSolution]) -> bool {
+        // The percentile keys were computed once by `batch_keys`; the
+        // per-comparison sqrt/quantile work of the scalar path vanishes.
+        keys.load[a] <= keys.load[b] && keys.rat[a] >= keys.rat[b]
+    }
 }
 
 /// Removes dominated solutions.
@@ -344,42 +487,169 @@ pub fn prune_solutions(rule: &dyn PruningRule, mut sols: Vec<StatSolution>) -> V
 /// path reuses one buffer instead of allocating a `kept` vector per
 /// prune. Output order is identical to [`prune_solutions`].
 pub fn prune_solutions_in_place(rule: &dyn PruningRule, sols: &mut Vec<StatSolution>) {
+    let mut scratch = PruneScratch::default();
+    prune_solutions_keyed(rule, sols, &mut scratch);
+}
+
+/// Recycled scratch for [`prune_solutions_keyed`]: the key table plus the
+/// argsort/permutation/flag buffers. One per DP worker, reused across
+/// every node, so a steady-state prune allocates nothing.
+#[derive(Debug, Default)]
+pub struct PruneScratch {
+    /// The batched key columns (exposed so callers can reuse the keys of
+    /// the most recent prune).
+    pub keys: KeyTable,
+    order: Vec<u32>,
+    perm: Vec<u32>,
+    flags: Vec<bool>,
+    retired: Vec<StatSolution>,
+}
+
+impl PruneScratch {
+    /// Drains the solutions the last prune eliminated. A recycling pool
+    /// can reclaim their term-vector capacity (the DP's `SolPool` does);
+    /// dropping the iterator discards whatever it did not consume, which
+    /// is also what happens when the scratch is simply reused.
+    pub fn drain_retired(&mut self) -> std::vec::Drain<'_, StatSolution> {
+        self.retired.drain(..)
+    }
+}
+
+/// Insertion-sort cutoff: below this length the argsort runs in place
+/// with zero allocation (and is near-linear on the almost-sorted lists
+/// the sorted-merge produces); above it, std's stable sort takes over.
+const INSERTION_SORT_MAX: usize = 64;
+
+/// Stable argsort of `order` (assumed to be `0..n`) by `less_eq`-style
+/// comparator `cmp`: after the call, `order[k]` is the index of the k-th
+/// element in sorted order, with equal elements keeping their original
+/// relative order (matching what `slice::sort_by` does on the solutions
+/// directly — any stable algorithm yields the same permutation).
+fn stable_argsort(order: &mut [u32], mut cmp: impl FnMut(u32, u32) -> std::cmp::Ordering) {
+    if order.len() < INSERTION_SORT_MAX {
+        for i in 1..order.len() {
+            let x = order[i];
+            let mut j = i;
+            while j > 0 && cmp(order[j - 1], x) == std::cmp::Ordering::Greater {
+                order[j] = order[j - 1];
+                j -= 1;
+            }
+            order[j] = x;
+        }
+    } else {
+        order.sort_by(|&a, &b| cmp(a, b));
+    }
+}
+
+/// Applies the sorted order to `sols` and `keys` in lockstep:
+/// `final[k] = original[order[k]]`. Consumes `perm` as scratch (rebuilt
+/// as the inverse permutation, then reduced to the identity by cycle
+/// swaps).
+fn apply_order(sols: &mut [StatSolution], keys: &mut KeyTable, order: &[u32], perm: &mut Vec<u32>) {
+    perm.clear();
+    perm.resize(order.len(), 0);
+    // perm[i] = destination position of the element currently at i.
+    for (k, &src) in order.iter().enumerate() {
+        perm[src as usize] = k as u32;
+    }
+    for i in 0..perm.len() {
+        while perm[i] as usize != i {
+            let j = perm[i] as usize;
+            sols.swap(i, j);
+            keys.swap(i, j);
+            perm.swap(i, j);
+        }
+    }
+}
+
+/// [`prune_solutions_in_place`] driven by batched keys: the rule computes
+/// every solution's keys once ([`PruningRule::batch_keys`]), the sort and
+/// dominance sweeps then run over flat `f64` columns
+/// ([`PruningRule::dominates_keyed`]), and all scratch comes from the
+/// recycled `scratch`. Survivor set and output order are identical —
+/// bitwise — to the unkeyed path: the keys are the same deterministic
+/// values the scalar accessors produce, compared in the same order.
+///
+/// On return, `scratch.keys` holds the surviving solutions' keys, aligned
+/// with `sols`.
+pub fn prune_solutions_keyed(
+    rule: &dyn PruningRule,
+    sols: &mut Vec<StatSolution>,
+    scratch: &mut PruneScratch,
+) {
+    let n = sols.len();
+    // Eliminated solutions from the previous prune that nobody drained
+    // are dropped here, so a non-draining caller stays bounded.
+    scratch.retired.clear();
+    rule.batch_keys(sols, &mut scratch.keys);
+    debug_assert_eq!(scratch.keys.len(), n, "rule keyed fewer solutions");
     match rule.strategy() {
         MergeStrategy::SortedLinear => {
-            sols.sort_by(|a, b| {
-                rule.load_key(a)
-                    .total_cmp(&rule.load_key(b))
-                    .then(rule.rat_key(b).total_cmp(&rule.rat_key(a)))
+            let keys = &scratch.keys;
+            scratch.order.clear();
+            scratch.order.extend(0..n as u32);
+            stable_argsort(&mut scratch.order, |a, b| {
+                let (a, b) = (a as usize, b as usize);
+                keys.load[a]
+                    .total_cmp(&keys.load[b])
+                    .then(keys.rat[b].total_cmp(&keys.rat[a]))
             });
+            apply_order(sols, &mut scratch.keys, &scratch.order, &mut scratch.perm);
             // In-place compaction: `w` is one past the last kept entry.
             let mut w = 0usize;
-            for r in 0..sols.len() {
-                if w > 0 && rule.dominates(&sols[w - 1], &sols[r]) {
+            for r in 0..n {
+                if w > 0 && rule.dominates_keyed(&scratch.keys, w - 1, r, sols) {
                     continue;
                 }
                 sols.swap(w, r);
+                scratch.keys.swap(w, r);
                 w += 1;
             }
-            sols.truncate(w);
+            scratch.retired.extend(sols.drain(w..));
+            scratch.keys.truncate(w);
         }
         MergeStrategy::CrossProduct => {
-            let mut dominated = vec![false; sols.len()];
-            for i in 0..sols.len() {
+            scratch.flags.clear();
+            scratch.flags.resize(n, false);
+            let dominated = &mut scratch.flags;
+            for i in 0..n {
                 if dominated[i] {
                     continue;
                 }
-                for j in 0..sols.len() {
+                // Index loop: `j` feeds the keyed dominance check while
+                // `dominated[j]` is written under an active read of
+                // `dominated[i]` — an iterator form would fight the
+                // borrow.
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..n {
                     if i == j || dominated[j] {
                         continue;
                     }
-                    if rule.dominates(&sols[i], &sols[j]) {
+                    if rule.dominates_keyed(&scratch.keys, i, j, sols) {
                         dominated[j] = true;
                     }
                 }
             }
-            let mut flags = dominated.iter();
-            sols.retain(|_| !flags.next().expect("same length"));
-            sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
+            // Order-preserving compaction of the survivors (what `retain`
+            // does, but keeping the key columns aligned).
+            let mut w = 0usize;
+            for (r, &dom) in dominated.iter().enumerate() {
+                if dom {
+                    continue;
+                }
+                sols.swap(w, r);
+                scratch.keys.swap(w, r);
+                w += 1;
+            }
+            scratch.retired.extend(sols.drain(w..));
+            scratch.keys.truncate(w);
+            let keys = &scratch.keys;
+            scratch.order.clear();
+            scratch.order.extend(0..w as u32);
+            stable_argsort(&mut scratch.order, |a, b| {
+                keys.load[a as usize].total_cmp(&keys.load[b as usize])
+            });
+            apply_order(sols, &mut scratch.keys, &scratch.order, &mut scratch.perm);
         }
     }
 }
@@ -535,6 +805,145 @@ mod tests {
         let rule = TwoParam::default();
         let kept = prune_solutions(&rule, vec![sol(5.0, -10.0), sol(5.0, -10.0)]);
         assert_eq!(kept.len(), 1);
+    }
+
+    /// Reference implementation: the pre-KeyTable prune, kept verbatim so
+    /// the keyed path can be pinned against it.
+    fn prune_reference(rule: &dyn PruningRule, sols: &mut Vec<StatSolution>) {
+        match rule.strategy() {
+            MergeStrategy::SortedLinear => {
+                sols.sort_by(|a, b| {
+                    rule.load_key(a)
+                        .total_cmp(&rule.load_key(b))
+                        .then(rule.rat_key(b).total_cmp(&rule.rat_key(a)))
+                });
+                let mut w = 0usize;
+                for r in 0..sols.len() {
+                    if w > 0 && rule.dominates(&sols[w - 1], &sols[r]) {
+                        continue;
+                    }
+                    sols.swap(w, r);
+                    w += 1;
+                }
+                sols.truncate(w);
+            }
+            MergeStrategy::CrossProduct => {
+                let mut dominated = vec![false; sols.len()];
+                for i in 0..sols.len() {
+                    if dominated[i] {
+                        continue;
+                    }
+                    for j in 0..sols.len() {
+                        if i == j || dominated[j] {
+                            continue;
+                        }
+                        if rule.dominates(&sols[i], &sols[j]) {
+                            dominated[j] = true;
+                        }
+                    }
+                }
+                let mut flags = dominated.iter();
+                sols.retain(|_| !flags.next().expect("same length"));
+                sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_prune_matches_reference_for_all_rules() {
+        use varbuf_stats::SplitMix64;
+        let rules: [&dyn PruningRule; 5] = [
+            &TwoParam::default(),
+            &TwoParam::new(0.9, 0.9),
+            &FourParam::default(),
+            &OneParam::default(),
+            &OneParam::new(0.6),
+        ];
+        let mut scratch = PruneScratch::default();
+        for (ri, rule) in rules.iter().enumerate() {
+            for seed in [1u64, 2, 3] {
+                let mut rng = SplitMix64::new(seed * 31 + ri as u64);
+                // Sizes straddling the insertion-sort cutoff, plus
+                // duplicates to exercise sort stability.
+                for n in [0usize, 1, 2, 17, 63, 64, 90] {
+                    let base: Vec<StatSolution> = (0..n)
+                        .map(|i| {
+                            let load = (rng.next_u64() % 8) as f64 + rng.next_f64() * 0.01;
+                            let rat = -100.0 + (rng.next_u64() % 8) as f64;
+                            if i % 3 == 0 {
+                                sol(load, rat) // deterministic duplicates
+                            } else {
+                                sol_var(
+                                    load,
+                                    rng.next_f64() * 3.0,
+                                    rat,
+                                    rng.next_f64() * 3.0,
+                                    i as u32,
+                                )
+                            }
+                        })
+                        .collect();
+                    let mut reference = base.clone();
+                    prune_reference(*rule, &mut reference);
+                    let mut keyed = base;
+                    prune_solutions_keyed(*rule, &mut keyed, &mut scratch);
+                    assert_eq!(
+                        keyed.len(),
+                        reference.len(),
+                        "{} n={n} seed={seed}",
+                        rule.name()
+                    );
+                    assert_eq!(scratch.keys.len(), keyed.len());
+                    for (k, (a, b)) in keyed.iter().zip(&reference).enumerate() {
+                        assert_eq!(
+                            a.load_mean().to_bits(),
+                            b.load_mean().to_bits(),
+                            "{} n={n} seed={seed} pos={k} load",
+                            rule.name()
+                        );
+                        assert_eq!(
+                            a.rat_mean().to_bits(),
+                            b.rat_mean().to_bits(),
+                            "{} n={n} seed={seed} pos={k} rat",
+                            rule.name()
+                        );
+                        assert_eq!(a.load, b.load);
+                        assert_eq!(a.rat, b.rat);
+                        // The retained key column matches the rule's
+                        // scalar accessors on the survivor.
+                        assert_eq!(scratch.keys.load[k].to_bits(), rule.load_key(a).to_bits());
+                        assert_eq!(scratch.keys.rat[k].to_bits(), rule.rat_key(a).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_four_param_keys_match_percentiles_bitwise() {
+        let rule = FourParam::new(0.2, 0.8, 0.15, 0.85);
+        let sols = vec![
+            sol(10.0, -50.0),
+            sol_var(12.0, 4.0, -60.0, 2.5, 0),
+            sol_var(9.0, 0.0, -40.0, 7.0, 1),
+        ];
+        let mut keys = KeyTable::default();
+        rule.batch_keys(&sols, &mut keys);
+        for (i, s) in sols.iter().enumerate() {
+            assert_eq!(keys.aux[0][i].to_bits(), s.load.percentile(0.2).to_bits());
+            assert_eq!(keys.aux[1][i].to_bits(), s.load.percentile(0.8).to_bits());
+            assert_eq!(keys.aux[2][i].to_bits(), s.rat.percentile(0.15).to_bits());
+            assert_eq!(keys.aux[3][i].to_bits(), s.rat.percentile(0.85).to_bits());
+        }
+        // Keyed dominance equals form dominance on every pair.
+        for i in 0..sols.len() {
+            for j in 0..sols.len() {
+                assert_eq!(
+                    rule.dominates_keyed(&keys, i, j, &sols),
+                    rule.dominates(&sols[i], &sols[j])
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,9 +61,19 @@ impl CanonicalForm {
     /// Builds a form from a nominal value and a term list.
     ///
     /// The terms may be unsorted and may contain duplicates; duplicates are
-    /// summed and zero coefficients dropped.
+    /// summed and zero coefficients dropped. Inputs that already satisfy
+    /// the invariant (strictly ascending ids, no zero coefficients) — the
+    /// overwhelmingly common case inside the DP operations — skip the
+    /// sort-and-compact pass entirely.
     #[must_use]
     pub fn with_terms(nominal: f64, mut terms: Vec<(SourceId, f64)>) -> Self {
+        if Self::terms_canonical(&terms) {
+            debug_assert!(
+                terms.windows(2).all(|w| w[0].0 < w[1].0) && terms.iter().all(|&(_, c)| c != 0.0),
+                "fast-path precondition violated"
+            );
+            return Self { nominal, terms };
+        }
         terms.sort_unstable_by_key(|&(id, _)| id);
         let mut compact: Vec<(SourceId, f64)> = Vec::with_capacity(terms.len());
         for (id, coeff) in terms {
@@ -233,9 +243,84 @@ impl CanonicalForm {
         self.linear_combination(1.0, other, -1.0)
     }
 
-    /// Adds `k · other` into `self` in place (sorted merge).
+    /// Adds `k · other` into `self` in place.
+    ///
+    /// Bitwise identical to `self.linear_combination(1.0, other, k)`
+    /// (`1.0·a` is exact, and matched coefficients are grouped as
+    /// `a + (k·b)` in both), but touches only `other`'s sources: each is
+    /// located by a galloping search, so when `other`'s sources are a
+    /// subset of `self`'s — the common case in the DP, where a
+    /// solution's load sources were already folded into its RAT — the
+    /// cost is `O(m·log k)` updates instead of an `O(k)` rewrite of the
+    /// term vector. New sources shift only the tail behind them; the
+    /// rare exact cancellation (a coefficient or fresh product landing
+    /// on `±0.0`, which the canonical representation must drop) falls
+    /// back to the allocating reference path.
     pub fn add_scaled_assign(&mut self, other: &Self, k: f64) {
-        *self = self.linear_combination(1.0, other, k);
+        // Pass 1 (read-only): find every `other` source, counting the
+        // insertions and detecting cancellations.
+        let mut inserts = 0usize;
+        let mut cancels = false;
+        let mut i = 0usize;
+        for &(id, cb) in &other.terms {
+            i += lower_bound(&self.terms[i..], id);
+            match self.terms.get(i) {
+                Some(&(ida, ca)) if ida == id => {
+                    if ca + k * cb == 0.0 {
+                        cancels = true;
+                        break;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    if k * cb == 0.0 {
+                        cancels = true;
+                        break;
+                    }
+                    inserts += 1;
+                }
+            }
+        }
+        if cancels {
+            *self = self.linear_combination(1.0, other, k);
+            return;
+        }
+        self.nominal += k * other.nominal;
+        if inserts == 0 {
+            let mut i = 0usize;
+            for &(id, cb) in &other.terms {
+                i += lower_bound(&self.terms[i..], id);
+                self.terms[i].1 += k * cb;
+                i += 1;
+            }
+        } else {
+            // Backward merge into the grown tail: `w` never catches up
+            // with the unread `self` prefix because every remaining
+            // write covers at least the remaining reads plus the
+            // pending insertions.
+            let old = self.terms.len();
+            let filler = *other.terms.first().expect("inserts imply terms");
+            self.terms.resize(old + inserts, filler);
+            let (mut i, mut j) = (old as isize - 1, other.terms.len() as isize - 1);
+            let mut w = (old + inserts) as isize - 1;
+            while j >= 0 {
+                let (idb, cb) = other.terms[j as usize];
+                if i >= 0 && self.terms[i as usize].0 > idb {
+                    self.terms[w as usize] = self.terms[i as usize];
+                    i -= 1;
+                } else if i >= 0 && self.terms[i as usize].0 == idb {
+                    let ca = self.terms[i as usize].1;
+                    self.terms[w as usize] = (idb, ca + k * cb);
+                    i -= 1;
+                    j -= 1;
+                } else {
+                    self.terms[w as usize] = (idb, k * cb);
+                    j -= 1;
+                }
+                w -= 1;
+            }
+            debug_assert_eq!(w, i, "prefix below the last insertion is already in place");
+        }
     }
 
     /// The `α`-percentile `π_α = μ + z_α·σ` of this (normal) form.
@@ -253,11 +338,13 @@ impl CanonicalForm {
     }
 
     /// `P(self > other)` under the joint-normal assumption (eq. (8)).
+    ///
+    /// Allocation-free: the difference's moments come from
+    /// [`sub_stats`](Self::sub_stats) rather than a materialized form.
     #[must_use]
     pub fn prob_greater(&self, other: &Self) -> f64 {
-        let diff = self.sub(other);
-        let sigma = diff.std_dev();
-        let dmu = diff.mean();
+        let (dmu, var) = self.sub_stats(other);
+        let sigma = var.sqrt();
         if sigma <= f64::EPSILON * (self.nominal.abs() + other.nominal.abs() + 1.0) {
             return if dmu > 0.0 {
                 1.0
@@ -286,6 +373,172 @@ impl CanonicalForm {
             return if self.nominal >= x { 1.0 } else { 0.0 };
         }
         norm_cdf((self.nominal - x) / sigma)
+    }
+
+    /// Whether a term list already satisfies the representation
+    /// invariant: strictly ascending ids with no zero coefficients.
+    #[inline]
+    fn terms_canonical(terms: &[(SourceId, f64)]) -> bool {
+        let mut prev: Option<SourceId> = None;
+        for &(id, c) in terms {
+            if c == 0.0 || prev.is_some_and(|p| p >= id) {
+                return false;
+            }
+            prev = Some(id);
+        }
+        true
+    }
+
+    /// Overwrites `self` with `src`, reusing `self`'s term capacity.
+    ///
+    /// Bitwise equivalent to `*self = src.clone()` without the heap
+    /// round trip once `self` has grown to its working size.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.nominal = src.nominal;
+        self.terms.clear();
+        self.terms.extend_from_slice(&src.terms);
+    }
+
+    /// In-place [`linear_combination`](Self::linear_combination):
+    /// overwrites `self` with `k1·a + k2·b`.
+    ///
+    /// Produces bitwise-identical terms to the allocating version — the
+    /// merge walk and per-term arithmetic are the same; only the
+    /// destination buffer is recycled.
+    pub fn lin_comb_into(&mut self, a: &Self, k1: f64, b: &Self, k2: f64) {
+        self.terms.clear();
+        let terms = &mut self.terms;
+        let (mut i, mut j) = (0, 0);
+        while i < a.terms.len() && j < b.terms.len() {
+            let (ida, ca) = a.terms[i];
+            let (idb, cb) = b.terms[j];
+            match ida.cmp(&idb) {
+                std::cmp::Ordering::Less => {
+                    push_nonzero(terms, ida, k1 * ca);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    push_nonzero(terms, idb, k2 * cb);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    push_nonzero(terms, ida, k1 * ca + k2 * cb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(id, ca) in &a.terms[i..] {
+            push_nonzero(terms, id, k1 * ca);
+        }
+        for &(id, cb) in &b.terms[j..] {
+            push_nonzero(terms, id, k2 * cb);
+        }
+        self.nominal = k1 * a.nominal + k2 * b.nominal;
+    }
+
+    /// Fused buffer kernel: overwrites `self` with `(k1·a + k2·b) − c`
+    /// in a single three-way merge walk.
+    ///
+    /// Bitwise identical to
+    /// `a.linear_combination(k1, b, k2).sub(c)`: every surviving
+    /// coefficient is grouped as `1.0·(k1·aᵢ + k2·bᵢ) + (−1.0)·cᵢ`,
+    /// which IEEE-754 round-to-nearest evaluates to the same bits as the
+    /// two-pass chain (`1.0·x = x` and `x + (−y) = x − y` exactly, and a
+    /// `±0.0` intermediate dropped by the two-pass version leaves
+    /// `−cᵢ`, which `±0.0 − cᵢ` also yields for nonzero `cᵢ`).
+    pub fn lin_comb_sub_into(&mut self, a: &Self, k1: f64, b: &Self, k2: f64, c: &Self) {
+        self.terms.clear();
+        let terms = &mut self.terms;
+        let (ta, tb, tc) = (&a.terms[..], &b.terms[..], &c.terms[..]);
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        loop {
+            let ia = ta.get(i).map(|t| t.0);
+            let ib = tb.get(j).map(|t| t.0);
+            let ic = tc.get(k).map(|t| t.0);
+            // Smallest live id across the three operands.
+            let id = match [ia, ib, ic].into_iter().flatten().min() {
+                Some(id) => id,
+                None => break,
+            };
+            let mut g = None;
+            if ia == Some(id) {
+                g = Some(k1 * ta[i].1);
+                i += 1;
+            }
+            if ib == Some(id) {
+                let gb = k2 * tb[j].1;
+                g = Some(match g {
+                    Some(ga) => ga + gb,
+                    None => gb,
+                });
+                j += 1;
+            }
+            let coeff = if ic == Some(id) {
+                let cc = tc[k].1;
+                k += 1;
+                match g {
+                    Some(g) => g - cc,
+                    None => -cc,
+                }
+            } else {
+                match g {
+                    Some(g) => g,
+                    None => continue,
+                }
+            };
+            push_nonzero(terms, id, coeff);
+        }
+        self.nominal = (k1 * a.nominal + k2 * b.nominal) - c.nominal;
+    }
+
+    /// Mean and variance of `self − other` without materializing the
+    /// difference form.
+    ///
+    /// Bitwise identical to `(self.sub(other).mean(),
+    /// self.sub(other).variance())`: the merged walk visits the union of
+    /// ids in the same ascending order and squares the same surviving
+    /// coefficients. Exact cancellations are skipped rather than added,
+    /// because the materialized path drops them via `push_nonzero` — and
+    /// `variance()`'s `Sum` fold starts at `-0.0`, so a difference whose
+    /// terms all cancel yields `-0.0`, which an unconditional `+= 0.0`
+    /// would flip to `+0.0`.
+    #[must_use]
+    pub fn sub_stats(&self, other: &Self) -> (f64, f64) {
+        let mut var = -0.0;
+        let (ta, tb) = (&self.terms[..], &other.terms[..]);
+        let (mut i, mut j) = (0, 0);
+        while i < ta.len() && j < tb.len() {
+            let (ida, a) = ta[i];
+            let (idb, b) = tb[j];
+            let d = match ida.cmp(&idb) {
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    a
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    -b
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    let d = a - b;
+                    if d == 0.0 {
+                        continue; // dropped by push_nonzero in the materialized path
+                    }
+                    d
+                }
+            };
+            var += d * d;
+        }
+        for &(_, a) in &ta[i..] {
+            var += a * a;
+        }
+        for &(_, b) in &tb[j..] {
+            var += b * b;
+        }
+        (self.nominal - other.nominal, var)
     }
 
     /// Drops terms whose coefficient magnitude is below
@@ -329,6 +582,20 @@ fn push_nonzero(terms: &mut Vec<(SourceId, f64)>, id: SourceId, coeff: f64) {
     if coeff != 0.0 {
         terms.push((id, coeff));
     }
+}
+
+/// Index of the first term with source `>= id`: a galloping probe
+/// (1, 2, 4, …) brackets the answer, a binary search pins it. Starting
+/// the gallop at the front makes repeated searches from a moving lower
+/// bound cheap when successive ids land close together.
+fn lower_bound(terms: &[(SourceId, f64)], id: SourceId) -> usize {
+    let mut hi = 1usize;
+    while hi <= terms.len() && terms[hi - 1].0 < id {
+        hi <<= 1;
+    }
+    let lo = (hi >> 1).min(terms.len());
+    let hi = hi.min(terms.len());
+    lo + terms[lo..hi].partition_point(|t| t.0 < id)
 }
 
 #[cfg(test)]
@@ -429,6 +696,138 @@ mod tests {
         assert_eq!(dropped, 1);
         assert_eq!(a.term_count(), 1);
         assert_eq!(a.sparsify(0.0), 0);
+    }
+
+    #[test]
+    fn with_terms_fast_path_keeps_sorted_inputs() {
+        // Already-canonical input: fast path must preserve it verbatim.
+        let terms = vec![(SourceId(1), 2.0), (SourceId(3), -1.5), (SourceId(9), 0.25)];
+        let f = CanonicalForm::with_terms(1.0, terms.clone());
+        assert_eq!(f.terms(), &terms[..]);
+        // A zero coefficient forces the slow path and is dropped.
+        let g = CanonicalForm::with_terms(1.0, vec![(SourceId(1), 2.0), (SourceId(3), 0.0)]);
+        assert_eq!(g.term_count(), 1);
+        // Equal ids force the slow path and are summed.
+        let h = CanonicalForm::with_terms(0.0, vec![(SourceId(4), 1.0), (SourceId(4), 2.0)]);
+        assert_eq!(h.terms(), &[(SourceId(4), 3.0)]);
+    }
+
+    #[test]
+    fn lin_comb_into_matches_allocating_version_bitwise() {
+        let a = form(1.25, &[(0, 1.0), (2, 2.0), (7, -0.5)]);
+        let b = form(-2.5, &[(1, 3.0), (2, -2.0), (9, 4.0)]);
+        for (k1, k2) in [(1.0, 1.0), (1.0, -1.0), (0.3, 0.7), (-1.7, 2.9)] {
+            let legacy = a.linear_combination(k1, &b, k2);
+            let mut out = form(99.0, &[(50, 123.0)]);
+            out.lin_comb_into(&a, k1, &b, k2);
+            assert_eq!(legacy.mean().to_bits(), out.mean().to_bits());
+            assert_eq!(legacy.terms().len(), out.terms().len());
+            for (x, y) in legacy.terms().iter().zip(out.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_assign_matches_linear_combination_bitwise() {
+        let cases: Vec<(CanonicalForm, CanonicalForm, f64)> = vec![
+            // Subset: every `other` source already present (pure update).
+            (
+                form(1.25, &[(0, 1.0), (2, 2.0), (7, -0.5), (11, 3.0)]),
+                form(-2.5, &[(2, -0.25), (11, 4.0)]),
+                -1.7,
+            ),
+            // Disjoint: every source inserted, interleaved and at both ends.
+            (
+                form(0.5, &[(2, 2.0), (7, -0.5)]),
+                form(1.0, &[(0, 1.0), (4, 3.0), (9, -2.0)]),
+                0.3,
+            ),
+            // Mixed matches and insertions.
+            (
+                form(-1.0, &[(1, 1.0), (5, -2.0), (6, 0.75)]),
+                form(2.0, &[(1, 3.0), (2, -2.0), (6, 0.5), (9, 4.0)]),
+                2.9,
+            ),
+            // Exact cancellation on id 3 → the canonical form must drop it.
+            (
+                form(0.0, &[(3, 1.5), (4, 1.0)]),
+                form(0.0, &[(3, 1.5), (8, 2.0)]),
+                -1.0,
+            ),
+            // k = 0 zeroes every product (cancellation fallback).
+            (
+                form(1.0, &[(0, 1.0)]),
+                form(2.0, &[(0, 5.0), (1, 2.0)]),
+                0.0,
+            ),
+            // Empty operands on either side.
+            (form(4.0, &[]), form(1.0, &[(2, 1.0)]), 1.0),
+            (form(4.0, &[(2, 1.0)]), form(1.0, &[]), 1.0),
+        ];
+        for (a, b, k) in cases {
+            let reference = a.linear_combination(1.0, &b, k);
+            let mut inplace = a.clone();
+            inplace.add_scaled_assign(&b, k);
+            assert_eq!(reference.mean().to_bits(), inplace.mean().to_bits());
+            assert_eq!(
+                reference.terms().len(),
+                inplace.terms().len(),
+                "{reference} vs {inplace}"
+            );
+            for (x, y) in reference.terms().iter().zip(inplace.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lin_comb_sub_into_matches_two_pass_chain_bitwise() {
+        let a = form(1.25, &[(0, 1.0), (2, 2.0), (7, -0.5)]);
+        let b = form(-2.5, &[(1, 3.0), (2, -2.0), (7, 0.5), (9, 4.0)]);
+        let c = form(0.75, &[(0, 0.25), (2, -1.4), (8, 2.0), (9, 4.0)]);
+        for (k1, k2) in [(1.0, -0.2), (1.0, 1.0), (0.3, 0.7)] {
+            let legacy = a.linear_combination(k1, &b, k2).sub(&c);
+            let mut out = form(99.0, &[(50, 123.0)]);
+            out.lin_comb_sub_into(&a, k1, &b, k2, &c);
+            assert_eq!(legacy.mean().to_bits(), out.mean().to_bits());
+            assert_eq!(legacy.terms().len(), out.terms().len(), "{legacy} vs {out}");
+            for (x, y) in legacy.terms().iter().zip(out.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+        // Exact cancellation in the intermediate (k1·a + k2·b ≡ 0 on id 7)
+        // while c also carries id 7: the fused kernel must still match.
+        let legacy = a.linear_combination(1.0, &b, 1.0).sub(&c);
+        let mut out = CanonicalForm::default();
+        out.lin_comb_sub_into(&a, 1.0, &b, 1.0, &c);
+        assert_eq!(legacy, out);
+    }
+
+    #[test]
+    fn sub_stats_matches_materialized_difference_bitwise() {
+        let a = form(5.0, &[(0, 1.0), (2, 2.0), (7, -0.5)]);
+        let b = form(4.0, &[(1, 3.0), (2, 2.0), (9, 4.0)]);
+        let diff = a.sub(&b);
+        let (dmu, var) = a.sub_stats(&b);
+        assert_eq!(dmu.to_bits(), diff.mean().to_bits());
+        assert_eq!(var.to_bits(), diff.variance().to_bits());
+        // Shared source cancels exactly (id 2): still identical.
+        let (_, var2) = a.sub_stats(&a);
+        assert_eq!(var2.to_bits(), a.sub(&a).variance().to_bits());
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let src = form(3.0, &[(0, 1.0), (5, 2.0)]);
+        let mut dst = form(0.0, &[(1, 9.0), (2, 9.0), (3, 9.0)]);
+        let cap = 3; // dst grew to at least 3 terms
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert!(dst.terms.capacity() >= cap);
     }
 
     #[test]

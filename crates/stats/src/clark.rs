@@ -55,9 +55,8 @@ pub struct MinMaxResult {
 /// ```
 #[must_use]
 pub fn stat_min(a: &CanonicalForm, b: &CanonicalForm) -> MinMaxResult {
-    let diff = b.sub(a); // b − a
-    let sigma = diff.std_dev();
-    let dmu = diff.mean(); // μ_b − μ_a
+    let (dmu, dvar) = b.sub_stats(a); // moments of b − a, allocation-free
+    let sigma = dvar.sqrt();
 
     if sigma <= f64::EPSILON * (a.mean().abs() + b.mean().abs() + 1.0) {
         // Deterministic ordering of the two forms.
@@ -103,6 +102,38 @@ pub fn stat_min(a: &CanonicalForm, b: &CanonicalForm) -> MinMaxResult {
         tightness: t,
         residual_std,
     }
+}
+
+/// In-place [`stat_min`]: overwrites `dest` with the blended form of
+/// `min(a, b)` and returns the tightness probability `P(a < b)`.
+///
+/// Bitwise identical to `stat_min(a, b).form` — the same degenerate
+/// snaps and the same `t·a + (1−t)·b` merge — but the destination's
+/// term buffer is recycled and the residual second-moment bookkeeping
+/// (which the DP merge never reads) is skipped. `dest` must be a
+/// distinct form from both operands (the borrow checker enforces it).
+pub fn stat_min_assign(dest: &mut CanonicalForm, a: &CanonicalForm, b: &CanonicalForm) -> f64 {
+    let (dmu, dvar) = b.sub_stats(a);
+    let sigma = dvar.sqrt();
+
+    if sigma <= f64::EPSILON * (a.mean().abs() + b.mean().abs() + 1.0) {
+        return if dmu > 0.0 {
+            dest.copy_from(a);
+            1.0
+        } else if dmu < 0.0 {
+            dest.copy_from(b);
+            0.0
+        } else {
+            dest.copy_from(a);
+            0.5
+        };
+    }
+
+    let z = dmu / sigma;
+    let t = norm_cdf(z);
+    dest.lin_comb_into(a, t, b, 1.0 - t);
+    dest.add_constant(-sigma * norm_pdf(z));
+    t
 }
 
 /// Statistical maximum `max(a, b)`, derived from
@@ -219,6 +250,30 @@ mod tests {
         );
         // The linear form alone must indeed understate the variance here.
         assert!(r.residual_std > 0.0);
+    }
+
+    #[test]
+    fn stat_min_assign_matches_stat_min_bitwise() {
+        let cases = [
+            (form(3.0, &[(0, 1.0)]), form(5.0, &[(1, 1.0)])),
+            (form(3.0, &[(0, 1.0)]), form(3.0, &[(1, 1.0)])),
+            // Deterministic orderings (shared source, shifted means).
+            (form(1.0, &[(0, 2.0)]), form(4.0, &[(0, 2.0)])),
+            (form(4.0, &[(0, 2.0)]), form(1.0, &[(0, 2.0)])),
+            (form(2.0, &[(0, 1.0)]), form(2.0, &[(0, 1.0)])),
+        ];
+        for (a, b) in &cases {
+            let r = stat_min(a, b);
+            let mut dest = form(99.0, &[(42, 7.0)]);
+            let t = stat_min_assign(&mut dest, a, b);
+            assert_eq!(t.to_bits(), r.tightness.to_bits());
+            assert_eq!(dest.mean().to_bits(), r.form.mean().to_bits());
+            assert_eq!(dest.terms().len(), r.form.terms().len());
+            for (x, y) in dest.terms().iter().zip(r.form.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Run-global term interning and SoA batched kernels.
+//!
+//! The DP's sparse canonical forms pay a branchy sorted-merge per binary
+//! operation. For workloads that evaluate moments over *whole solution
+//! lists* — batched covariance, variance sweeps, representation
+//! cross-checks — a denser layout wins: a per-run [`TermInterner`] maps
+//! every live [`SourceId`] to a dense column index, so a form becomes a
+//! fixed-stride `f64` row ([`ColumnForm`]) and a list of forms becomes a
+//! contiguous row-major matrix ([`FormBatch`]) whose reductions are flat
+//! slice sweeps that autovectorize.
+//!
+//! # Determinism contract
+//!
+//! Columns are assigned in **ascending [`SourceId`] order**, so iterating
+//! a row left to right visits sources in exactly the order the sparse
+//! sorted-merge walk does. Absent sources hold `0.0`, and every moment
+//! kernel skips zero slots so it replays *exactly* the sequence of adds
+//! the sparse walk performs — including the sign of the empty sum
+//! (`f64`'s `Sum` fold starts at `-0.0`, so a term-free form has
+//! `variance() == -0.0`). The kernels here are therefore **bitwise
+//! identical** to their sparse counterparts in [`CanonicalForm`] —
+//! pinned by the `determinism` suite in `varbuf-core`.
+//!
+//! # Arena lifetime
+//!
+//! Dense rows are recycled through a [`FormArena`]: `take` hands out a
+//! zeroed row, `put` returns its buffer for reuse. The arena is per-run
+//! scratch (one per worker, never shared), mirroring the `SolPool`
+//! recycling discipline of the DP engine.
+
+use crate::canonical::{CanonicalForm, SourceId};
+
+/// `Σ aᵢ²` over a dense row, bitwise identical to the sparse
+/// [`CanonicalForm::variance`]: zero slots are skipped, so the `Sum`
+/// fold sees exactly the sparse term sequence (and an all-zero row
+/// yields the same `-0.0` an empty sparse sum does).
+fn row_variance(row: &[f64]) -> f64 {
+    row.iter().filter(|&&a| a != 0.0).map(|&a| a * a).sum()
+}
+
+/// Dot product of two dense rows, bitwise identical to the sparse
+/// [`CanonicalForm::covariance`] walk: only slots nonzero in both rows
+/// (the shared sources) contribute, folded from `0.0`.
+fn row_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut cov = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if x != 0.0 && y != 0.0 {
+            cov += x * y;
+        }
+    }
+    cov
+}
+
+/// A run-global map from sparse [`SourceId`]s to dense column indices.
+///
+/// Built once per optimization run from the enumerable universe of
+/// sources a net can touch. Columns are assigned in ascending id order
+/// (see the module docs for why that matters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermInterner {
+    /// Column → id, strictly ascending.
+    ids: Vec<SourceId>,
+}
+
+impl TermInterner {
+    /// Builds an interner from an arbitrary iterator of source ids
+    /// (sorted and deduplicated internally).
+    #[must_use]
+    pub fn new(sources: impl IntoIterator<Item = SourceId>) -> Self {
+        let mut ids: Vec<SourceId> = sources.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Builds an interner from ids that are already strictly ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the input is not strictly ascending.
+    #[must_use]
+    pub fn from_sorted(ids: Vec<SourceId>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "interner ids must be strictly ascending"
+        );
+        Self { ids }
+    }
+
+    /// Number of interned columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the interner is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The dense column of `id`, or `None` if it was never interned.
+    #[must_use]
+    pub fn column(&self, id: SourceId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The source id stored at `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.len()`.
+    #[must_use]
+    pub fn id(&self, col: usize) -> SourceId {
+        self.ids[col]
+    }
+
+    /// The interned ids in column (ascending) order.
+    #[must_use]
+    pub fn ids(&self) -> &[SourceId] {
+        &self.ids
+    }
+}
+
+/// A canonical form in dense column representation: `nominal` plus one
+/// coefficient slot per interned column (0.0 = source absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnForm {
+    nominal: f64,
+    cols: Vec<f64>,
+}
+
+impl ColumnForm {
+    /// Scatters a sparse form into dense columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the form references a source the interner doesn't know.
+    #[must_use]
+    pub fn from_canonical(interner: &TermInterner, form: &CanonicalForm) -> Self {
+        let mut out = Self {
+            nominal: form.mean(),
+            cols: vec![0.0; interner.len()],
+        };
+        out.scatter(interner, form);
+        out
+    }
+
+    /// Re-scatters `form` into this row, reusing the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the form references a source the interner doesn't know.
+    pub fn scatter(&mut self, interner: &TermInterner, form: &CanonicalForm) {
+        self.cols.clear();
+        self.cols.resize(interner.len(), 0.0);
+        self.nominal = form.mean();
+        for &(id, a) in form.terms() {
+            let col = interner
+                .column(id)
+                .expect("form references a source outside the interner");
+            self.cols[col] = a;
+        }
+    }
+
+    /// Gathers the row back into a sparse canonical form.
+    ///
+    /// Bitwise identical to the original: nonzero columns are emitted in
+    /// column order, which is ascending id order.
+    #[must_use]
+    pub fn to_canonical(&self, interner: &TermInterner) -> CanonicalForm {
+        let terms: Vec<(SourceId, f64)> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0.0)
+            .map(|(col, &c)| (interner.id(col), c))
+            .collect();
+        CanonicalForm::with_terms(self.nominal, terms)
+    }
+
+    /// The nominal (mean) value.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Variance `Σ aᵢ²` over the dense row (one sequential sweep).
+    ///
+    /// Bitwise identical to [`CanonicalForm::variance`]: zero slots are
+    /// skipped, so the fold sees exactly the sparse term sequence.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        row_variance(&self.cols)
+    }
+
+    /// Covariance against another row of the same width (one sequential
+    /// dot sweep).
+    ///
+    /// Bitwise identical to [`CanonicalForm::covariance`]: only slots
+    /// nonzero in *both* rows (the shared sources) contribute, folded
+    /// from `0.0` exactly like the sparse walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows come from different-width interners.
+    #[must_use]
+    pub fn covariance(&self, other: &Self) -> f64 {
+        assert_eq!(self.cols.len(), other.cols.len(), "interner width mismatch");
+        row_dot(&self.cols, &other.cols)
+    }
+
+    /// The dense coefficient row.
+    #[must_use]
+    pub fn columns(&self) -> &[f64] {
+        &self.cols
+    }
+}
+
+/// Recycles [`ColumnForm`] buffers, the dense analogue of the DP's
+/// solution pool. Per-run scratch — never shared between workers.
+#[derive(Debug, Default)]
+pub struct FormArena {
+    spare: Vec<Vec<f64>>,
+}
+
+impl FormArena {
+    /// Spare rows to retain; beyond this, returned rows really are freed.
+    const KEEP: usize = 32;
+
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed row sized to `interner`, reusing a spare buffer if one
+    /// is available.
+    #[must_use]
+    pub fn take(&mut self, interner: &TermInterner) -> ColumnForm {
+        let mut cols = self.spare.pop().unwrap_or_default();
+        cols.clear();
+        cols.resize(interner.len(), 0.0);
+        ColumnForm { nominal: 0.0, cols }
+    }
+
+    /// Returns a row's buffer to the arena.
+    pub fn put(&mut self, form: ColumnForm) {
+        if self.spare.len() < Self::KEEP && form.cols.capacity() > 0 {
+            self.spare.push(form.cols);
+        }
+    }
+
+    /// Number of spare buffers currently held.
+    #[must_use]
+    pub fn spare_count(&self) -> usize {
+        self.spare.len()
+    }
+}
+
+/// A solution list's forms in SoA layout: nominals contiguous, term
+/// columns contiguous row-major — the shape whose per-list reductions
+/// are single sequential sweeps over flat `f64` slices.
+#[derive(Debug, Clone, Default)]
+pub struct FormBatch {
+    width: usize,
+    nominals: Vec<f64>,
+    rows: Vec<f64>,
+}
+
+impl FormBatch {
+    /// An empty batch over `interner`'s column space.
+    #[must_use]
+    pub fn new(interner: &TermInterner) -> Self {
+        Self {
+            width: interner.len(),
+            nominals: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Clears the batch, retaining capacity, and rebinds it to
+    /// `interner`'s width.
+    pub fn reset(&mut self, interner: &TermInterner) {
+        self.width = interner.len();
+        self.nominals.clear();
+        self.rows.clear();
+    }
+
+    /// Appends one sparse form as a dense row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the form references a source outside the interner.
+    pub fn push(&mut self, interner: &TermInterner, form: &CanonicalForm) {
+        assert_eq!(interner.len(), self.width, "interner width mismatch");
+        self.nominals.push(form.mean());
+        let start = self.rows.len();
+        self.rows.resize(start + self.width, 0.0);
+        let row = &mut self.rows[start..];
+        for &(id, a) in form.terms() {
+            let col = interner
+                .column(id)
+                .expect("form references a source outside the interner");
+            row[col] = a;
+        }
+    }
+
+    /// Number of rows in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nominals.len()
+    }
+
+    /// Whether the batch has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nominals.is_empty()
+    }
+
+    /// The contiguous nominal values.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.nominals
+    }
+
+    /// One dense row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Batched variance: `out[i] = Σⱼ row[i][j]²` for every row, one
+    /// sequential pass over the matrix. Bitwise identical to calling
+    /// [`CanonicalForm::variance`] per form (see [`row_variance`]).
+    pub fn variances_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.len()).map(|i| row_variance(self.row(i))));
+    }
+
+    /// Batched covariance against a probe row:
+    /// `out[i] = Σⱼ row[i][j]·probe[j]`, one sequential pass. Bitwise
+    /// identical to [`CanonicalForm::covariance`] per form (see
+    /// [`row_dot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe`'s width differs from the batch's.
+    pub fn covariances_with_into(&self, probe: &ColumnForm, out: &mut Vec<f64>) {
+        assert_eq!(probe.cols.len(), self.width, "interner width mismatch");
+        out.clear();
+        out.extend((0..self.len()).map(|i| row_dot(self.row(i), &probe.cols)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_form(rng: &mut SplitMix64, universe: &[SourceId], max_terms: usize) -> CanonicalForm {
+        let n = (rng.next_u64() as usize) % (max_terms + 1);
+        let mut terms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = universe[(rng.next_u64() as usize) % universe.len()];
+            let coeff = rng.next_f64() * 4.0 - 2.0;
+            terms.push((id, coeff));
+        }
+        CanonicalForm::with_terms(rng.next_f64() * 10.0 - 5.0, terms)
+    }
+
+    #[test]
+    fn interner_assigns_ascending_columns() {
+        let it = TermInterner::new([SourceId(9), SourceId(2), SourceId(5), SourceId(2)]);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.ids(), &[SourceId(2), SourceId(5), SourceId(9)]);
+        assert_eq!(it.column(SourceId(5)), Some(1));
+        assert_eq!(it.column(SourceId(7)), None);
+        assert_eq!(it.id(2), SourceId(9));
+    }
+
+    #[test]
+    fn column_roundtrip_is_bitwise_identity() {
+        let mut rng = SplitMix64::new(42);
+        let universe: Vec<SourceId> = (0..40).map(SourceId).collect();
+        let it = TermInterner::new(universe.iter().copied());
+        for _ in 0..50 {
+            let f = random_form(&mut rng, &universe, 12);
+            let dense = ColumnForm::from_canonical(&it, &f);
+            let back = dense.to_canonical(&it);
+            assert_eq!(back, f);
+            assert_eq!(dense.mean().to_bits(), f.mean().to_bits());
+            assert_eq!(dense.variance().to_bits(), f.variance().to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_covariance_matches_sparse_bitwise() {
+        let mut rng = SplitMix64::new(7);
+        let universe: Vec<SourceId> = (0..32).map(|i| SourceId(i * 3)).collect();
+        let it = TermInterner::new(universe.iter().copied());
+        for _ in 0..50 {
+            let a = random_form(&mut rng, &universe, 10);
+            let b = random_form(&mut rng, &universe, 10);
+            let da = ColumnForm::from_canonical(&it, &a);
+            let db = ColumnForm::from_canonical(&it, &b);
+            assert_eq!(da.covariance(&db).to_bits(), a.covariance(&b).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_per_form_calls_bitwise() {
+        let mut rng = SplitMix64::new(3);
+        let universe: Vec<SourceId> = (0..25).map(SourceId).collect();
+        let it = TermInterner::new(universe.iter().copied());
+        let forms: Vec<CanonicalForm> = (0..20)
+            .map(|_| random_form(&mut rng, &universe, 8))
+            .collect();
+        let probe = random_form(&mut rng, &universe, 8);
+
+        let mut batch = FormBatch::new(&it);
+        for f in &forms {
+            batch.push(&it, f);
+        }
+        assert_eq!(batch.len(), forms.len());
+
+        let mut vars = Vec::new();
+        batch.variances_into(&mut vars);
+        let mut covs = Vec::new();
+        let dp = ColumnForm::from_canonical(&it, &probe);
+        batch.covariances_with_into(&dp, &mut covs);
+        for (i, f) in forms.iter().enumerate() {
+            assert_eq!(batch.means()[i].to_bits(), f.mean().to_bits());
+            assert_eq!(vars[i].to_bits(), f.variance().to_bits());
+            assert_eq!(covs[i].to_bits(), f.covariance(&probe).to_bits());
+        }
+    }
+
+    #[test]
+    fn arena_recycles_rows() {
+        let it = TermInterner::new((0..8).map(SourceId));
+        let mut arena = FormArena::new();
+        let a = arena.take(&it);
+        assert_eq!(a.columns(), &[0.0; 8]);
+        arena.put(a);
+        assert_eq!(arena.spare_count(), 1);
+        let b = arena.take(&it);
+        assert_eq!(arena.spare_count(), 0);
+        assert_eq!(b.columns().len(), 8);
+    }
+
+    #[test]
+    fn empty_width_batch_is_sound() {
+        let it = TermInterner::new(std::iter::empty());
+        let mut batch = FormBatch::new(&it);
+        batch.push(&it, &CanonicalForm::constant(2.0));
+        batch.push(&it, &CanonicalForm::constant(3.0));
+        let mut vars = Vec::new();
+        batch.variances_into(&mut vars);
+        assert_eq!(vars, vec![0.0, 0.0]);
+        let probe = ColumnForm::from_canonical(&it, &CanonicalForm::constant(1.0));
+        let mut covs = Vec::new();
+        batch.covariances_with_into(&probe, &mut covs);
+        assert_eq!(covs, vec![0.0, 0.0]);
+    }
+}

@@ -18,6 +18,7 @@
 use crate::library::{BufferLibrary, BufferType, BufferTypeId};
 use crate::sources::SourceLayout;
 use crate::spatial::{SpatialKind, SpatialModel};
+use std::sync::{Arc, Mutex};
 use varbuf_rctree::elmore::BufferValues;
 use varbuf_rctree::geom::{BoundingBox, Point};
 use varbuf_rctree::NodeId;
@@ -100,6 +101,51 @@ impl VariationMode {
     }
 }
 
+/// Precomputed device forms for one candidate set: the outer vector is
+/// indexed by position in the location list, the inner slice by buffer
+/// type id; each entry is the `(capacitance, delay)` canonical-form pair.
+pub type DeviceFormTable = Vec<Box<[(CanonicalForm, CanonicalForm)]>>;
+
+/// How many candidate sets [`ProcessModel::device_forms_cached`] keeps —
+/// enough for the mode/sizing variants of one net without letting an
+/// interleaved multi-net sweep pin every table in memory.
+const FORMS_CACHE_CAP: usize = 2;
+
+/// Per-net memo of [`ProcessModel::precompute_device_forms`] results.
+///
+/// Candidate locations are fixed per net, but one net is optimized many
+/// times — the governed fallback cascade retries with cheaper rules,
+/// yield evaluation re-runs the DP per mode, and sweeps revisit the same
+/// tree — and each run used to repay the full spatial taper scan
+/// (~10 ms at 1024 sinks). The memo hands every repeat run the identical
+/// `Arc`'d table, so only the first run per `(locations, mode)` pays.
+///
+/// The cache is an optimization, not model state: clones start cold and
+/// equality ignores it entirely.
+#[derive(Debug, Default)]
+struct FormsCache {
+    entries: Mutex<Vec<FormsCacheEntry>>,
+}
+
+#[derive(Debug)]
+struct FormsCacheEntry {
+    mode: VariationMode,
+    locations: Vec<(NodeId, Point)>,
+    table: Arc<DeviceFormTable>,
+}
+
+impl Clone for FormsCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for FormsCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// The assembled process model for one die.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcessModel {
@@ -107,6 +153,7 @@ pub struct ProcessModel {
     spatial: SpatialModel,
     layout: SourceLayout,
     library: BufferLibrary,
+    forms_cache: FormsCache,
 }
 
 impl ProcessModel {
@@ -125,6 +172,7 @@ impl ProcessModel {
             spatial,
             layout,
             library,
+            forms_cache: FormsCache::default(),
         }
     }
 
@@ -228,6 +276,40 @@ impl ProcessModel {
         if matches!(mode, VariationMode::Nominal) {
             return CanonicalForm::constant(nominal);
         }
+        let owned;
+        let weights: &[(usize, f64)] = if matches!(mode, VariationMode::WithinDie) {
+            owned = self.spatial.weights_at(loc);
+            &owned
+        } else {
+            &[]
+        };
+        self.device_form_with_weights(nominal, sensitivity, ty, node, loc, mode, weights)
+    }
+
+    /// [`device_form`](Self::device_form) with the location's spatial
+    /// weights supplied by the caller (from a
+    /// [`SpatialWeightTable`](crate::spatial::SpatialWeightTable) cache),
+    /// skipping the per-call taper scan. `weights` must be the
+    /// weights of `loc` (ignored outside `WithinDie`); the result is
+    /// bitwise what the uncached path builds.
+    ///
+    /// Terms are pushed in ascending id order — global (`0`), regions
+    /// (`1..=R`, the weight order), device (`>R`) — so
+    /// `CanonicalForm::with_terms` takes its sorted fast path.
+    #[allow(clippy::too_many_arguments)]
+    fn device_form_with_weights(
+        &self,
+        nominal: f64,
+        sensitivity: f64,
+        ty: BufferTypeId,
+        node: NodeId,
+        loc: Point,
+        mode: VariationMode,
+        weights: &[(usize, f64)],
+    ) -> CanonicalForm {
+        if matches!(mode, VariationMode::Nominal) {
+            return CanonicalForm::constant(nominal);
+        }
         // Only a WID-aware model sees the systematic intra-die pattern;
         // NOM and D2D optimizers assume the data-sheet nominal everywhere.
         let nominal = if matches!(mode, VariationMode::WithinDie) {
@@ -236,19 +318,120 @@ impl ProcessModel {
             nominal
         };
         let base = nominal * sensitivity;
-        let mut terms = Vec::new();
-        // Random per-device source.
-        terms.push((self.layout.device(node, ty.0), self.budgets.random * base));
+        let mut terms = Vec::with_capacity(2 + weights.len());
         // Inter-die global source.
         terms.push((self.layout.global(), self.budgets.inter_die * base));
         // Spatially correlated sources.
         if matches!(mode, VariationMode::WithinDie) {
             let coeff = self.budgets.intra_die * base;
-            for (region, w) in self.spatial.weights_at(loc) {
+            for &(region, w) in weights {
                 terms.push((self.layout.region(region), coeff * w));
             }
         }
+        // Random per-device source.
+        terms.push((self.layout.device(node, ty.0), self.budgets.random * base));
         CanonicalForm::with_terms(nominal, terms)
+    }
+
+    /// Precomputes the `(capacitance, delay)` canonical-form pair of
+    /// **every** buffer type at **every** candidate location, doing one
+    /// spatial taper scan per location instead of one per
+    /// `buffer_cap_form`/`buffer_delay_form` call (the DP queries each
+    /// node `2 × |library|` times). The outer vector is indexed by
+    /// position in `locations`, the inner slice by buffer type id; forms
+    /// are bitwise identical to the per-call path.
+    #[must_use]
+    pub fn precompute_device_forms(
+        &self,
+        locations: &[(NodeId, Point)],
+        mode: VariationMode,
+    ) -> DeviceFormTable {
+        let mut scratch = Vec::new();
+        locations
+            .iter()
+            .map(|&(node, loc)| {
+                if matches!(mode, VariationMode::WithinDie) {
+                    self.spatial.weights_into(loc, &mut scratch);
+                } else {
+                    scratch.clear();
+                }
+                self.library
+                    .iter()
+                    .map(|(ty, t)| {
+                        (
+                            self.device_form_with_weights(
+                                t.capacitance,
+                                t.cap_sensitivity,
+                                ty,
+                                node,
+                                loc,
+                                mode,
+                                &scratch,
+                            ),
+                            self.device_form_with_weights(
+                                t.intrinsic_delay,
+                                t.delay_sensitivity,
+                                ty,
+                                node,
+                                loc,
+                                mode,
+                                &scratch,
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// [`precompute_device_forms`](Self::precompute_device_forms) behind
+    /// the model's per-net memo: the first call for a `(locations, mode)`
+    /// pair computes and stores the table; every later call with the same
+    /// candidate set returns the stored `Arc` — the *same* forms, so
+    /// repeat runs (governed fallback retries, yield re-evaluation,
+    /// per-rule sweeps over one net) are trivially bitwise identical and
+    /// skip the spatial taper scan entirely.
+    ///
+    /// The memo keeps the last [`FORMS_CACHE_CAP`] candidate sets
+    /// (mode × sizing variants of one net); an interleaved multi-net
+    /// workload simply recomputes, it never gets stale data because the
+    /// key is the full location list. Model clones (e.g.
+    /// [`for_net`](Self::for_net), which changes device source ids) start
+    /// with a cold cache.
+    #[must_use]
+    pub fn device_forms_cached(
+        &self,
+        locations: &[(NodeId, Point)],
+        mode: VariationMode,
+    ) -> Arc<DeviceFormTable> {
+        if let Ok(entries) = self.forms_cache.entries.lock() {
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.mode == mode && e.locations == locations)
+            {
+                return Arc::clone(&e.table);
+            }
+        }
+        let table = Arc::new(self.precompute_device_forms(locations, mode));
+        if let Ok(mut entries) = self.forms_cache.entries.lock() {
+            // Re-check under the lock: a racing worker may have inserted
+            // the same key; keep the first table so concurrent runs share.
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.mode == mode && e.locations == locations)
+            {
+                return Arc::clone(&e.table);
+            }
+            if entries.len() >= FORMS_CACHE_CAP {
+                entries.remove(0);
+            }
+            entries.push(FormsCacheEntry {
+                mode,
+                locations: locations.to_vec(),
+                table: Arc::clone(&table),
+            });
+        }
+        table
     }
 
     /// Concrete [`BufferValues`] for one Monte Carlo realization: the
@@ -423,6 +606,66 @@ mod tests {
         // Far instances still share the global source, so correlation is
         // bounded below by the inter-die fraction but not by spatial terms.
         assert!(rho_far > 0.0 && rho_far < 0.5);
+    }
+
+    #[test]
+    fn precomputed_device_forms_match_per_call_path_bitwise() {
+        for kind in [SpatialKind::Homogeneous, SpatialKind::Heterogeneous] {
+            let m = model(kind);
+            let locations = [
+                (NodeId(1), Point::new(100.0, 100.0)),
+                (NodeId(7), Point::new(4000.0, 4000.0)),
+                (NodeId(12), Point::new(7900.0, 7900.0)),
+            ];
+            for mode in [
+                VariationMode::Nominal,
+                VariationMode::DieToDie,
+                VariationMode::WithinDie,
+            ] {
+                let table = m.precompute_device_forms(&locations, mode);
+                assert_eq!(table.len(), locations.len());
+                for (slot, &(node, loc)) in locations.iter().enumerate() {
+                    assert_eq!(table[slot].len(), m.library().len());
+                    for (ty, _) in m.library().iter() {
+                        let (cap, delay) = &table[slot][ty.0];
+                        assert_eq!(*cap, m.buffer_cap_form(ty, node, loc, mode));
+                        assert_eq!(*delay, m.buffer_delay_form(ty, node, loc, mode));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_device_forms_share_one_table_and_match_pure_path() {
+        let m = model(SpatialKind::Heterogeneous);
+        let locations = [
+            (NodeId(1), Point::new(100.0, 100.0)),
+            (NodeId(7), Point::new(4000.0, 4000.0)),
+        ];
+        let first = m.device_forms_cached(&locations, VariationMode::WithinDie);
+        let second = m.device_forms_cached(&locations, VariationMode::WithinDie);
+        // Repeat runs on one net get the *same* table, not a recompute.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            *first,
+            m.precompute_device_forms(&locations, VariationMode::WithinDie)
+        );
+        // A different mode is a different key, served alongside the first.
+        let d2d = m.device_forms_cached(&locations, VariationMode::DieToDie);
+        assert!(!Arc::ptr_eq(&first, &d2d));
+        assert!(Arc::ptr_eq(
+            &first,
+            &m.device_forms_cached(&locations, VariationMode::WithinDie)
+        ));
+        // Clones (e.g. `for_net`, which changes device ids) start cold.
+        let clone = m.for_net(3);
+        let cloned = clone.device_forms_cached(&locations, VariationMode::WithinDie);
+        assert!(!Arc::ptr_eq(&first, &cloned));
+        assert_eq!(
+            *cloned,
+            clone.precompute_device_forms(&locations, VariationMode::WithinDie)
+        );
     }
 
     #[test]

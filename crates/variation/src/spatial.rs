@@ -170,39 +170,68 @@ impl SpatialModel {
     ///
     /// Multiplying each coefficient by the per-category sigma budget gives
     /// the canonical-form sensitivities of eq. (21)–(24).
+    ///
+    /// Allocates a fresh vector per call; the hot path uses
+    /// [`weights_into`](Self::weights_into) with a recycled buffer.
     #[must_use]
     pub fn weights_at(&self, p: Point) -> Vec<(usize, f64)> {
+        let mut weights = Vec::new();
+        self.weights_into(p, &mut weights);
+        weights
+    }
+
+    /// [`weights_at`](Self::weights_at) writing into a caller-provided
+    /// buffer (cleared first), so repeated queries reuse one allocation.
+    ///
+    /// The weights are pushed in ascending region-index order (the grid
+    /// scan is row-major), which downstream code relies on for sorted
+    /// merges.
+    pub fn weights_into(&self, p: Point, weights: &mut Vec<(usize, f64)>) {
+        weights.clear();
         // Visit the cells within the taper radius of p.
         let sigma = self.taper_um / 2.0; // weight = e^{-2} at the taper edge
         let reach = (self.taper_um / self.cell_um).ceil() as isize;
         let pc = self.region_of(p);
         let (pcol, prow) = ((pc % self.cols) as isize, (pc / self.cols) as isize);
 
-        let mut weights = Vec::new();
+        // The in-range window, clamped to the grid up front so the inner
+        // loop carries no bounds checks. Row-major, exactly the order the
+        // old `-reach..=reach` double loop visited its surviving cells.
+        let col_lo = pcol.saturating_sub(reach).max(0) as usize;
+        let col_hi = ((pcol + reach).min(self.cols as isize - 1)).max(0) as usize;
+        let row_lo = prow.saturating_sub(reach).max(0) as usize;
+        let row_hi = ((prow + reach).min(self.rows as isize - 1)).max(0) as usize;
+
+        // Distances are computed from the inlined center coordinates —
+        // the same `origin + (index + 0.5)·cell` expression as
+        // `region_center`, with the row term `dy²` hoisted out of the
+        // column loop; `dx·dx + dy²` then matches `euclid`'s
+        // `dx·dx + dy·dy` operation-for-operation, so every weight keeps
+        // the exact bits of the original per-cell scan.
+        let denom = 2.0 * sigma * sigma;
         let mut sum_sq = 0.0;
-        for dr in -reach..=reach {
-            for dc in -reach..=reach {
-                let col = pcol + dc;
-                let row = prow + dr;
-                if col < 0 || row < 0 || col >= self.cols as isize || row >= self.rows as isize {
-                    continue;
-                }
-                let idx = row as usize * self.cols + col as usize;
-                let d = p.euclid(self.region_center(idx));
+        for row in row_lo..=row_hi {
+            let cy = self.origin.y + (row as f64 + 0.5) * self.cell_um;
+            let dy = p.y - cy;
+            let dy2 = dy * dy;
+            let base = row * self.cols;
+            for col in col_lo..=col_hi {
+                let cx = self.origin.x + (col as f64 + 0.5) * self.cell_um;
+                let dx = p.x - cx;
+                let d = (dx * dx + dy2).sqrt();
                 if d > self.taper_um {
                     continue;
                 }
-                let w = (-d * d / (2.0 * sigma * sigma)).exp();
+                let w = (-d * d / denom).exp();
                 sum_sq += w * w;
-                weights.push((idx, w));
+                weights.push((base + col, w));
             }
         }
         // The containing cell is always within the taper, so sum_sq > 0.
         let norm = self.scale_at(p) / sum_sq.sqrt();
-        for (_, w) in &mut weights {
+        for (_, w) in weights.iter_mut() {
             *w *= norm;
         }
-        weights
     }
 
     /// The spatial correlation between two device locations — the dot
@@ -213,17 +242,154 @@ impl SpatialModel {
     pub fn correlation(&self, a: Point, b: Point) -> f64 {
         let wa = self.weights_at(a);
         let wb = self.weights_at(b);
-        let na: f64 = wa.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-        let nb: f64 = wb.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-        if na == 0.0 || nb == 0.0 {
-            return 0.0;
+        correlation_of_weights(&wa, &wb)
+    }
+}
+
+/// Correlation of two normalized weight vectors (each sorted ascending by
+/// region index, as [`SpatialModel::weights_into`] produces them): their
+/// dot product over shared regions divided by the product of their norms,
+/// clamped to `[-1, 1]`.
+fn correlation_of_weights(wa: &[(usize, f64)], wb: &[(usize, f64)]) -> f64 {
+    let na: f64 = wa.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    let nb: f64 = wb.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    // Sorted merge over the shared regions, accumulating in `wa` order —
+    // the same order (ascending region index) the old hash-lookup walk
+    // visited. Starts at `-0.0` like `Sum`'s fold so a disjoint pair
+    // keeps the exact bits of the previous implementation.
+    let mut dot = -0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < wa.len() && j < wb.len() {
+        let (ra, x) = wa[i];
+        let (rb, y) = wb[j];
+        match ra.cmp(&rb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += x * y;
+                i += 1;
+                j += 1;
+            }
         }
-        let b_by_region: std::collections::HashMap<usize, f64> = wb.into_iter().collect();
-        let dot: f64 = wa
-            .iter()
-            .filter_map(|&(i, w)| b_by_region.get(&i).map(|&v| v * w))
-            .sum();
-        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+    (dot / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Precomputed region weights for a fixed set of candidate locations.
+///
+/// Buffer-insertion candidate sites are fixed before the DP starts, so a
+/// run can compute every location's taper scan **once** and serve all
+/// later queries from a flat arena — replacing the per-call `Vec`
+/// allocation (and 81-cell exp/distance scan) `weights_at` performs.
+/// Weight slices keep the ascending region-index order of
+/// [`SpatialModel::weights_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialWeightTable {
+    /// `offsets[i]..offsets[i+1]` delimits location `i`'s weights.
+    offsets: Vec<usize>,
+    weights: Vec<(usize, f64)>,
+}
+
+impl SpatialWeightTable {
+    /// Precomputes the weights of every location (indexed by position).
+    #[must_use]
+    pub fn new(model: &SpatialModel, locations: &[Point]) -> Self {
+        let mut offsets = Vec::with_capacity(locations.len() + 1);
+        offsets.push(0);
+        let mut weights = Vec::new();
+        let mut scratch = Vec::new();
+        for &p in locations {
+            model.weights_into(p, &mut scratch);
+            weights.extend_from_slice(&scratch);
+            offsets.push(weights.len());
+        }
+        Self { offsets, weights }
+    }
+
+    /// Number of cached locations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the table holds no locations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached `(region, coefficient)` weights of location `i` —
+    /// bitwise the slice `weights_at` would return for the same point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn weights(&self, i: usize) -> &[(usize, f64)] {
+        &self.weights[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+/// Memoized pairwise spatial correlations over a fixed location set.
+///
+/// Stores the full symmetric matrix (one `f64` per ordered pair), so a
+/// query is a single indexed load — no weight scan, no allocation. Values
+/// are bitwise what [`SpatialModel::correlation`] returns for the same
+/// point pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationTable {
+    n: usize,
+    rho: Vec<f64>,
+}
+
+impl CorrelationTable {
+    /// Precomputes all pairwise correlations of `locations`.
+    #[must_use]
+    pub fn new(model: &SpatialModel, locations: &[Point]) -> Self {
+        Self::from_weights(&SpatialWeightTable::new(model, locations))
+    }
+
+    /// Builds the table from an existing weight cache (each diagonal
+    /// entry is still computed through the shared kernel so degenerate
+    /// zero-norm locations stay at `0.0`, exactly like the direct path).
+    #[must_use]
+    pub fn from_weights(table: &SpatialWeightTable) -> Self {
+        let n = table.len();
+        let mut rho = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let c = correlation_of_weights(table.weights(i), table.weights(j));
+                rho[i * n + j] = c;
+                rho[j * n + i] = c;
+            }
+        }
+        Self { n, rho }
+    }
+
+    /// Number of locations the table covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table covers no locations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The memoized correlation between locations `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "location index out of range");
+        self.rho[i * self.n + j]
     }
 }
 
@@ -330,5 +496,75 @@ mod tests {
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_rejected() {
         let _ = SpatialModel::new(die(100.0), SpatialKind::Homogeneous, 0.0, 100.0);
+    }
+
+    #[test]
+    fn weights_into_matches_weights_at_bitwise() {
+        let m = SpatialModel::paper_defaults(die(8000.0), SpatialKind::Heterogeneous);
+        let mut buf = vec![(999usize, 1.23)]; // stale content must be cleared
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(4000.0, 4000.0),
+            Point::new(7900.0, 50.0),
+        ] {
+            m.weights_into(p, &mut buf);
+            let fresh = m.weights_at(p);
+            assert_eq!(buf.len(), fresh.len());
+            for (a, b) in buf.iter().zip(&fresh) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            // Ascending region order, the contract sorted merges rely on.
+            assert!(buf.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn weight_table_caches_every_location() {
+        let m = SpatialModel::paper_defaults(die(10_000.0), SpatialKind::Homogeneous);
+        let locs = [
+            Point::new(500.0, 500.0),
+            Point::new(5000.0, 5000.0),
+            Point::new(9900.0, 100.0),
+        ];
+        let table = SpatialWeightTable::new(&m, &locs);
+        assert_eq!(table.len(), locs.len());
+        assert!(!table.is_empty());
+        for (i, &p) in locs.iter().enumerate() {
+            let direct = m.weights_at(p);
+            let cached = table.weights(i);
+            assert_eq!(cached.len(), direct.len());
+            for (a, b) in cached.iter().zip(&direct) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_table_matches_direct_queries_bitwise() {
+        let m = SpatialModel::paper_defaults(die(10_000.0), SpatialKind::Heterogeneous);
+        let locs = [
+            Point::new(5000.0, 5000.0),
+            Point::new(5300.0, 5000.0),
+            Point::new(6500.0, 5000.0),
+            Point::new(9900.0, 200.0),
+        ];
+        let table = CorrelationTable::new(&m, &locs);
+        assert_eq!(table.len(), locs.len());
+        for i in 0..locs.len() {
+            for j in 0..locs.len() {
+                let direct = m.correlation(locs[i], locs[j]);
+                let cached = table.correlation(i, j);
+                assert_eq!(
+                    cached.to_bits(),
+                    direct.to_bits(),
+                    "pair ({i}, {j}): {cached} vs {direct}"
+                );
+                // Symmetry of the memoized matrix.
+                assert_eq!(cached.to_bits(), table.correlation(j, i).to_bits());
+            }
+        }
+        assert!((table.correlation(0, 0) - 1.0).abs() < 1e-9);
     }
 }
