@@ -32,12 +32,25 @@ r = json.load(open('BENCH_dp.json'))
 ratio = r.get('stat_vs_det_ratio')
 if not isinstance(ratio, (int, float)) or not math.isfinite(ratio) or ratio <= 0:
     sys.exit('BENCH_dp.json: stat_vs_det_ratio missing or not a finite positive number')
+# Bound-guided pruning telemetry: the counters must be present, and the
+# derived ratios/timers must be finite numbers (counts may be zero — the
+# provable bound fires rarely — but never missing or NaN).
+for key in ('pruned_by_bound', 'pruned_by_dominance'):
+    v = r.get(key)
+    if not isinstance(v, int) or v < 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a non-negative integer')
+for key in ('pruned_by_bound_ratio', 'pruned_by_dominance_ratio',
+            'bound_pass_ns', 'bound_guided_speedup'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
 groups = {b.get('group') for b in r.get('benches', [])}
-if 'canonical_kernels' not in groups:
-    sys.exit('BENCH_dp.json: canonical_kernels bench group missing')
-if 'dp_scaling' not in groups:
-    sys.exit('BENCH_dp.json: dp_scaling bench group missing')
-print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, groups={sorted(g for g in groups if g)}')
+for required in ('canonical_kernels', 'dp_scaling', 'bound_guided'):
+    if required not in groups:
+        sys.exit(f'BENCH_dp.json: {required} bench group missing')
+print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '
+      f'bound/dominance pruned={r["pruned_by_bound"]}/{r["pruned_by_dominance"]}, '
+      f'groups={sorted(g for g in groups if g)}')
 EOF
 else
   echo "(python3 unavailable; skipped BENCH_dp.json schema check)"

@@ -1,0 +1,51 @@
+//! Phase-level profile of a single statistical DP run on the scaling
+//! bench's exact configuration (`random("scale", N, 77)` subdivided at
+//! 500 µm, Heterogeneous WID, 2P, jobs = 1).
+//!
+//! Usage: `cargo run --release -p varbuf-bench --example profile_stat [N]`
+//!
+//! This is the tool behind the phase tables in EXPERIMENTS.md: it prints
+//! the `phase_summary` split (merge/prune/buffering/bounds) plus the
+//! generated/pruned/retired counters for one warm run, which the
+//! aggregate medians in BENCH_dp.json deliberately hide.
+
+use varbuf_core::dp::{optimize_with_rule, DpOptions};
+use varbuf_core::prune::TwoParam;
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let tree = generate_benchmark(&BenchmarkSpec::random("scale", n, 77)).subdivided(500.0);
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+    let rule = TwoParam::default();
+    let opts = DpOptions::default();
+    // One warm-up run so the bound memo and allocator are primed, then
+    // the measured run.
+    let _ = optimize_with_rule(&tree, &model, VariationMode::WithinDie, &rule, &opts)
+        .expect("warm-up run");
+    let t = std::time::Instant::now();
+    let r = optimize_with_rule(&tree, &model, VariationMode::WithinDie, &rule, &opts)
+        .expect("profiled run");
+    let wall = t.elapsed();
+    println!("N={n}: wall {:.2} ms", wall.as_secs_f64() * 1e3);
+    println!("phases: {}", r.stats.phase_summary());
+    println!(
+        "generated {}, pruned {} (bound {}, dominance {}), peak list {}",
+        r.stats.solutions_generated,
+        r.stats.solutions_pruned,
+        r.stats.pruned_by_bound,
+        r.stats.pruned_by_dominance,
+        r.stats.max_solutions_per_node,
+    );
+    println!(
+        "root RAT {:.1} ± {:.2} ps ({} terms), {} buffers",
+        r.root_rat.mean(),
+        r.root_rat.std_dev(),
+        r.root_rat.terms().len(),
+        r.assignment.len(),
+    );
+}

@@ -57,7 +57,7 @@ pub enum RootSelection {
 }
 
 impl RootSelection {
-    fn key(self, rat: &CanonicalForm) -> f64 {
+    pub(crate) fn key(self, rat: &CanonicalForm) -> f64 {
         match self {
             RootSelection::MeanRat => rat.mean(),
             RootSelection::YieldRat(y) => {
@@ -94,6 +94,21 @@ pub struct DpOptions {
     /// determinism contract and when the engine falls back to one
     /// thread).
     pub jobs: usize,
+    /// Bound-guided predictive pruning: run the deterministic engine at
+    /// the process mean and a conservative corner before the statistical
+    /// DP, and retire candidates whose optimistic `±bound_k·σ` envelope
+    /// provably cannot reach the root winner's selection key. Pure
+    /// speedup — the result is bit-identical either way (asserted by the
+    /// bounds oracle). Automatically disarmed under a governed run with
+    /// finite budgets, where shrinking lists would shift *when*
+    /// degradation triggers.
+    pub use_bounds: bool,
+    /// Envelope half-width, in σ, for the bound test. The retirement
+    /// chain is sound on the means alone (the anchor is a reachable
+    /// candidate's key, the per-node charges lower-bound every upstream
+    /// completion), so this is a pure guard band: larger keeps more
+    /// candidates, the result never depends on it.
+    pub bound_k: f64,
 }
 
 impl Default for DpOptions {
@@ -104,6 +119,8 @@ impl Default for DpOptions {
             sparsify_epsilon: 0.0,
             root_selection: RootSelection::YieldRat(0.95),
             jobs: 1,
+            use_bounds: true,
+            bound_k: 1.0,
         }
     }
 }
@@ -540,10 +557,15 @@ pub(crate) struct RunCtx<'a> {
     /// `node.index() * widths + wi` → the edge segment above `node`
     /// scaled to width `wi`.
     segments: Vec<WireSegment>,
+    /// Deterministic upstream bounds for predictive pruning; `None` when
+    /// bounding is disabled or disarmed for this run. Shared read-only by
+    /// the parallel workers, so every engine path applies the same
+    /// filter.
+    pub(crate) bounds: Option<std::sync::Arc<crate::bounds::DetBounds>>,
 }
 
 impl<'a> RunCtx<'a> {
-    fn new(
+    pub(crate) fn new(
         tree: &'a RoutingTree,
         model: &'a ProcessModel,
         mode: VariationMode,
@@ -579,17 +601,18 @@ impl<'a> RunCtx<'a> {
             device_rows,
             device_forms,
             segments,
+            bounds: None,
         }
     }
 
     /// The pre-scaled RC segment of the edge above `node` at width `wi`.
-    fn segment(&self, node: NodeId, wi: usize) -> &WireSegment {
+    pub(crate) fn segment(&self, node: NodeId, wi: usize) -> &WireSegment {
         &self.segments[node.index() * self.sizing.widths().len() + wi]
     }
 
     /// The cached `(cap_form, delay_form)` pairs of a candidate node,
     /// indexed by buffer-type id.
-    fn device_forms(&self, node: NodeId) -> &[(CanonicalForm, CanonicalForm)] {
+    pub(crate) fn device_forms(&self, node: NodeId) -> &[(CanonicalForm, CanonicalForm)] {
         &self.device_forms[self.device_rows[node.index()] as usize]
     }
 }
@@ -683,7 +706,20 @@ fn run_engine(
     // All node-indexed tables (device forms, wire segments) are built
     // once here, before the speculative phase, so the parallel workers
     // and the sequential fallback read the exact same cached values.
-    let ctx = RunCtx::new(tree, model, mode, sizing);
+    let mut ctx = RunCtx::new(tree, model, mode, sizing);
+
+    // Bound-guided pruning arms only when the run cannot degrade:
+    // retiring candidates early changes list sizes, and a governed run
+    // with finite budgets keys its degradation schedule off exactly
+    // those sizes. (Strict runs abort rather than adapt, so the filter
+    // cannot change their output — see the bounds-oracle suite.)
+    let mut bound_setup = Duration::ZERO;
+    if options.use_bounds && !(governor.is_governed() && governor.budget().constrains_run()) {
+        let t = Instant::now();
+        let bounds = crate::bounds::det_bounds(&ctx, mode, options.bound_k, options.root_selection);
+        ctx.bounds = bounds;
+        bound_setup = t.elapsed();
+    }
 
     // Speculative parallel phase: `None` means ineligible or aborted on
     // pressure — fall through to the sequential engine with the
@@ -694,6 +730,7 @@ fn run_engine(
             return match outcome {
                 Ok((root_list, mut stats)) => {
                     stats.runtime = governor.elapsed();
+                    stats.bound_time += bound_setup;
                     Ok(select_winner(tree, options, &root_list, stats))
                 }
                 Err(e) => Err(e),
@@ -730,6 +767,7 @@ fn run_engine(
     }
 
     stats.runtime = governor.elapsed();
+    stats.bound_time += bound_setup;
     Ok(select_winner(
         tree,
         options,
@@ -801,6 +839,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                 pool.reclaim_pruned();
                 stats.prune_time += t_prune.elapsed();
                 stats.solutions_pruned += before - lifted.len();
+                stats.pruned_by_dominance += before - lifted.len();
 
                 acc = Some(match acc {
                     None => lifted,
@@ -870,6 +909,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
         let before = sols.len();
         prune_full(sup, &mut sols, pool, stats)?;
         stats.solutions_pruned += before - sols.len();
+        stats.pruned_by_dominance += before - sols.len();
     }
 
     // 3. Fault-injection hook, then integrity screening.
@@ -882,6 +922,26 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
     }
     if sup.panicking() {
         keep_best(sup.rule().get(), &mut sols);
+    }
+
+    // 4. Predictive retirement: candidates whose optimistic envelope
+    // cannot reach the deterministic anchor leave the DP here, before
+    // the parent's lift, merge and dominance sweeps ever see them.
+    if let Some(bounds) = ctx.bounds.as_deref() {
+        // Clock the pass only on lists big enough for the filter to cost
+        // anything; on tiny lists the two `Instant::now` calls would
+        // outweigh the work they measure.
+        if sols.len() >= 16 {
+            let t_bound = Instant::now();
+            let retired = bound_filter(bounds, id, &mut sols, pool);
+            stats.pruned_by_bound += retired;
+            stats.solutions_pruned += retired;
+            stats.bound_time += t_bound.elapsed();
+        } else {
+            let retired = bound_filter(bounds, id, &mut sols, pool);
+            stats.pruned_by_bound += retired;
+            stats.solutions_pruned += retired;
+        }
     }
 
     sup.note_memory(&sols, 0);
@@ -945,6 +1005,7 @@ fn admit_list<'r, S: Supervisor<'r>>(
                 pool.reclaim_pruned();
                 stats.prune_time += t.elapsed();
                 stats.solutions_pruned += before - sols.len();
+                stats.pruned_by_dominance += before - sols.len();
             }
             Admission::Truncate(n) => {
                 if sols.len() <= n {
@@ -1060,6 +1121,7 @@ fn merge_lists<'r, S: Supervisor<'r>>(
                         pool.reclaim_pruned();
                         stats.prune_time += t.elapsed();
                         stats.solutions_pruned += before - a.len() - b.len();
+                        stats.pruned_by_dominance += before - a.len() - b.len();
                     }
                     Admission::Truncate(n) => {
                         // Shrink both operands toward √n each.
@@ -1084,6 +1146,7 @@ fn merge_lists<'r, S: Supervisor<'r>>(
     let before = merged.len();
     prune_full(sup, &mut merged, pool, stats)?;
     stats.solutions_pruned += before - merged.len();
+    stats.pruned_by_dominance += before - merged.len();
     Ok(merged)
 }
 
@@ -1156,6 +1219,54 @@ fn prune_full<'r, S: Supervisor<'r>>(
     sols.sort_by(|a, b| rule.load_key(a).total_cmp(&rule.load_key(b)));
     stats.prune_time += t.elapsed();
     Ok(())
+}
+
+/// Retires every candidate whose optimistic `±k·σ` envelope provably
+/// cannot reach the deterministic anchor (see the `bounds` module for
+/// the soundness argument). Order-preserving in-place compaction;
+/// retired carcasses feed the pool's recycler. Returns how many were
+/// retired.
+///
+/// Never empties a list: if the bound would reject everything (the
+/// anchor heuristic can only be beaten collectively, e.g. after fault
+/// injection poisons the whole list), the sweep backs off and keeps the
+/// list untouched so downstream invariants ("at least one candidate
+/// survives") hold unconditionally.
+fn bound_filter(
+    bounds: &crate::bounds::DetBounds,
+    node: NodeId,
+    sols: &mut Vec<StatSolution>,
+    pool: &mut SolPool,
+) -> usize {
+    let k = bounds.k();
+    pool.flags.clear();
+    let mut kept = 0usize;
+    for s in sols.iter() {
+        // The mean test implies the envelope test (lower load and higher
+        // RAT both widen the margin), so the O(terms) σ scans are only
+        // paid by candidates already failing on their means.
+        let keep = bounds.keeps_envelope(node, s.load.mean(), s.rat.mean()) || {
+            let (load_lo, _) = s.load.envelope(k);
+            let (_, rat_hi) = s.rat.envelope(k);
+            bounds.keeps_envelope(node, load_lo, rat_hi)
+        };
+        kept += usize::from(keep);
+        pool.flags.push(keep);
+    }
+    if kept == sols.len() || kept == 0 {
+        return 0;
+    }
+    let mut write = 0;
+    for read in 0..sols.len() {
+        if pool.flags[read] {
+            sols.swap(write, read);
+            write += 1;
+        }
+    }
+    let retired = sols.len() - write;
+    let room = SolPool::KEEP_SOLS.saturating_sub(pool.sols.len());
+    pool.sols.extend(sols.drain(write..).take(room));
+    retired
 }
 
 #[cfg(test)]
@@ -1517,5 +1628,135 @@ mod tests {
         let from_one = fallback_cascade(Arc::new(OneParam::default()));
         assert_eq!(from_one.len(), 3);
         assert_eq!(from_one[0].name(), "1P");
+    }
+
+    /// The invariant the presorted fast path in `prune_solutions_keyed`
+    /// banks on: under the 2P rule every list `process_node` emits —
+    /// sink bases, merged branches, buffered candidate nodes, with and
+    /// without the bound filter — is mean-ordered: load means
+    /// non-decreasing and RAT means non-decreasing (the pruned
+    /// staircase). Property-tested over 3 seeds × 64 random trees by
+    /// driving the engine loop node by node.
+    #[test]
+    fn two_param_node_lists_stay_mean_ordered() {
+        let rule = TwoParam::default();
+        let sizing = WireSizing::single();
+        for seed in [0x9E37_79B9u64, 0x85EB_CA6B, 0xC2B2_AE35] {
+            for t in 0..64u64 {
+                let sinks = 4 + (t as usize % 13);
+                let tree = generate_benchmark(&BenchmarkSpec::random(
+                    "order",
+                    sinks,
+                    seed.wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ));
+                let model = model_for(&tree);
+                let mode = VariationMode::WithinDie;
+                let mut ctx = RunCtx::new(&tree, &model, mode, &sizing);
+                if t % 2 == 1 {
+                    // Half the trees run with the bound filter armed, so
+                    // the property also covers its order preservation.
+                    let bounds =
+                        crate::bounds::det_bounds(&ctx, mode, 3.0, RootSelection::YieldRat(0.95));
+                    ctx.bounds = bounds;
+                }
+                let mut governor =
+                    Governor::strict(Budget::strict(2_000_000, Duration::from_secs(3600)), 0.0);
+                let mut sup = GovSupervisor {
+                    static_rule: Some(&rule),
+                    governor: &mut governor,
+                };
+                let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
+                let mut pool = SolPool::default();
+                let mut stats = DpStats::default();
+                for id in tree.postorder() {
+                    let children: Vec<Vec<StatSolution>> = tree
+                        .node(id)
+                        .children
+                        .iter()
+                        .map(|c| std::mem::take(&mut lists[c.index()]))
+                        .collect();
+                    let sols =
+                        process_node(&ctx, &mut sup, id, children, None, &mut pool, &mut stats)
+                            .unwrap_or_else(|_| panic!("strict node interrupted"));
+                    for w in sols.windows(2) {
+                        assert!(
+                            w[0].load_mean() <= w[1].load_mean(),
+                            "seed{seed:x}/tree{t}/node{}: load means out of order",
+                            id.index()
+                        );
+                        assert!(
+                            w[0].rat_mean() <= w[1].rat_mean(),
+                            "seed{seed:x}/tree{t}/node{}: RAT means out of order",
+                            id.index()
+                        );
+                    }
+                    lists[id.index()] = sols;
+                }
+            }
+        }
+    }
+
+    /// Diagnostic for tuning the bound layer (run with `--ignored`,
+    /// `BOUND_K=<k>` to vary the envelope): prints the margin
+    /// distribution of the bench workload's candidates against the
+    /// bound cutoff — how far the typical candidate sits from being
+    /// retired, and how many actually are.
+    #[test]
+    #[ignore]
+    fn bound_margin_diagnostic() {
+        let rule = TwoParam::default();
+        let sizing = WireSizing::single();
+        let tree = generate_benchmark(&BenchmarkSpec::random("scale", 64, 77)).subdivided(500.0);
+        let model = ProcessModel::paper_defaults(
+            tree.bounding_box(),
+            varbuf_variation::SpatialKind::Heterogeneous,
+        );
+        let mode = VariationMode::WithinDie;
+        let k_env: f64 = std::env::var("BOUND_K")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3.0);
+        let mut ctx = RunCtx::new(&tree, &model, mode, &sizing);
+        let bounds =
+            crate::bounds::det_bounds(&ctx, mode, k_env, RootSelection::YieldRat(0.95)).unwrap();
+        ctx.bounds = Some(std::sync::Arc::clone(&bounds));
+        let mut governor =
+            Governor::strict(Budget::strict(2_000_000, Duration::from_secs(3600)), 0.0);
+        let mut sup = GovSupervisor {
+            static_rule: Some(&rule),
+            governor: &mut governor,
+        };
+        let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
+        let mut pool = SolPool::default();
+        let mut stats = DpStats::default();
+        let mut margins: Vec<f64> = Vec::new();
+        for id in tree.postorder() {
+            let children: Vec<Vec<StatSolution>> = tree
+                .node(id)
+                .children
+                .iter()
+                .map(|c| std::mem::take(&mut lists[c.index()]))
+                .collect();
+            let sols = process_node(&ctx, &mut sup, id, children, None, &mut pool, &mut stats)
+                .unwrap_or_else(|_| panic!("strict node interrupted"));
+            for s in &sols {
+                let (lo, _) = s.load.envelope(k_env);
+                let (_, hi) = s.rat.envelope(k_env);
+                margins.push(bounds.margin(id, lo, hi));
+            }
+            lists[id.index()] = sols;
+        }
+        margins.sort_by(f64::total_cmp);
+        let pct = |p: f64| margins[((margins.len() - 1) as f64 * p) as usize];
+        eprintln!(
+            "candidates={} retired={} min={:.3} p10={:.3} p50={:.3} p90={:.3} max={:.3}",
+            margins.len(),
+            stats.pruned_by_bound,
+            pct(0.0),
+            pct(0.1),
+            pct(0.5),
+            pct(0.9),
+            pct(1.0)
+        );
     }
 }

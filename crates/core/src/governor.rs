@@ -133,6 +133,21 @@ impl Budget {
         }
     }
 
+    /// Whether any axis of this budget is finite — i.e. resource
+    /// pressure can actually trigger degradation. Bound-guided pruning
+    /// disarms itself on governed runs where this is `true`: shrinking
+    /// candidate lists would shift *when* the governor degrades, and a
+    /// degraded run's output legitimately depends on that timing.
+    #[must_use]
+    pub fn constrains_run(&self) -> bool {
+        self.soft_solutions != usize::MAX
+            || self.hard_solutions != usize::MAX
+            || self.soft_time != Duration::MAX
+            || self.hard_time != Duration::MAX
+            || self.soft_mem_bytes != usize::MAX
+            || self.hard_mem_bytes != usize::MAX
+    }
+
     /// Clamps soft limits to their hard counterparts (soft ≤ hard).
     #[must_use]
     pub fn normalized(mut self) -> Self {

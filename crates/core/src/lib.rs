@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod bounds;
 pub mod criticality;
 pub mod design;
 pub mod det;

@@ -26,6 +26,17 @@ pub struct DpStats {
     /// Time spent offering buffers at candidate nodes. Summed across
     /// workers in parallel runs.
     pub buffer_time: Duration,
+    /// Solutions retired by the deterministic upstream bound before any
+    /// dominance sweep saw them (0 when bounding is off or disarmed).
+    pub pruned_by_bound: usize,
+    /// Solutions removed by dominance pruning (the keyed 2P/4P sweeps) —
+    /// together with `pruned_by_bound` this partitions the predictive
+    /// share of `solutions_pruned` from the comparative share.
+    pub pruned_by_dominance: usize,
+    /// Time spent testing candidates against the deterministic bounds,
+    /// including the preorder bound construction. Summed across workers
+    /// in parallel runs.
+    pub bound_time: Duration,
     /// Pruning-rule fallback steps a governed run took (0 = primary rule
     /// held for the whole run).
     pub rule_fallbacks: usize,
@@ -64,10 +75,11 @@ impl DpStats {
     #[must_use]
     pub fn phase_summary(&self) -> String {
         format!(
-            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms (of {:.1}ms total)",
+            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms, bounds {:.1}ms (of {:.1}ms total)",
             self.merge_time.as_secs_f64() * 1e3,
             self.prune_time.as_secs_f64() * 1e3,
             self.buffer_time.as_secs_f64() * 1e3,
+            self.bound_time.as_secs_f64() * 1e3,
             self.runtime.as_secs_f64() * 1e3,
         )
     }
@@ -82,6 +94,7 @@ impl DpStats {
         self.merge_time = Duration::ZERO;
         self.prune_time = Duration::ZERO;
         self.buffer_time = Duration::ZERO;
+        self.bound_time = Duration::ZERO;
         self
     }
 
@@ -100,6 +113,9 @@ impl DpStats {
         self.merge_time += other.merge_time;
         self.prune_time += other.prune_time;
         self.buffer_time += other.buffer_time;
+        self.pruned_by_bound += other.pruned_by_bound;
+        self.pruned_by_dominance += other.pruned_by_dominance;
+        self.bound_time += other.bound_time;
         self.rule_fallbacks += other.rule_fallbacks;
         self.epsilon_tightenings += other.epsilon_tightenings;
         self.list_truncations += other.list_truncations;

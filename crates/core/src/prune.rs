@@ -117,6 +117,35 @@ impl fmt::Display for RuleConfigError {
 
 impl std::error::Error for RuleConfigError {}
 
+/// A pruning key came out non-finite (NaN or ±∞).
+///
+/// `f64::total_cmp` gives NaN a defined sort position, but a NaN load or
+/// RAT key means the solution itself is corrupt — comparisons against it
+/// are meaningless and the dominance sweep would silently keep or drop it
+/// depending on where the sort happened to place it. The checked prune
+/// entry point surfaces the first offender as a typed error instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteKey {
+    /// Index of the offending solution in the pre-prune list.
+    pub index: usize,
+    /// Name of the key column (`"load"`, `"rat"`, or `"aux[k]"`).
+    pub column: &'static str,
+    /// The non-finite value itself.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solution {} has a non-finite {} pruning key ({})",
+            self.index, self.column, self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteKey {}
+
 /// How a rule's `merge`/`prune` must traverse solution sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergeStrategy {
@@ -586,15 +615,28 @@ pub fn prune_solutions_keyed(
     match rule.strategy() {
         MergeStrategy::SortedLinear => {
             let keys = &scratch.keys;
-            scratch.order.clear();
-            scratch.order.extend(0..n as u32);
-            stable_argsort(&mut scratch.order, |a, b| {
-                let (a, b) = (a as usize, b as usize);
-                keys.load[a]
-                    .total_cmp(&keys.load[b])
-                    .then(keys.rat[b].total_cmp(&keys.rat[a]))
+            // Sorted-merge fast path: the linear merge walk emits 2P lists
+            // already ordered by (load asc, rat desc), so most prunes see
+            // pre-sorted keys. A stable sort of a sorted list is the
+            // identity permutation, so skipping the argsort + apply is
+            // bitwise identical to running them.
+            let presorted = (1..n).all(|i| {
+                keys.load[i - 1]
+                    .total_cmp(&keys.load[i])
+                    .then(keys.rat[i].total_cmp(&keys.rat[i - 1]))
+                    != std::cmp::Ordering::Greater
             });
-            apply_order(sols, &mut scratch.keys, &scratch.order, &mut scratch.perm);
+            if !presorted {
+                scratch.order.clear();
+                scratch.order.extend(0..n as u32);
+                stable_argsort(&mut scratch.order, |a, b| {
+                    let (a, b) = (a as usize, b as usize);
+                    keys.load[a]
+                        .total_cmp(&keys.load[b])
+                        .then(keys.rat[b].total_cmp(&keys.rat[a]))
+                });
+                apply_order(sols, &mut scratch.keys, &scratch.order, &mut scratch.perm);
+            }
             // In-place compaction: `w` is one past the last kept entry.
             let mut w = 0usize;
             for r in 0..n {
@@ -652,6 +694,45 @@ pub fn prune_solutions_keyed(
             apply_order(sols, &mut scratch.keys, &scratch.order, &mut scratch.perm);
         }
     }
+}
+
+/// [`prune_solutions_keyed`] with a non-finite key guard: after batching
+/// the keys, every populated column is scanned and the first NaN/∞ entry
+/// is reported as a typed [`NonFiniteKey`] error, leaving `sols`
+/// untouched. The DP's internal path stays unchecked — its kernels cannot
+/// produce non-finite values from the validated inputs — but externally
+/// assembled solution lists (a stored design, a user bridge) should come
+/// through here.
+///
+/// # Errors
+///
+/// Returns [`NonFiniteKey`] identifying the first offending solution and
+/// key column.
+pub fn prune_solutions_keyed_checked(
+    rule: &dyn PruningRule,
+    sols: &mut Vec<StatSolution>,
+    scratch: &mut PruneScratch,
+) -> Result<(), NonFiniteKey> {
+    rule.batch_keys(sols, &mut scratch.keys);
+    let columns: [(&'static str, &[f64]); 6] = [
+        ("load", &scratch.keys.load),
+        ("rat", &scratch.keys.rat),
+        ("aux[0]", &scratch.keys.aux[0]),
+        ("aux[1]", &scratch.keys.aux[1]),
+        ("aux[2]", &scratch.keys.aux[2]),
+        ("aux[3]", &scratch.keys.aux[3]),
+    ];
+    for (column, values) in columns {
+        if let Some((index, &value)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(NonFiniteKey {
+                index,
+                column,
+                value,
+            });
+        }
+    }
+    prune_solutions_keyed(rule, sols, scratch);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -943,6 +1024,128 @@ mod tests {
                     rule.dominates(&sols[i], &sols[j])
                 );
             }
+        }
+    }
+
+    #[test]
+    fn keyed_prune_empty_list() {
+        let rule = TwoParam::default();
+        let mut scratch = PruneScratch::default();
+        let mut sols: Vec<StatSolution> = vec![];
+        prune_solutions_keyed(&rule, &mut sols, &mut scratch);
+        assert!(sols.is_empty());
+        assert!(scratch.keys.is_empty());
+        assert_eq!(scratch.drain_retired().count(), 0);
+    }
+
+    #[test]
+    fn keyed_prune_single_solution() {
+        let mut scratch = PruneScratch::default();
+        for rule in [
+            &TwoParam::default() as &dyn PruningRule,
+            &FourParam::default(),
+            &OneParam::default(),
+        ] {
+            let mut sols = vec![sol(7.0, -3.0)];
+            prune_solutions_keyed(rule, &mut sols, &mut scratch);
+            assert_eq!(sols.len(), 1, "{}", rule.name());
+            assert_eq!(sols[0].load_mean(), 7.0);
+            assert_eq!(scratch.keys.len(), 1);
+            assert_eq!(scratch.drain_retired().count(), 0);
+        }
+    }
+
+    #[test]
+    fn keyed_prune_all_identical_keys() {
+        // Every solution has bit-identical keys: the first dominates the
+        // rest (non-strict comparisons), exactly one survives, and the
+        // retired carcasses are all recoverable.
+        let mut scratch = PruneScratch::default();
+        let rule = TwoParam::default();
+        let mut sols: Vec<StatSolution> = (0..8).map(|_| sol(5.0, -10.0)).collect();
+        prune_solutions_keyed(&rule, &mut sols, &mut scratch);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].load_mean(), 5.0);
+        assert_eq!(scratch.drain_retired().count(), 7);
+        // 4P interval dominance is strict (<, >), so identical keys are
+        // incomparable and everything survives.
+        let rule4 = FourParam::default();
+        let mut sols4: Vec<StatSolution> = (0..8).map(|_| sol(5.0, -10.0)).collect();
+        prune_solutions_keyed(&rule4, &mut sols4, &mut scratch);
+        assert_eq!(sols4.len(), 8);
+    }
+
+    #[test]
+    fn checked_prune_rejects_non_finite_keys() {
+        let rule = TwoParam::default();
+        let mut scratch = PruneScratch::default();
+
+        let mut sols = vec![sol(1.0, -1.0), sol(f64::NAN, -2.0), sol(3.0, -3.0)];
+        let e = prune_solutions_keyed_checked(&rule, &mut sols, &mut scratch).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert_eq!(e.column, "load");
+        assert!(e.value.is_nan());
+        assert_eq!(sols.len(), 3, "the list must be left untouched on error");
+        assert!(e.to_string().contains("non-finite"), "{e}");
+
+        let mut sols = vec![sol(1.0, f64::INFINITY)];
+        let e = prune_solutions_keyed_checked(&rule, &mut sols, &mut scratch).unwrap_err();
+        assert_eq!((e.index, e.column), (0, "rat"));
+        assert_eq!(e.value, f64::INFINITY);
+
+        // Finite lists pass through with the identical survivor set.
+        let mut checked = vec![sol(10.0, -100.0), sol(15.0, -120.0), sol(20.0, -80.0)];
+        let mut unchecked = checked.clone();
+        prune_solutions_keyed_checked(&rule, &mut checked, &mut scratch).unwrap();
+        prune_solutions_keyed(&rule, &mut unchecked, &mut scratch);
+        assert_eq!(checked.len(), unchecked.len());
+        for (a, b) in checked.iter().zip(&unchecked) {
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.rat, b.rat);
+        }
+    }
+
+    #[test]
+    fn checked_prune_scans_aux_columns() {
+        // A 4P rule with zero σ keeps aux = mean, so a non-finite mean
+        // shows up in `load` first; force a NaN into an aux column via a
+        // non-finite variance term instead.
+        let rule = FourParam::default();
+        let mut scratch = PruneScratch::default();
+        let mut sols = vec![sol(1.0, -1.0), sol_var(2.0, f64::NAN, -2.0, 1.0, 0)];
+        let e = prune_solutions_keyed_checked(&rule, &mut sols, &mut scratch).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert!(e.column.starts_with("aux"), "{}", e.column);
+    }
+
+    #[test]
+    fn presorted_fast_path_matches_unsorted_input() {
+        // The same multiset pruned from sorted and shuffled order must
+        // produce the identical survivor list (the fast path only skips
+        // a sort that would be the identity).
+        let rule = TwoParam::default();
+        let mut scratch = PruneScratch::default();
+        let sorted = vec![
+            sol(10.0, -100.0),
+            sol(15.0, -120.0),
+            sol(20.0, -80.0),
+            sol(25.0, -90.0),
+            sol(30.0, -60.0),
+        ];
+        let mut shuffled = vec![
+            sorted[4].clone(),
+            sorted[1].clone(),
+            sorted[3].clone(),
+            sorted[0].clone(),
+            sorted[2].clone(),
+        ];
+        let mut fast = sorted.clone();
+        prune_solutions_keyed(&rule, &mut fast, &mut scratch);
+        prune_solutions_keyed(&rule, &mut shuffled, &mut scratch);
+        assert_eq!(fast.len(), shuffled.len());
+        for (a, b) in fast.iter().zip(&shuffled) {
+            assert_eq!(a.load_mean().to_bits(), b.load_mean().to_bits());
+            assert_eq!(a.rat_mean().to_bits(), b.rat_mean().to_bits());
         }
     }
 

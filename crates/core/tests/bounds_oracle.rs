@@ -1,0 +1,225 @@
+//! The bound-guided pruning golden oracle.
+//!
+//! Bounding is sold as a *pure speedup*: retiring a candidate on the
+//! deterministic upstream bound must never change what the engine
+//! returns — not the winning assignment, not the wire widths, not one
+//! bit of the root RAT's canonical form. This suite replays the repo's
+//! 336-case verification matrix (rules × governance × jobs × seeds ×
+//! spatial kinds × variation modes, plus a wire-sizing subset) with
+//! `use_bounds` on and off and asserts byte-for-byte identity, then
+//! checks the filter actually fired somewhere (a vacuous pass would
+//! prove nothing).
+
+use std::sync::Arc;
+use varbuf_core::dp::{
+    fallback_cascade, optimize_governed_detailed, optimize_with_sizing, DpOptions, StatResult,
+    WireSizing,
+};
+use varbuf_core::governor::Budget;
+use varbuf_core::prune::{FourParam, OneParam, PruningRule, TwoParam};
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_rctree::RoutingTree;
+use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
+
+const SEEDS: [u64; 3] = [0x9E37_79B9, 0x85EB_CA6B, 0xC2B2_AE35];
+
+#[derive(Clone, Copy)]
+enum Gov {
+    /// `optimize_with_sizing`: hard caps, no degradation — bounds armed.
+    Strict,
+    /// Governed with `Budget::unlimited()` — cannot degrade, bounds armed.
+    Governed,
+    /// Governed with a tight solution budget — degradation schedule
+    /// depends on list sizes, so bounding must disarm itself.
+    Pressured,
+}
+
+impl Gov {
+    fn label(self) -> &'static str {
+        match self {
+            Gov::Strict => "strict",
+            Gov::Governed => "governed",
+            Gov::Pressured => "pressured",
+        }
+    }
+
+    fn armed(self) -> bool {
+        !matches!(self, Gov::Pressured)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_case(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    rule: &Arc<dyn PruningRule>,
+    sizing: &WireSizing,
+    gov: Gov,
+    jobs: usize,
+    use_bounds: bool,
+) -> StatResult {
+    let options = DpOptions {
+        jobs,
+        use_bounds,
+        ..DpOptions::default()
+    };
+    match gov {
+        Gov::Strict => optimize_with_sizing(tree, model, mode, rule.as_ref(), sizing, &options)
+            .expect("strict run"),
+        Gov::Governed | Gov::Pressured => {
+            let budget = match gov {
+                Gov::Pressured => Budget {
+                    soft_solutions: 6,
+                    hard_solutions: 24,
+                    ..Budget::unlimited()
+                },
+                _ => Budget::unlimited(),
+            };
+            optimize_governed_detailed(
+                tree,
+                model,
+                mode,
+                fallback_cascade(Arc::clone(rule)),
+                sizing,
+                &options,
+                &budget,
+                None,
+                None,
+            )
+            .expect("governed run")
+            .result
+        }
+    }
+}
+
+fn assert_results_identical(label: &str, on: &StatResult, off: &StatResult) {
+    assert_eq!(on.assignment, off.assignment, "{label}: assignment");
+    assert_eq!(on.wire_widths, off.wire_widths, "{label}: wire widths");
+    assert_eq!(
+        on.root_rat.mean().to_bits(),
+        off.root_rat.mean().to_bits(),
+        "{label}: RAT mean bits"
+    );
+    assert_eq!(
+        on.root_rat.variance().to_bits(),
+        off.root_rat.variance().to_bits(),
+        "{label}: RAT variance bits"
+    );
+    let (ta, tb) = (on.root_rat.terms(), off.root_rat.terms());
+    assert_eq!(ta.len(), tb.len(), "{label}: term count");
+    for (a, b) in ta.iter().zip(tb) {
+        assert_eq!(a.0, b.0, "{label}: term source");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "{label}: term coefficient");
+    }
+}
+
+fn rule_suite() -> Vec<(&'static str, Arc<dyn PruningRule>, usize)> {
+    vec![
+        (
+            "1P",
+            Arc::new(OneParam::default()) as Arc<dyn PruningRule>,
+            40,
+        ),
+        (
+            "2P",
+            Arc::new(TwoParam::default()) as Arc<dyn PruningRule>,
+            40,
+        ),
+        (
+            "2P9",
+            Arc::new(TwoParam::new(0.9, 0.9)) as Arc<dyn PruningRule>,
+            40,
+        ),
+        (
+            "4P",
+            Arc::new(FourParam::default()) as Arc<dyn PruningRule>,
+            6,
+        ),
+    ]
+}
+
+const GOVS: [Gov; 3] = [Gov::Strict, Gov::Governed, Gov::Pressured];
+const JOBS: [usize; 2] = [1, 4];
+const KINDS: [SpatialKind; 2] = [SpatialKind::Homogeneous, SpatialKind::Heterogeneous];
+const MODES: [VariationMode; 2] = [VariationMode::DieToDie, VariationMode::WithinDie];
+
+#[test]
+fn bounding_never_changes_any_output_bit() {
+    let mut cases = 0usize;
+    let mut retired_total = 0usize;
+    let single = WireSizing::single();
+    let sized = WireSizing::default_three();
+
+    // 288 unsized cases: 4 rules × 3 governance levels × 2 jobs ×
+    // 3 seeds × 2 spatial kinds × 2 variation modes.
+    for (rule_name, rule, sinks) in rule_suite() {
+        for &seed in &SEEDS {
+            let tree = generate_benchmark(&BenchmarkSpec::random("oracle", sinks, seed));
+            for kind in KINDS {
+                let model = ProcessModel::paper_defaults(tree.bounding_box(), kind);
+                for mode in MODES {
+                    for gov in GOVS {
+                        for jobs in JOBS {
+                            let label = format!(
+                                "{rule_name}/seed{seed:x}/{kind:?}/{mode:?}/{}/jobs{jobs}",
+                                gov.label()
+                            );
+                            let on = run_case(&tree, &model, mode, &rule, &single, gov, jobs, true);
+                            let off =
+                                run_case(&tree, &model, mode, &rule, &single, gov, jobs, false);
+                            assert_results_identical(&label, &on, &off);
+                            if gov.armed() {
+                                retired_total += on.stats.pruned_by_bound;
+                            } else {
+                                assert_eq!(
+                                    on.stats.pruned_by_bound, 0,
+                                    "{label}: pressured runs must disarm bounding"
+                                );
+                            }
+                            assert_eq!(
+                                off.stats.pruned_by_bound, 0,
+                                "{label}: disabled runs must not bound-prune"
+                            );
+                            cases += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 48 sized cases: the 2P rule re-run with the three-width sizing
+    // table over 2 seeds (the sized decision space multiplies candidate
+    // counts, so this is where an unsound bound would show first).
+    let two_p: Arc<dyn PruningRule> = Arc::new(TwoParam::default());
+    for &seed in &SEEDS[..2] {
+        let tree = generate_benchmark(&BenchmarkSpec::random("oracle-sized", 40, seed));
+        for kind in KINDS {
+            let model = ProcessModel::paper_defaults(tree.bounding_box(), kind);
+            for mode in MODES {
+                for gov in GOVS {
+                    for jobs in JOBS {
+                        let label = format!(
+                            "2P-sized/seed{seed:x}/{kind:?}/{mode:?}/{}/jobs{jobs}",
+                            gov.label()
+                        );
+                        let on = run_case(&tree, &model, mode, &two_p, &sized, gov, jobs, true);
+                        let off = run_case(&tree, &model, mode, &two_p, &sized, gov, jobs, false);
+                        assert_results_identical(&label, &on, &off);
+                        if gov.armed() {
+                            retired_total += on.stats.pruned_by_bound;
+                        }
+                        cases += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(cases, 336, "oracle matrix must cover exactly 336 cases");
+    assert!(
+        retired_total > 0,
+        "the bound filter never fired across the armed matrix — the oracle is vacuous"
+    );
+}

@@ -132,17 +132,29 @@ impl CanonicalForm {
         self.variance().sqrt()
     }
 
+    /// The `±k·σ` envelope `(mean − k·σ, mean + k·σ)` — the optimistic
+    /// and pessimistic excursions a bound-guided pruner tests against a
+    /// deterministic cutoff. With `k = 0` both ends are the mean.
+    #[inline]
+    #[must_use]
+    pub fn envelope(&self, k: f64) -> (f64, f64) {
+        let spread = k * self.std_dev();
+        (self.nominal - spread, self.nominal + spread)
+    }
+
     /// Covariance with another form: `Σ aᵢ·bᵢ` over shared sources.
     #[must_use]
     pub fn covariance(&self, other: &Self) -> f64 {
         let mut cov = 0.0;
+        let (ta, tb) = (&self.terms[..], &other.terms[..]);
         let (mut i, mut j) = (0, 0);
-        while i < self.terms.len() && j < other.terms.len() {
-            let (ida, a) = self.terms[i];
-            let (idb, b) = other.terms[j];
+        while i < ta.len() && j < tb.len() {
+            let (ida, a) = ta[i];
+            let (idb, b) = tb[j];
             match ida.cmp(&idb) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
+                // Unshared ids contribute nothing: gallop over the run.
+                std::cmp::Ordering::Less => i += 1 + lower_bound(&ta[i + 1..], idb),
+                std::cmp::Ordering::Greater => j += 1 + lower_bound(&tb[j + 1..], ida),
                 std::cmp::Ordering::Equal => {
                     cov += a * b;
                     i += 1;
@@ -199,18 +211,31 @@ impl CanonicalForm {
     #[must_use]
     pub fn linear_combination(&self, k1: f64, other: &Self, k2: f64) -> Self {
         let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (ta, tb) = (&self.terms[..], &other.terms[..]);
         let (mut i, mut j) = (0, 0);
-        while i < self.terms.len() && j < other.terms.len() {
-            let (ida, a) = self.terms[i];
-            let (idb, b) = other.terms[j];
+        // Sibling subtrees own disjoint source-id blocks (SourceLayout is
+        // keyed by node id, and node ids are assigned in DFS order), so
+        // the operands interleave in long single-owner runs: gallop to
+        // the end of each run and append it wholesale instead of paying
+        // a three-way compare per term. The pushed values and their
+        // order are exactly the one-term-at-a-time walk's.
+        while i < ta.len() && j < tb.len() {
+            let (ida, a) = ta[i];
+            let (idb, b) = tb[j];
             match ida.cmp(&idb) {
                 std::cmp::Ordering::Less => {
-                    push_nonzero(&mut terms, ida, k1 * a);
-                    i += 1;
+                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
+                    for &(id, a) in &ta[i..run] {
+                        push_nonzero(&mut terms, id, k1 * a);
+                    }
+                    i = run;
                 }
                 std::cmp::Ordering::Greater => {
-                    push_nonzero(&mut terms, idb, k2 * b);
-                    j += 1;
+                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
+                    for &(id, b) in &tb[j..run] {
+                        push_nonzero(&mut terms, id, k2 * b);
+                    }
+                    j = run;
                 }
                 std::cmp::Ordering::Equal => {
                     push_nonzero(&mut terms, ida, k1 * a + k2 * b);
@@ -219,10 +244,10 @@ impl CanonicalForm {
                 }
             }
         }
-        for &(id, a) in &self.terms[i..] {
+        for &(id, a) in &ta[i..] {
             push_nonzero(&mut terms, id, k1 * a);
         }
-        for &(id, b) in &other.terms[j..] {
+        for &(id, b) in &tb[j..] {
             push_nonzero(&mut terms, id, k2 * b);
         }
         Self {
@@ -408,18 +433,27 @@ impl CanonicalForm {
     pub fn lin_comb_into(&mut self, a: &Self, k1: f64, b: &Self, k2: f64) {
         self.terms.clear();
         let terms = &mut self.terms;
+        let (ta, tb) = (&a.terms[..], &b.terms[..]);
         let (mut i, mut j) = (0, 0);
-        while i < a.terms.len() && j < b.terms.len() {
-            let (ida, ca) = a.terms[i];
-            let (idb, cb) = b.terms[j];
+        // Run-chunked like `linear_combination`: gallop over each
+        // single-owner run of ids and bulk-append it.
+        while i < ta.len() && j < tb.len() {
+            let (ida, ca) = ta[i];
+            let (idb, cb) = tb[j];
             match ida.cmp(&idb) {
                 std::cmp::Ordering::Less => {
-                    push_nonzero(terms, ida, k1 * ca);
-                    i += 1;
+                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
+                    for &(id, ca) in &ta[i..run] {
+                        push_nonzero(terms, id, k1 * ca);
+                    }
+                    i = run;
                 }
                 std::cmp::Ordering::Greater => {
-                    push_nonzero(terms, idb, k2 * cb);
-                    j += 1;
+                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
+                    for &(id, cb) in &tb[j..run] {
+                        push_nonzero(terms, id, k2 * cb);
+                    }
+                    j = run;
                 }
                 std::cmp::Ordering::Equal => {
                     push_nonzero(terms, ida, k1 * ca + k2 * cb);
@@ -428,10 +462,10 @@ impl CanonicalForm {
                 }
             }
         }
-        for &(id, ca) in &a.terms[i..] {
+        for &(id, ca) in &ta[i..] {
             push_nonzero(terms, id, k1 * ca);
         }
-        for &(id, cb) in &b.terms[j..] {
+        for &(id, cb) in &tb[j..] {
             push_nonzero(terms, id, k2 * cb);
         }
         self.nominal = k1 * a.nominal + k2 * b.nominal;
@@ -448,48 +482,17 @@ impl CanonicalForm {
     /// `±0.0` intermediate dropped by the two-pass version leaves
     /// `−cᵢ`, which `±0.0 − cᵢ` also yields for nonzero `cᵢ`).
     pub fn lin_comb_sub_into(&mut self, a: &Self, k1: f64, b: &Self, k2: f64, c: &Self) {
-        self.terms.clear();
-        let terms = &mut self.terms;
-        let (ta, tb, tc) = (&a.terms[..], &b.terms[..], &c.terms[..]);
-        let (mut i, mut j, mut k) = (0, 0, 0);
-        loop {
-            let ia = ta.get(i).map(|t| t.0);
-            let ib = tb.get(j).map(|t| t.0);
-            let ic = tc.get(k).map(|t| t.0);
-            // Smallest live id across the three operands.
-            let id = match [ia, ib, ic].into_iter().flatten().min() {
-                Some(id) => id,
-                None => break,
-            };
-            let mut g = None;
-            if ia == Some(id) {
-                g = Some(k1 * ta[i].1);
-                i += 1;
-            }
-            if ib == Some(id) {
-                let gb = k2 * tb[j].1;
-                g = Some(match g {
-                    Some(ga) => ga + gb,
-                    None => gb,
-                });
-                j += 1;
-            }
-            let coeff = if ic == Some(id) {
-                let cc = tc[k].1;
-                k += 1;
-                match g {
-                    Some(g) => g - cc,
-                    None => -cc,
-                }
-            } else {
-                match g {
-                    Some(g) => g,
-                    None => continue,
-                }
-            };
-            push_nonzero(terms, id, coeff);
-        }
-        self.nominal = (k1 * a.nominal + k2 * b.nominal) - c.nominal;
+        // Two chunked passes: the run-merged combination, then the small
+        // subtrahend (`c` is a device form — a handful of terms) folded
+        // in by the galloping in-place kernel. Each pass is documented
+        // bit-equal to its allocating reference, so the chain reproduces
+        // `a.linear_combination(k1, b, k2).sub(c)` exactly — including
+        // the `±0.0` cases: a combination term that cancels is dropped
+        // by `push_nonzero` and the subtraction then *inserts* `−cᵢ`,
+        // the same bits `±0.0 − cᵢ` yields for the nonzero `cᵢ` a
+        // canonical form carries.
+        self.lin_comb_into(a, k1, b, k2);
+        self.add_scaled_assign(c, -1.0);
     }
 
     /// Mean and variance of `self − other` without materializing the
@@ -508,29 +511,38 @@ impl CanonicalForm {
         let mut var = -0.0;
         let (ta, tb) = (&self.terms[..], &other.terms[..]);
         let (mut i, mut j) = (0, 0);
+        // Run-chunked like `linear_combination`: unmatched ids come in
+        // long single-owner runs, squared here in the same ascending
+        // order the one-term walk used (`(−b)·(−b)` and `b·b` are the
+        // same bits, so the run loops square the raw coefficients).
         while i < ta.len() && j < tb.len() {
             let (ida, a) = ta[i];
             let (idb, b) = tb[j];
-            let d = match ida.cmp(&idb) {
+            match ida.cmp(&idb) {
                 std::cmp::Ordering::Less => {
-                    i += 1;
-                    a
+                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
+                    for &(_, a) in &ta[i..run] {
+                        var += a * a;
+                    }
+                    i = run;
                 }
                 std::cmp::Ordering::Greater => {
-                    j += 1;
-                    -b
+                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
+                    for &(_, b) in &tb[j..run] {
+                        var += b * b;
+                    }
+                    j = run;
                 }
                 std::cmp::Ordering::Equal => {
                     i += 1;
                     j += 1;
                     let d = a - b;
-                    if d == 0.0 {
-                        continue; // dropped by push_nonzero in the materialized path
+                    if d != 0.0 {
+                        // dropped by push_nonzero in the materialized path
+                        var += d * d;
                     }
-                    d
                 }
-            };
-            var += d * d;
+            }
         }
         for &(_, a) in &ta[i..] {
             var += a * a;
@@ -612,6 +624,17 @@ mod tests {
         assert_eq!(c.mean(), 4.2);
         assert_eq!(c.variance(), 0.0);
         assert_eq!(c.term_count(), 0);
+    }
+
+    #[test]
+    fn envelope_brackets_the_mean() {
+        let f = form(10.0, &[(0, 3.0), (1, 4.0)]); // σ = 5
+        assert_eq!(f.envelope(0.0), (10.0, 10.0));
+        let (lo, hi) = f.envelope(2.0);
+        assert!((lo - 0.0).abs() < 1e-12);
+        assert!((hi - 20.0).abs() < 1e-12);
+        // A constant's envelope is degenerate at any k.
+        assert_eq!(CanonicalForm::constant(-3.0).envelope(6.0), (-3.0, -3.0));
     }
 
     #[test]

@@ -215,6 +215,15 @@ impl ColumnForm {
     pub fn columns(&self) -> &[f64] {
         &self.cols
     }
+
+    /// The `±k·σ` envelope `(mean − k·σ, mean + k·σ)` of this row —
+    /// matches [`CanonicalForm::envelope`] bitwise (the variance sweep is
+    /// [`row_variance`], identical to the sparse fold).
+    #[must_use]
+    pub fn envelope(&self, k: f64) -> (f64, f64) {
+        let spread = k * self.variance().sqrt();
+        (self.nominal - spread, self.nominal + spread)
+    }
 }
 
 /// Recycles [`ColumnForm`] buffers, the dense analogue of the DP's
@@ -355,6 +364,20 @@ impl FormBatch {
         out.clear();
         out.extend((0..self.len()).map(|i| row_dot(self.row(i), &probe.cols)));
     }
+
+    /// Batched `±k·σ` envelopes: `lo[i] = mean[i] − k·σ[i]`,
+    /// `hi[i] = mean[i] + k·σ[i]`, one variance sweep per row. Matches
+    /// [`ColumnForm::envelope`] (and hence [`CanonicalForm::envelope`])
+    /// bitwise per element.
+    pub fn envelopes_into(&self, k: f64, lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
+        lo.clear();
+        hi.clear();
+        for i in 0..self.len() {
+            let spread = k * row_variance(self.row(i)).sqrt();
+            lo.push(self.nominals[i] - spread);
+            hi.push(self.nominals[i] + spread);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +460,17 @@ mod tests {
             assert_eq!(batch.means()[i].to_bits(), f.mean().to_bits());
             assert_eq!(vars[i].to_bits(), f.variance().to_bits());
             assert_eq!(covs[i].to_bits(), f.covariance(&probe).to_bits());
+        }
+
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        batch.envelopes_into(1.5, &mut lo, &mut hi);
+        for (i, f) in forms.iter().enumerate() {
+            let sparse = f.envelope(1.5);
+            let dense = ColumnForm::from_canonical(&it, f).envelope(1.5);
+            assert_eq!(lo[i].to_bits(), sparse.0.to_bits());
+            assert_eq!(hi[i].to_bits(), sparse.1.to_bits());
+            assert_eq!(dense.0.to_bits(), sparse.0.to_bits());
+            assert_eq!(dense.1.to_bits(), sparse.1.to_bits());
         }
     }
 

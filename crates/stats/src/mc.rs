@@ -129,18 +129,28 @@ impl StandardNormal {
 ///
 /// Returns `(0.0, 0.0)` for an empty slice and variance `0.0` for a single
 /// observation.
+///
+/// Uses Welford's one-pass update: the running mean absorbs each sample's
+/// deviation from the *current* mean, so a large common offset never
+/// inflates the squared-deviation accumulator. A naive `Σx/n` mean loses
+/// the low bits of samples like `1e9 ± 1e-3`, and the (mean-sized)
+/// rounding error then dominates the true σ when squared.
 #[must_use]
 pub fn sample_moments(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (0.0, 0.0);
     }
-    let n = xs.len() as f64;
-    let mean = xs.iter().sum::<f64>() / n;
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i as f64 + 1.0);
+        m2 += delta * (x - mean);
+    }
     if xs.len() < 2 {
         return (mean, 0.0);
     }
-    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
-    (mean, var)
+    (mean, m2 / (xs.len() as f64 - 1.0))
 }
 
 #[cfg(test)]
@@ -203,5 +213,48 @@ mod tests {
         let (m, v) = sample_moments(&[1.0, 3.0]);
         assert_eq!(m, 2.0);
         assert_eq!(v, 2.0);
+    }
+
+    /// Samples at `1e9 ± 1e-3`: `Σx² ≈ 2e22` has an ulp of ~4096, so the
+    /// textbook accumulator `(Σx² − n·mean²)/(n−1)` cancels catastrophically
+    /// — the true sum of squared deviations (~2e-2) sits entirely below the
+    /// rounding grain of `Σx²`. Welford keeps every deviation relative to
+    /// the running mean and must stay within a few percent of σ².
+    #[test]
+    fn moments_survive_large_offset() {
+        let offset = 1.0e9;
+        let sigma = 1.0e-3;
+        let mut rng = SplitMix64::new(0xBADC_0FFE);
+        let normal = StandardNormal;
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| offset + sigma * normal.sample(&mut rng))
+            .collect();
+
+        // The naive sum-of-squares accumulator, kept inline as the
+        // counter-example this test exists to rule out.
+        let naive = |xs: &[f64]| -> (f64, f64) {
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = (xs.iter().map(|x| x * x).sum::<f64>() - n * mean * mean) / (n - 1.0);
+            (mean, var)
+        };
+
+        let true_var = sigma * sigma;
+        let (_, naive_var) = naive(&xs);
+        // Catastrophically wrong means a ≥100% relative error — or NaN,
+        // when the cancelled sum of squares goes negative.
+        let naive_rel_err = (naive_var - true_var).abs() / true_var;
+        assert!(
+            naive_rel_err.is_nan() || naive_rel_err >= 1.0,
+            "naive variance {naive_var} unexpectedly accurate — the test \
+             no longer exercises cancellation"
+        );
+
+        let (mean, var) = sample_moments(&xs);
+        assert!((mean - offset).abs() < 1.0e-4, "mean {mean}");
+        assert!(
+            (var - true_var).abs() / true_var < 0.05,
+            "welford variance {var} vs true {true_var}"
+        );
     }
 }

@@ -59,9 +59,12 @@ usage:
   varbuf opt FILE [--mode nom|d2d|wid] [--spatial homog|hetero]
                   [--rule 2p|4p|1p] [--p THRESH] [--sizing] [--mc SAMPLES]
                   [--degrade] [--budget-solutions N] [--budget-time SECS]
-                  [--budget-mem MB] [--jobs N]
+                  [--budget-mem MB] [--jobs N] [--no-bounds]
       --jobs N: worker threads for the DP (0 = all cores); results are
                 bit-identical to --jobs 1
+      --no-bounds: disable bound-guided predictive pruning (the
+                deterministic preorder bounds that retire hopeless
+                candidates early); results are bit-identical either way
   varbuf skew FILE [--spatial homog|hetero]
 
 exit codes:
@@ -232,6 +235,9 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
             .parse()
             .map_err(|_| "--jobs needs an integer".to_owned())?;
         options.dp.jobs = if n == 0 { default_jobs() } else { n };
+    }
+    if has_flag(args, "--no-bounds") {
+        options.dp.use_bounds = false;
     }
     let degrade = has_flag(args, "--degrade")
         || has_flag(args, "--budget-solutions")
