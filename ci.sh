@@ -3,7 +3,10 @@
 #   1. formatting        (cargo fmt --check)
 #   2. lints             (cargo clippy, warnings are errors)
 #   3. tier-1 build+test (the full offline workspace suite)
-#   4. smoke bench       (scaling bench, shrunk via VARBUF_BENCH_SMOKE,
+#   4. service smoke     (varbuf serve over a scripted request mix with
+#                         an injected panic: the service must contain the
+#                         crash and shut down cleanly)
+#   5. smoke bench       (scaling bench, shrunk via VARBUF_BENCH_SMOKE,
 #                         must emit a parseable BENCH_dp.json)
 # No network access is required; the workspace has no external
 # dependencies.
@@ -21,6 +24,16 @@ cargo build --workspace
 
 echo "==> cargo test --workspace"
 cargo test --workspace
+
+echo "==> service smoke (varbuf serve: scripted mix with an injected panic)"
+SERVE_OUT=$(printf 'ping\nopen random:8:7\nopt s0.0\ninject panic 2\nopt s0.0\nopt s0.0\nclose s0.0\nstats\nquit\n' \
+  | ./target/debug/varbuf serve --faults --watchdog 10 2>/dev/null)
+echo "$SERVE_OUT" | sed 's/^/    /'
+echo "$SERVE_OUT" | grep -q '^ok opt id=1'       || { echo "serve smoke: clean optimize missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q '^err internal'      || { echo "serve smoke: contained panic missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q '^err poisoned'      || { echo "serve smoke: poisoned-session error missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q 'panics=1'           || { echo "serve smoke: stats missed the contained panic" >&2; exit 1; }
+echo "$SERVE_OUT" | tail -1 | grep -q '^ok bye$' || { echo "serve smoke: no clean shutdown" >&2; exit 1; }
 
 echo "==> smoke bench (VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling)"
 VARBUF_BENCH_SMOKE=1 cargo bench --bench scaling -- --jobs 2
@@ -44,8 +57,20 @@ for key in ('pruned_by_bound_ratio', 'pruned_by_dominance_ratio',
     v = r.get(key)
     if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
         sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
+# Resident-service telemetry: latency percentiles and throughput must be
+# positive finite numbers, the percentiles ordered, and the overload
+# burst must actually have shed work.
+for key in ('service_p50_ns', 'service_p99_ns', 'service_throughput_rps'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite positive number')
+if r['service_p99_ns'] < r['service_p50_ns']:
+    sys.exit('BENCH_dp.json: service p99 below p50')
+shed = r.get('service_shed')
+if not isinstance(shed, (int, float)) or shed < 1:
+    sys.exit('BENCH_dp.json: service_shed missing or zero')
 groups = {b.get('group') for b in r.get('benches', [])}
-for required in ('canonical_kernels', 'dp_scaling', 'bound_guided'):
+for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service'):
     if required not in groups:
         sys.exit(f'BENCH_dp.json: {required} bench group missing')
 print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '

@@ -15,12 +15,14 @@
 
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use varbuf_bench::harness::{alloc_counter, black_box, BenchConfig, Bencher, JsonReport};
 use varbuf_core::det::optimize_deterministic;
 use varbuf_core::dp::DpOptions;
 use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
 use varbuf_core::prune::TwoParam;
+use varbuf_core::service::{OptimizeParams, Request, Response, Service, ServiceConfig};
+use varbuf_core::RequestError;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_rctree::RoutingTree;
 use varbuf_stats::{prob_greater_normal, CanonicalForm, FormBatch, SourceId, TermInterner};
@@ -306,6 +308,89 @@ fn main() {
     });
     kern.finish();
     report.record_group("canonical_kernels", kern.results());
+
+    // Resident service: per-request round-trip latency (p50/p99 over
+    // individual samples, not Bencher medians), sustained throughput,
+    // and the admission-control shed count under a deliberate overload
+    // burst. The session stays open across all samples, so the model's
+    // device-characterization memo is warm — the quantity the service
+    // exists to amortize.
+    let (svc_sinks, svc_requests) = if smoke { (12usize, 40usize) } else { (48, 400) };
+    let mut service = Service::new(ServiceConfig::default());
+    let svc_tree = generate_benchmark(&BenchmarkSpec::random("serve", svc_sinks, 11));
+    let svc_cost = svc_tree.len() as u64;
+    let handle = match service.execute(Request::Open {
+        tree: Box::new(svc_tree),
+        spatial: SpatialKind::Heterogeneous,
+    }) {
+        Response::Opened { handle, .. } => handle,
+        other => panic!("service open failed: {other}"),
+    };
+    let opt = || Request::Optimize {
+        handle,
+        params: OptimizeParams::default(),
+    };
+    let mut latencies = Vec::with_capacity(svc_requests);
+    let span = Instant::now();
+    for _ in 0..svc_requests {
+        let t = Instant::now();
+        let response = service.execute(opt());
+        latencies.push(t.elapsed());
+        assert!(
+            !response.is_error(),
+            "clean service run errored: {response}"
+        );
+    }
+    let elapsed = span.elapsed();
+    latencies.sort_unstable();
+    let p50 = latencies[svc_requests / 2];
+    let p99 = latencies[(svc_requests * 99 / 100).min(svc_requests - 1)];
+    let throughput = svc_requests as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    report.meta_num("service_p50_ns", p50.as_nanos() as f64);
+    report.meta_num("service_p99_ns", p99.as_nanos() as f64);
+    report.meta_num("service_throughput_rps", throughput);
+
+    // Overload burst: room for 4 requests, 12 submitted — the rest must
+    // come back `overloaded`, and the drain must answer every one.
+    let mut burst = Service::new(ServiceConfig {
+        queue_hard_cost: svc_cost * 4,
+        queue_soft_cost: svc_cost * 2,
+        ..ServiceConfig::default()
+    });
+    let burst_tree = generate_benchmark(&BenchmarkSpec::random("serve", svc_sinks, 11));
+    let burst_handle = match burst.execute(Request::Open {
+        tree: Box::new(burst_tree),
+        spatial: SpatialKind::Heterogeneous,
+    }) {
+        Response::Opened { handle, .. } => handle,
+        other => panic!("service open failed: {other}"),
+    };
+    for _ in 0..12 {
+        burst.submit(Request::Optimize {
+            handle: burst_handle,
+            params: OptimizeParams::default(),
+        });
+    }
+    let burst_responses = burst.drain(jobs);
+    let shed = burst_responses
+        .iter()
+        .filter(|r| matches!(r, Response::Error(RequestError::Overloaded { .. })))
+        .count();
+    assert_eq!(burst_responses.len(), 12, "drain must answer every request");
+    assert!(shed > 0, "overload burst never shed");
+    report.meta_num("service_shed", shed as f64);
+
+    let mut svc_bench = Bencher::new("service").with_config(kernel_config);
+    svc_bench.bench(&format!("execute_opt/{svc_sinks}sinks"), || {
+        service.execute(opt())
+    });
+    svc_bench.finish();
+    report.record_group("service", svc_bench.results());
+    println!(
+        "service: p50 {:.3} ms, p99 {:.3} ms, {throughput:.0} req/s, {shed} shed in burst",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp.json");
     report.write(&path).expect("write BENCH_dp.json");

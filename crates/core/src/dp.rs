@@ -25,7 +25,8 @@
 use crate::error::InsertionError;
 use crate::faultinject::FaultInjector;
 use crate::governor::{
-    keep_best, solution_footprint, truncate_spread, Admission, Budget, Clock, Degradation, Governor,
+    keep_best, solution_footprint, truncate_spread, Admission, Budget, CancelToken, Clock,
+    Degradation, Governor,
 };
 use crate::metrics::DpStats;
 use crate::ops::{
@@ -333,14 +334,41 @@ pub fn optimize_governed(
         &WireSizing::single(),
         options,
         budget,
-        None,
-        None,
+        RunControls::default(),
     )
 }
 
+/// Per-run execution controls orthogonal to the optimization problem
+/// itself: a replacement clock (fault injection skews it), a fault
+/// injector mutating candidate lists, and the cooperative-cancellation
+/// pair the service layer arms for every request — an external
+/// [`CancelToken`] plus an optional watchdog deadline measured on the
+/// governor's clock.
+///
+/// `RunControls::default()` is the plain batch run: real clock, no
+/// faults, no cancellation.
+#[derive(Default)]
+pub struct RunControls<'a> {
+    /// Replacement wall-clock source (`None` = real monotonic clock).
+    pub clock: Option<Box<dyn Clock>>,
+    /// Deterministic fault injector mutating candidate lists.
+    pub faults: Option<&'a mut FaultInjector>,
+    /// External cancellation token, polled at every time check.
+    pub cancel: Option<CancelToken>,
+    /// Watchdog deadline on the governor's clock; overrun cancels the
+    /// run into best-so-far completion.
+    pub watchdog: Option<Duration>,
+}
+
+impl RunControls<'_> {
+    fn has_cancellation(&self) -> bool {
+        self.cancel.is_some() || self.watchdog.is_some()
+    }
+}
+
 /// [`optimize_governed`] with every knob exposed: an explicit fallback
-/// cascade, wire sizing, a replacement [`Clock`] (fault injection skews
-/// it), and a [`FaultInjector`] mutating candidate lists between steps.
+/// cascade, wire sizing, and the [`RunControls`] for clock replacement,
+/// fault injection, and cooperative cancellation.
 ///
 /// # Errors
 ///
@@ -358,11 +386,16 @@ pub fn optimize_governed_detailed(
     sizing: &WireSizing,
     options: &DpOptions,
     budget: &Budget,
-    clock: Option<Box<dyn Clock>>,
-    faults: Option<&mut FaultInjector>,
+    controls: RunControls<'_>,
 ) -> Result<GovernedResult, InsertionError> {
     let mut governor = Governor::governed(*budget, cascade, options.sparsify_epsilon);
-    if let Some(c) = clock {
+    if controls.has_cancellation() {
+        governor = governor.with_cancellation(
+            controls.cancel.clone().unwrap_or_default(),
+            controls.watchdog,
+        );
+    }
+    if let Some(c) = controls.clock {
         governor = governor.with_clock(c);
     }
     let mut result = run_engine(
@@ -373,7 +406,7 @@ pub fn optimize_governed_detailed(
         sizing,
         options,
         &mut governor,
-        faults,
+        controls.faults,
     )?;
     let degradation = governor.into_report();
     result.stats.rule_fallbacks = degradation.rule_fallbacks();

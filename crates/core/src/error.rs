@@ -6,7 +6,7 @@ use std::time::Duration;
 use varbuf_rctree::{NodeId, TreeError};
 
 /// Why an optimization run could not complete.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InsertionError {
     /// The routing tree failed validation.
     InvalidTree(TreeError),
@@ -39,6 +39,14 @@ pub enum InsertionError {
         /// The node whose entire candidate list was invalid.
         node: NodeId,
     },
+    /// The run was cancelled cooperatively — a watchdog deadline fired or
+    /// an external `CancelToken` was triggered. Raised in strict mode
+    /// only; a governed run answers cancellation with best-so-far
+    /// completion instead.
+    Cancelled {
+        /// Time spent before the cancellation was observed.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for InsertionError {
@@ -64,6 +72,9 @@ impl fmt::Display for InsertionError {
                 f,
                 "every candidate solution at {node} has non-finite statistics"
             ),
+            InsertionError::Cancelled { elapsed } => {
+                write!(f, "run cancelled after {:.3}s", elapsed.as_secs_f64())
+            }
         }
     }
 }
@@ -80,6 +91,131 @@ impl Error for InsertionError {
 impl From<TreeError> for InsertionError {
     fn from(e: TreeError) -> Self {
         InsertionError::InvalidTree(e)
+    }
+}
+
+/// Why a *service request* failed — the request-level taxonomy wrapped
+/// around [`InsertionError`] by [`crate::service`].
+///
+/// The split matters for the isolation contract: everything here is a
+/// *per-request* outcome. A request that hits one of these leaves every
+/// other session untouched; only [`RequestError::Internal`] (a contained
+/// panic) additionally poisons the session it ran against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The handle's slot was closed (and possibly reopened) since the
+    /// handle was issued — its generation counter no longer matches.
+    /// Stale handles are always a typed error, never a wrong answer
+    /// against whatever net now occupies the slot.
+    StaleHandle {
+        /// The handle the client presented.
+        handle: crate::service::SessionHandle,
+    },
+    /// The session was poisoned by a contained crash in an earlier
+    /// request; it only accepts `close` until then.
+    SessionPoisoned {
+        /// The poisoned session's handle.
+        handle: crate::service::SessionHandle,
+    },
+    /// The resident-session cap is reached; close a session first.
+    SessionLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Admission control shed the request: the queued work already
+    /// exceeds the service's cost budget.
+    Overloaded {
+        /// Cost units (DP nodes) queued at rejection time.
+        queued_cost: u64,
+        /// The queue's hard cost budget.
+        limit: u64,
+        /// Deterministic retry hint derived from the queued cost.
+        retry_after: Duration,
+    },
+    /// The request could not be parsed or carries invalid parameters.
+    Malformed {
+        /// What was wrong.
+        message: String,
+    },
+    /// Request-scoped fault injection was asked for but the service was
+    /// not started with it enabled.
+    FaultsDisabled,
+    /// A panic escaped the DP mid-request and was contained by the
+    /// execution envelope; the session it ran against is poisoned.
+    Internal {
+        /// The contained panic's message.
+        message: String,
+    },
+    /// The optimization itself failed with a typed engine error.
+    Insertion(InsertionError),
+}
+
+impl RequestError {
+    /// Stable one-token machine-readable kind, used by the line
+    /// protocol's `err <kind> …` responses.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestError::StaleHandle { .. } => "stale",
+            RequestError::SessionPoisoned { .. } => "poisoned",
+            RequestError::SessionLimit { .. } => "session-limit",
+            RequestError::Overloaded { .. } => "overloaded",
+            RequestError::Malformed { .. } => "malformed",
+            RequestError::FaultsDisabled => "faults-disabled",
+            RequestError::Internal { .. } => "internal",
+            RequestError::Insertion(_) => "insertion",
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::StaleHandle { handle } => {
+                write!(f, "stale session handle {handle}")
+            }
+            RequestError::SessionPoisoned { handle } => {
+                write!(
+                    f,
+                    "session {handle} was poisoned by an earlier fault; close it"
+                )
+            }
+            RequestError::SessionLimit { limit } => {
+                write!(f, "session limit reached ({limit} resident sessions)")
+            }
+            RequestError::Overloaded {
+                queued_cost,
+                limit,
+                retry_after,
+            } => write!(
+                f,
+                "overloaded: {queued_cost} cost units queued over the {limit} budget, retry_after_ms={}",
+                retry_after.as_millis()
+            ),
+            RequestError::Malformed { message } => write!(f, "malformed request: {message}"),
+            RequestError::FaultsDisabled => {
+                write!(f, "fault injection disabled (start serve with --faults)")
+            }
+            RequestError::Internal { message } => {
+                write!(f, "contained panic: {message}")
+            }
+            RequestError::Insertion(e) => write!(f, "optimization failed: {e}"),
+        }
+    }
+}
+
+impl Error for RequestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RequestError::Insertion(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InsertionError> for RequestError {
+    fn from(e: InsertionError) -> Self {
+        RequestError::Insertion(e)
     }
 }
 
@@ -107,5 +243,9 @@ mod tests {
         let p = InsertionError::PoisonedSolutions { node: NodeId(9) };
         assert!(p.to_string().contains("non-finite"));
         assert!(p.to_string().contains("n9"));
+        let c = InsertionError::Cancelled {
+            elapsed: Duration::from_millis(1500),
+        };
+        assert!(c.to_string().contains("cancelled after 1.500s"));
     }
 }

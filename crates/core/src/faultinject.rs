@@ -17,7 +17,15 @@
 //!
 //! Injection only ever *adds* candidates (poison as clones, padding as
 //! duplicates); it never corrupts or removes an existing valid one, so
-//! an injected run always has a valid solution to recover to.
+//! an injected run always has a valid solution to recover to. The one
+//! exception is the `panic_after` fault, which aborts the run mid-DP by
+//! design — it exists to exercise the service layer's `catch_unwind`
+//! containment, not the governor ladder.
+//!
+//! The service layer adds a second granularity on top: *request-scoped*
+//! faults ([`RequestFault`] / [`RequestFaults`]) select one of these
+//! primitives by request id, so a soak script can poison exactly request
+//! `k` and prove requests `k − 1` and `k + 1` are unaffected.
 //!
 //! Negative variance deserves a note: a canonical form's variance is
 //! `Σaᵢ²`, which is non-negative by construction, so a "negative
@@ -141,6 +149,10 @@ pub struct FaultPlan {
     pub pad_every: usize,
     /// How many duplicates each padding event adds.
     pub pad_count: usize,
+    /// Panic (a genuine `panic!`, not a typed error) when the
+    /// `panic_after`-th node is visited (`0` disables) — the crash fault
+    /// the service layer's `catch_unwind` envelope must contain.
+    pub panic_after: usize,
 }
 
 impl FaultPlan {
@@ -152,6 +164,7 @@ impl FaultPlan {
             poison_kind: PoisonKind::NanRat,
             pad_every: 0,
             pad_count: 0,
+            panic_after: 0,
         }
     }
 
@@ -171,6 +184,15 @@ impl FaultPlan {
         Self {
             pad_every: every,
             pad_count: count,
+            ..Self::none()
+        }
+    }
+
+    /// Panic when the `after`-th node is visited.
+    #[must_use]
+    pub fn panic_at(after: usize) -> Self {
+        Self {
+            panic_after: after,
             ..Self::none()
         }
     }
@@ -211,8 +233,18 @@ impl FaultInjector {
 
     /// Called by the engine after a node's list is built; mutates the
     /// list per the plan.
-    pub fn on_node(&mut self, _node: NodeId, sols: &mut Vec<StatSolution>) {
+    ///
+    /// # Panics
+    ///
+    /// Panics deliberately when the plan's `panic_after`-th node is
+    /// reached — the injected-crash fault.
+    pub fn on_node(&mut self, node: NodeId, sols: &mut Vec<StatSolution>) {
         self.nodes_seen += 1;
+        assert!(
+            !(self.plan.panic_after > 0 && self.nodes_seen >= self.plan.panic_after),
+            "injected panic at {node} (fault injection, node visit {})",
+            self.nodes_seen
+        );
         if sols.is_empty() {
             return;
         }
@@ -239,6 +271,61 @@ impl FaultInjector {
             sols.extend(std::iter::repeat_with(|| template.clone()).take(self.plan.pad_count));
             self.padded_injected += self.plan.pad_count;
         }
+    }
+}
+
+/// A fault scoped to one service request, selected by request id.
+///
+/// Each variant maps onto one of the harness primitives above:
+///
+/// * `Panic` — a [`FaultPlan::panic_at`] injector crashes the DP on its
+///   first node; the service envelope must contain it.
+/// * `Delay` — the request runs on a [`SkewedClock`] pre-aged by the
+///   given duration, so a per-request watchdog deadline shorter than it
+///   trips deterministically (no sleeping).
+/// * `AllocSpike` — a [`FaultPlan::pad`] injector pads every node's
+///   candidate list, spiking allocations and capacity pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestFault {
+    /// Crash the DP mid-run.
+    Panic,
+    /// Pre-age the request's clock by this much.
+    Delay(Duration),
+    /// Pad every node with this many duplicate candidates.
+    AllocSpike(usize),
+}
+
+/// Request-id–keyed fault schedule for a service run.
+///
+/// Faults are *one-shot*: [`RequestFaults::take`] removes the
+/// entry, so a retried request id runs clean.
+#[derive(Debug, Default)]
+pub struct RequestFaults {
+    by_id: std::collections::BTreeMap<u64, RequestFault>,
+}
+
+impl RequestFaults {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` for the request with id `id` (replacing any earlier
+    /// entry for the same id).
+    pub fn arm(&mut self, id: u64, fault: RequestFault) {
+        self.by_id.insert(id, fault);
+    }
+
+    /// Removes and returns the fault armed for `id`, if any.
+    pub fn take(&mut self, id: u64) -> Option<RequestFault> {
+        self.by_id.remove(&id)
+    }
+
+    /// How many faults are still armed.
+    #[must_use]
+    pub fn armed(&self) -> usize {
+        self.by_id.len()
     }
 }
 
@@ -301,6 +388,38 @@ mod tests {
         inj.on_node(NodeId(1), &mut sols);
         assert_eq!(sols.len(), 6, "node 2: padded");
         assert_eq!(inj.padded_injected(), 5);
+    }
+
+    #[test]
+    fn panic_plan_panics_at_the_scheduled_node() {
+        let mut inj = FaultInjector::new(FaultPlan::panic_at(2));
+        let mut sols = vec![sol(1.0, -10.0)];
+        inj.on_node(NodeId(0), &mut sols);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.on_node(NodeId(1), &mut sols);
+        }));
+        let payload = r.expect_err("second visit must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected panic"), "{msg}");
+    }
+
+    #[test]
+    fn request_faults_are_one_shot_and_id_scoped() {
+        let mut rf = RequestFaults::new();
+        rf.arm(3, RequestFault::Panic);
+        rf.arm(5, RequestFault::Delay(Duration::from_secs(60)));
+        assert_eq!(rf.armed(), 2);
+        assert_eq!(rf.take(4), None);
+        assert_eq!(rf.take(3), Some(RequestFault::Panic));
+        assert_eq!(rf.take(3), None, "one-shot");
+        assert_eq!(
+            rf.take(5),
+            Some(RequestFault::Delay(Duration::from_secs(60)))
+        );
+        assert_eq!(rf.armed(), 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::error::InsertionError;
 use crate::prune::PruningRule;
 use crate::solution::StatSolution;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use varbuf_rctree::NodeId;
@@ -66,6 +67,36 @@ impl Default for MonotonicClock {
 impl Clock for MonotonicClock {
     fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+/// A cooperative cancellation token shared between a run and whoever may
+/// need to stop it early — the service layer's shutdown path, or a
+/// request watchdog. Cancelling is a one-way latch; the DP observes it at
+/// its regular `check_time` points, so cancellation is *cooperative*:
+/// a governed run answers it by entering panic completion (best-so-far),
+/// a strict run by returning [`InsertionError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -198,6 +229,15 @@ pub enum Trigger {
         /// How many entries were invalid.
         count: usize,
     },
+    /// The run was cancelled — its watchdog deadline fired, or an
+    /// external [`CancelToken`] was triggered.
+    Cancelled {
+        /// Elapsed time when the cancellation was observed.
+        elapsed: Duration,
+        /// The watchdog deadline, if that is what fired (`None` for an
+        /// external cancel).
+        deadline: Option<Duration>,
+    },
 }
 
 impl fmt::Display for Trigger {
@@ -226,6 +266,15 @@ impl fmt::Display for Trigger {
             Trigger::PoisonedSolutions { node, count } => {
                 write!(f, "{count} poisoned candidates at {node}")
             }
+            Trigger::Cancelled { elapsed, deadline } => match deadline {
+                Some(d) => write!(
+                    f,
+                    "watchdog deadline {:.2}s hit at {:.2}s",
+                    d.as_secs_f64(),
+                    elapsed.as_secs_f64()
+                ),
+                None => write!(f, "cancelled externally at {:.2}s", elapsed.as_secs_f64()),
+            },
         }
     }
 }
@@ -322,13 +371,16 @@ pub struct Degradation {
     pub final_rule: String,
     /// Whether panic completion (best-so-far recovery) was engaged.
     pub panic_completion: bool,
+    /// Whether the run was cancelled (watchdog deadline or external
+    /// token) and finished on the best-so-far path.
+    pub cancelled: bool,
 }
 
 impl Degradation {
     /// Whether anything was relaxed.
     #[must_use]
     pub fn degraded(&self) -> bool {
-        !self.events.is_empty() || self.panic_completion
+        !self.events.is_empty() || self.panic_completion || self.cancelled
     }
 
     /// Number of rule-fallback steps taken.
@@ -377,7 +429,7 @@ impl Degradation {
             return "completed within budget (no degradation)".to_owned();
         }
         let mut out = format!(
-            "degraded run: rule {} -> {}, {} event(s){}\n",
+            "degraded run: rule {} -> {}, {} event(s){}{}\n",
             self.initial_rule,
             self.final_rule,
             self.events.len(),
@@ -385,7 +437,8 @@ impl Degradation {
                 ", panic completion"
             } else {
                 ""
-            }
+            },
+            if self.cancelled { ", cancelled" } else { "" }
         );
         for e in &self.events {
             out.push_str(&format!("  {e}\n"));
@@ -449,6 +502,14 @@ pub struct Governor {
     events: Vec<DegradationEvent>,
     initial_rule: String,
     poisoned_total: usize,
+    /// External cancellation token, polled in `check_time`.
+    cancel: Option<CancelToken>,
+    /// Per-request deadline on the governor's clock; overrun cancels the
+    /// run from within (distinct from `budget.hard_time`, which is a
+    /// *resource* wall — the watchdog is a *liveness* wall the service
+    /// layer sets uniformly across requests).
+    watchdog: Option<Duration>,
+    cancelled: bool,
 }
 
 impl Governor {
@@ -473,6 +534,9 @@ impl Governor {
             events: Vec::new(),
             initial_rule: String::new(),
             poisoned_total: 0,
+            cancel: None,
+            watchdog: None,
+            cancelled: false,
         }
     }
 
@@ -505,6 +569,9 @@ impl Governor {
             events: Vec::new(),
             initial_rule,
             poisoned_total: 0,
+            cancel: None,
+            watchdog: None,
+            cancelled: false,
         }
     }
 
@@ -515,6 +582,29 @@ impl Governor {
         self.clock = clock;
         self.real_clock = false;
         self
+    }
+
+    /// Arms cooperative cancellation: `token` may be latched externally
+    /// (service shutdown, client disconnect) and `watchdog`, when set, is
+    /// a per-run deadline measured on the governor's clock. Either firing
+    /// turns the next `check_time` into best-so-far completion (governed)
+    /// or [`InsertionError::Cancelled`] (strict).
+    #[must_use]
+    pub fn with_cancellation(mut self, token: CancelToken, watchdog: Option<Duration>) -> Self {
+        self.cancel = Some(token);
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Whether a cancellation source (token or watchdog) is armed.
+    pub(crate) fn cancellable(&self) -> bool {
+        self.cancel.is_some() || self.watchdog.is_some()
+    }
+
+    /// Whether the run has observed a cancellation.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// The budget this governor enforces.
@@ -616,13 +706,38 @@ impl Governor {
 
     /// Wall-clock check. Strict: hard breach is a typed error. Governed:
     /// a soft breach walks the degradation ladder (once per escalation
-    /// level), a hard breach engages panic completion.
+    /// level), a hard breach engages panic completion. Cancellation
+    /// (external token or watchdog overrun) is observed here too: a
+    /// governed run enters panic completion marked `cancelled`, a strict
+    /// run returns a typed error.
     ///
     /// # Errors
     ///
-    /// [`InsertionError::TimeLimitExceeded`] in strict mode only.
+    /// [`InsertionError::TimeLimitExceeded`] or
+    /// [`InsertionError::Cancelled`] in strict mode only.
     pub fn check_time(&mut self) -> Result<(), InsertionError> {
         let elapsed = self.clock.elapsed();
+        let deadline_hit = self.watchdog.is_some_and(|d| elapsed > d);
+        if deadline_hit || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            if !self.governed {
+                return Err(InsertionError::Cancelled { elapsed });
+            }
+            if !self.cancelled {
+                self.cancelled = true;
+                let trigger = Trigger::Cancelled {
+                    elapsed,
+                    deadline: if deadline_hit { self.watchdog } else { None },
+                };
+                if self.panic_mode {
+                    // Already on the best-so-far path (e.g. a hard-time
+                    // breach beat the watchdog); still record the cancel.
+                    self.record(trigger, Action::PanicCompletion);
+                } else {
+                    self.enter_panic(trigger);
+                }
+            }
+            return Ok(());
+        }
         if !self.governed {
             if elapsed > self.budget.hard_time {
                 return Err(InsertionError::TimeLimitExceeded {
@@ -795,6 +910,7 @@ impl Governor {
             initial_rule: self.initial_rule,
             final_rule,
             panic_completion: self.panic_mode,
+            cancelled: self.cancelled,
         }
     }
 }
@@ -1019,6 +1135,66 @@ mod tests {
         let s = Budget::strict(7, Duration::from_secs(3));
         assert_eq!(s.soft_solutions, s.hard_solutions);
         assert_eq!(s.soft_time, s.hard_time);
+    }
+
+    #[test]
+    fn cancel_token_turns_governed_run_into_best_so_far() {
+        let token = CancelToken::new();
+        let mut g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0)
+            .with_cancellation(token.clone(), None);
+        g.check_time().expect("uncancelled check passes");
+        assert!(!g.panicking());
+        token.cancel();
+        assert!(token.is_cancelled());
+        g.check_time().expect("governed cancel never errors");
+        assert!(g.panicking());
+        assert!(g.is_cancelled());
+        let report = g.into_report();
+        assert!(report.cancelled);
+        assert!(report.degraded());
+        assert!(report.summary().contains("cancelled"));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.trigger, Trigger::Cancelled { deadline: None, .. })));
+    }
+
+    #[test]
+    fn watchdog_deadline_cancels_on_the_governor_clock() {
+        #[derive(Debug)]
+        struct Fixed(Duration);
+        impl Clock for Fixed {
+            fn elapsed(&self) -> Duration {
+                self.0
+            }
+        }
+        let mut g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0)
+            .with_clock(Box::new(Fixed(Duration::from_secs(10))))
+            .with_cancellation(CancelToken::new(), Some(Duration::from_secs(5)));
+        g.check_time().expect("governed watchdog never errors");
+        assert!(g.is_cancelled());
+        let report = g.into_report();
+        assert!(report.cancelled && report.panic_completion);
+        assert!(report.events.iter().any(|e| matches!(
+            e.trigger,
+            Trigger::Cancelled {
+                deadline: Some(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn strict_cancellation_is_a_typed_error() {
+        let token = CancelToken::new();
+        let mut g =
+            Governor::strict(Budget::unlimited(), 0.0).with_cancellation(token.clone(), None);
+        g.check_time().expect("uncancelled strict check passes");
+        token.cancel();
+        assert!(matches!(
+            g.check_time(),
+            Err(InsertionError::Cancelled { .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //! * [`pool`] — the std-only parallel execution layer: the
 //!   [`pool::optimize_batch`] worker pool over independent nets and the
 //!   speculative intra-tree scheduler behind [`dp::DpOptions::jobs`],
-//!   both bit-identical to the sequential engine.
+//!   both bit-identical to the sequential engine;
+//! * [`service`] — the resident optimization service behind
+//!   `varbuf serve`: a generational-arena session store, per-request
+//!   crash isolation (`catch_unwind` + session poisoning), watchdog
+//!   deadlines wired into the governor, and cost-based admission
+//!   control with load shedding.
 //!
 //! # Quick start
 //!
@@ -61,6 +66,7 @@ pub mod metrics;
 pub mod ops;
 pub mod pool;
 pub mod prune;
+pub mod service;
 pub mod skew;
 pub mod solution;
 pub mod trace;
@@ -69,9 +75,13 @@ pub mod yield_eval;
 pub use det::optimize_deterministic;
 pub use dp::{optimize_governed, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
-pub use error::InsertionError;
+pub use error::{InsertionError, RequestError};
 pub use governor::{Budget, Degradation, DegradationEvent, Governor};
 pub use pool::{default_jobs, optimize_batch, BatchRequest};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
+pub use service::{
+    OptimizeParams, Request, Response, RuleChoice, Service, ServiceConfig, ServiceStats,
+    SessionHandle,
+};
 pub use solution::StatSolution;
 pub use yield_eval::{YieldAnalysis, YieldEvaluator};

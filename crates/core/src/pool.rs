@@ -47,7 +47,8 @@
 
 use crate::dp::{
     fallback_cascade, optimize_governed_detailed, optimize_with_sizing, process_node, DpOptions,
-    EngineInterrupt, GovernedResult, RuleHandle, RunCtx, SolPool, Supervisor, WireSizing,
+    EngineInterrupt, GovernedResult, RuleHandle, RunControls, RunCtx, SolPool, Supervisor,
+    WireSizing,
 };
 use crate::error::InsertionError;
 use crate::governor::{Admission, Budget, Degradation, Governor};
@@ -149,10 +150,49 @@ impl<'a> BatchRequest<'a> {
             &self.sizing,
             &options,
             &self.budget,
-            None,
-            None,
+            RunControls::default(),
         )
     }
+}
+
+/// Order-preserving parallel map over `0..n`: result `i` is `f(i)`,
+/// independent of `jobs`. The shared-atomic-cursor worker pool behind
+/// both [`optimize_batch`] and the service layer's request drain.
+pub(crate) fn run_indexed<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let out = f(i);
+        *slots[i].lock().expect("result slot") = Some(out);
+    };
+    std::thread::scope(|s| {
+        // `work` only captures shared references, so it is `Copy` and
+        // each spawn gets its own copy.
+        for _ in 1..jobs {
+            s.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every index completed")
+        })
+        .collect()
 }
 
 /// Fans independent optimization requests across `jobs` workers.
@@ -170,33 +210,7 @@ pub fn optimize_batch(
     if jobs == 1 {
         return requests.iter().map(|r| r.run(None)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<GovernedResult, InsertionError>>>> =
-        requests.iter().map(|_| Mutex::new(None)).collect();
-    let work = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= requests.len() {
-            break;
-        }
-        let out = requests[i].run(Some(1));
-        *results[i].lock().expect("result slot") = Some(out);
-    };
-    std::thread::scope(|s| {
-        // `work` only captures shared references, so it is `Copy` and
-        // each spawn gets its own copy.
-        for _ in 1..jobs {
-            s.spawn(work);
-        }
-        work();
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot")
-                .expect("every request completed")
-        })
-        .collect()
+    run_indexed(requests.len(), jobs, |i| requests[i].run(Some(1)))
 }
 
 /// Frozen governor snapshot shared by the speculative phase's workers.
@@ -400,7 +414,14 @@ pub(crate) fn try_parallel_tree(
     governor: &Governor,
 ) -> Option<Result<(Vec<StatSolution>, DpStats), InsertionError>> {
     let tree = ctx.tree;
-    if options.jobs <= 1 || !governor.uses_real_clock() || !governor.pristine() {
+    if options.jobs <= 1
+        || !governor.uses_real_clock()
+        || !governor.pristine()
+        || governor.cancellable()
+    {
+        // Cancellable runs stay sequential: the probe supervisor never
+        // polls the token, so a watchdog could overrun unobserved for
+        // the whole speculative phase.
         return None;
     }
     let budget = governor.budget();

@@ -12,8 +12,8 @@
 
 use std::sync::Arc;
 use varbuf_core::dp::{
-    fallback_cascade, optimize_governed_detailed, optimize_with_sizing, DpOptions, StatResult,
-    WireSizing,
+    fallback_cascade, optimize_governed_detailed, optimize_with_sizing, DpOptions, RunControls,
+    StatResult, WireSizing,
 };
 use varbuf_core::governor::Budget;
 use varbuf_core::prune::{FourParam, OneParam, PruningRule, TwoParam};
@@ -84,8 +84,7 @@ fn run_case(
                 sizing,
                 &options,
                 &budget,
-                None,
-                None,
+                RunControls::default(),
             )
             .expect("governed run")
             .result

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use varbuf_core::dp::{
     optimize_governed, optimize_governed_detailed, optimize_with_rule, DpOptions, GovernedResult,
-    WireSizing,
+    RunControls, WireSizing,
 };
 use varbuf_core::faultinject::{FaultInjector, FaultPlan, PoisonKind, SkewedClock, StepClock};
 use varbuf_core::governor::Budget;
@@ -113,8 +113,10 @@ fn hard_wall_clock_breach_returns_best_so_far_not_err() {
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
-        Some(Box::new(clock)),
-        None,
+        RunControls {
+            clock: Some(Box::new(clock)),
+            ..RunControls::default()
+        },
     )
     .expect("hard time breach must not error");
 
@@ -145,8 +147,10 @@ fn frozen_clock_past_hard_limit_still_completes_whole_tree() {
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
-        Some(Box::new(SkewedClock::frozen(Duration::from_secs(10)))),
-        None,
+        RunControls {
+            clock: Some(Box::new(SkewedClock::frozen(Duration::from_secs(10)))),
+            ..RunControls::default()
+        },
     )
     .expect("completes");
     assert!(governed.degradation.panic_completion);
@@ -172,8 +176,10 @@ fn soft_time_pressure_triggers_rule_fallback_not_panic() {
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
-        Some(Box::new(SkewedClock::frozen(Duration::from_secs(5)))),
-        None,
+        RunControls {
+            clock: Some(Box::new(SkewedClock::frozen(Duration::from_secs(5)))),
+            ..RunControls::default()
+        },
     )
     .expect("completes");
     assert!(!governed.degradation.panic_completion);
@@ -204,8 +210,10 @@ fn poisoned_solutions_are_dropped_and_reported() {
             &WireSizing::single(),
             &DpOptions::default(),
             &Budget::unlimited(),
-            None,
-            Some(&mut injector),
+            RunControls {
+                faults: Some(&mut injector),
+                ..RunControls::default()
+            },
         )
         .expect("poison must be survivable");
         assert!(injector.poisoned_injected() > 0);
@@ -241,8 +249,10 @@ fn padding_pressure_forces_truncation_but_run_completes() {
         &WireSizing::single(),
         &DpOptions::default(),
         &budget,
-        None,
-        Some(&mut injector),
+        RunControls {
+            faults: Some(&mut injector),
+            ..RunControls::default()
+        },
     )
     .expect("capacity pressure must be survivable");
     assert!(injector.padded_injected() > 0);

@@ -1,0 +1,264 @@
+//! Service-level robustness suites: crash isolation (a fault in request
+//! k leaves every other request bit-identical to a clean run) and a
+//! soak run (thousands of queued requests under a constraining governor
+//! with zero leaked sessions and monotone generation counters).
+
+use std::time::Duration;
+use varbuf_core::faultinject::RequestFault;
+use varbuf_core::governor::Budget;
+use varbuf_core::service::{
+    OptimizeParams, Request, Response, Service, ServiceConfig, SessionHandle,
+};
+use varbuf_core::RequestError;
+use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
+use varbuf_rctree::RoutingTree;
+use varbuf_variation::SpatialKind;
+
+fn tree(sinks: usize, seed: u64) -> RoutingTree {
+    generate_benchmark(&BenchmarkSpec::random("svc", sinks, seed))
+}
+
+fn open(service: &mut Service, sinks: usize, seed: u64) -> SessionHandle {
+    match service.execute(Request::Open {
+        tree: Box::new(tree(sinks, seed)),
+        spatial: SpatialKind::Heterogeneous,
+    }) {
+        Response::Opened { handle, .. } => handle,
+        other => panic!("expected Opened, got {other}"),
+    }
+}
+
+/// Runs the 100-request isolation script — open/opt/close triples over
+/// distinct nets — optionally arming a panic for optimize request id
+/// `fault_at`, and returns every response rendered to its protocol line.
+fn isolation_script(fault_at: Option<u64>) -> Vec<String> {
+    let mut service = Service::new(ServiceConfig {
+        allow_faults: true,
+        ..ServiceConfig::default()
+    });
+    if let Some(id) = fault_at {
+        let armed = service.inject(id, RequestFault::Panic);
+        assert!(matches!(armed, Response::Injected { .. }));
+    }
+    let mut lines = Vec::new();
+    for k in 0..100u64 {
+        // Distinct net per triple so the fault's poison cannot leak
+        // into any other request's session.
+        let handle = open(&mut service, 3 + (k as usize % 5), k + 1);
+        let responses = [
+            service.execute(Request::Optimize {
+                handle,
+                params: OptimizeParams::default(),
+            }),
+            service.execute(Request::Close { handle }),
+        ];
+        lines.push(format!("ok open session={handle}"));
+        lines.extend(responses.iter().map(ToString::to_string));
+    }
+    assert_eq!(service.store().live(), 0, "script leaks sessions");
+    lines
+}
+
+#[test]
+fn fault_in_request_k_leaves_every_other_request_bit_identical() {
+    let clean = isolation_script(None);
+    // Optimize request ids are 1-based: triple k's opt has id k+1.
+    let fault_id = 50u64;
+    let faulted = isolation_script(Some(fault_id));
+    assert_eq!(clean.len(), faulted.len());
+    let mut diffs = Vec::new();
+    for (i, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+        if c != f {
+            diffs.push((i, c.clone(), f.clone()));
+        }
+    }
+    assert_eq!(
+        diffs.len(),
+        1,
+        "exactly the faulted request may differ; got {diffs:#?}"
+    );
+    let (_, clean_line, fault_line) = &diffs[0];
+    assert!(clean_line.starts_with("ok opt"), "diff hit {clean_line}");
+    assert!(
+        fault_line.starts_with("err internal"),
+        "faulted request should be a contained panic, got {fault_line}"
+    );
+    assert!(fault_line.contains("injected panic"));
+}
+
+#[test]
+fn repeated_faults_never_take_the_service_down() {
+    let mut service = Service::new(ServiceConfig {
+        allow_faults: true,
+        ..ServiceConfig::default()
+    });
+    for round in 0..20u64 {
+        let handle = open(&mut service, 4, round + 1);
+        let id = service
+            .submit(Request::Optimize {
+                handle,
+                params: OptimizeParams::default(),
+            })
+            .unwrap();
+        service.inject(id, RequestFault::Panic);
+        let responses = service.drain(1);
+        assert!(
+            matches!(
+                &responses[0],
+                Response::Error(RequestError::Internal { .. })
+            ),
+            "round {round}"
+        );
+        assert!(matches!(
+            service.execute(Request::Close { handle }),
+            Response::Closed { .. }
+        ));
+    }
+    assert_eq!(service.stats().panics_contained, 20);
+    assert_eq!(service.store().live(), 0);
+    // The service still answers clean work.
+    let handle = open(&mut service, 4, 99);
+    assert!(matches!(
+        service.execute(Request::Optimize {
+            handle,
+            params: OptimizeParams::default(),
+        }),
+        Response::Optimized { .. }
+    ));
+}
+
+/// The soak harness: `total` optimize requests in chunks against a pool
+/// of resident sessions, under a constraining governor and queue
+/// budgets picked to force both tightening and shedding.
+fn soak(total: u64, jobs: usize) {
+    let mut budget = Budget::unlimited();
+    budget.soft_solutions = 4;
+    budget.hard_solutions = 16;
+    let session_cost = {
+        // One 4-sink net's node count, the per-request admission cost.
+        let mut probe = Service::new(ServiceConfig::default());
+        let h = open(&mut probe, 4, 1);
+        probe.store().resolve(h).unwrap().tree().len() as u64
+    };
+    let chunk = 100u64;
+    let mut service = Service::new(ServiceConfig {
+        allow_faults: true,
+        budget,
+        // Roughly: a chunk's first third is admitted untightened, the
+        // middle third tightened, the rest shed.
+        queue_soft_cost: session_cost * chunk / 3,
+        queue_hard_cost: session_cost * chunk * 2 / 3,
+        watchdog: Some(Duration::from_secs(30)),
+        ..ServiceConfig::default()
+    });
+    let pool: Vec<SessionHandle> = (0..8).map(|i| open(&mut service, 4, i + 1)).collect();
+    let mut submitted = 0u64;
+    let mut responses = 0u64;
+    while submitted < total {
+        for i in 0..chunk.min(total - submitted) {
+            let handle = pool[(submitted + i) as usize % pool.len()];
+            let id = service
+                .submit(Request::Optimize {
+                    handle,
+                    params: OptimizeParams::default(),
+                })
+                .unwrap();
+            // A sprinkle of request-scoped faults to keep the envelope
+            // hot: every 97th request panics, every 101st is delayed
+            // past the watchdog.
+            if id.is_multiple_of(97) {
+                service.inject(id, RequestFault::Panic);
+            } else if id.is_multiple_of(101) {
+                service.inject(id, RequestFault::Delay(Duration::from_secs(60)));
+            }
+        }
+        submitted += chunk.min(total - submitted);
+        let drained = service.drain(jobs);
+        responses += drained.len() as u64;
+        for r in &drained {
+            assert!(
+                matches!(
+                    r,
+                    Response::Optimized { .. }
+                        | Response::Error(RequestError::Overloaded { .. })
+                        | Response::Error(RequestError::Internal { .. })
+                        | Response::Error(RequestError::SessionPoisoned { .. })
+                ),
+                "unexpected soak response: {r}"
+            );
+        }
+        // Panicked sessions poison; replace them so the pool stays
+        // serviceable (close works on poisoned sessions).
+    }
+    assert_eq!(responses, total, "every request must be answered");
+    let stats = service.stats();
+    assert_eq!(stats.served + stats.shed, total);
+    assert!(stats.shed > 0, "soak never exercised load shedding");
+    assert!(stats.tightened > 0, "soak never exercised tightening");
+    assert!(stats.degraded > 0, "soak never exercised the governor");
+    assert!(stats.panics_contained > 0);
+    assert!(stats.cancelled > 0);
+
+    // Zero leaked sessions, and every close bumps its slot's generation
+    // monotonically.
+    let before: Vec<u32> = (0..service.store().slot_count())
+        .map(|i| service.store().generation(i as u32).unwrap())
+        .collect();
+    for h in pool {
+        assert!(matches!(
+            service.execute(Request::Close { handle: h }),
+            Response::Closed { .. }
+        ));
+    }
+    assert_eq!(service.store().live(), 0, "soak leaked sessions");
+    for (i, b) in before.iter().enumerate() {
+        let after = service.store().generation(i as u32).unwrap();
+        assert!(after > *b, "slot {i} generation did not advance");
+    }
+}
+
+#[test]
+fn soak_two_thousand_requests_sequential() {
+    soak(2000, 1);
+}
+
+#[test]
+fn soak_two_thousand_requests_parallel() {
+    soak(2000, 4);
+}
+
+#[test]
+fn drain_with_mixed_control_plane_preserves_submission_order() {
+    let run = |jobs: usize| -> Vec<String> {
+        let mut service = Service::new(ServiceConfig::default());
+        let a = open(&mut service, 4, 1);
+        let b = open(&mut service, 5, 2);
+        for _ in 0..3 {
+            service.submit(Request::Optimize {
+                handle: a,
+                params: OptimizeParams::default(),
+            });
+        }
+        service.submit(Request::Info { handle: b });
+        for _ in 0..3 {
+            service.submit(Request::Optimize {
+                handle: b,
+                params: OptimizeParams::default(),
+            });
+        }
+        service.submit(Request::Close { handle: a });
+        service.submit(Request::Close { handle: b });
+        service
+            .drain(jobs)
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(3));
+    // Shape check: 3 opts, info, 3 opts, 2 closes, in order.
+    assert!(serial[..3].iter().all(|l| l.starts_with("ok opt")));
+    assert!(serial[3].starts_with("ok info"));
+    assert!(serial[4..7].iter().all(|l| l.starts_with("ok opt")));
+    assert!(serial[7..].iter().all(|l| l.starts_with("ok close")));
+}

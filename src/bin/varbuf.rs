@@ -6,10 +6,11 @@
 //! varbuf info n.tree                          # structural summary
 //! varbuf opt n.tree --mode wid --spatial hetero --mc 2000
 //! varbuf skew n.tree                          # clock-skew analysis
+//! varbuf serve --watchdog 5 --faults          # resident line-protocol service
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,23 +27,50 @@ enum Outcome {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    // `println!` panics when stdout closes early (`varbuf info | head`);
+    // treat that as a normal end-of-output, not a crash with a backtrace.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("Broken pipe"));
+        if !broken_pipe {
+            default_hook(info);
+        }
+    }));
+    let run = std::panic::catch_unwind(|| match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
         Some("skew") => cmd_skew(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Outcome::Clean)
         }
         Some(other) => Err(format!("unknown subcommand `{other}` (try `varbuf help`)")),
-    };
-    match result {
-        Ok(Outcome::Clean) => ExitCode::SUCCESS,
-        Ok(Outcome::Degraded) => ExitCode::from(2),
-        Err(message) => {
+    });
+    match run {
+        Ok(Ok(Outcome::Clean)) => ExitCode::SUCCESS,
+        Ok(Ok(Outcome::Degraded)) => ExitCode::from(2),
+        Ok(Err(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if message.contains("Broken pipe") {
+                ExitCode::SUCCESS
+            } else {
+                std::panic::resume_unwind(payload)
+            }
         }
     }
 }
@@ -66,6 +94,15 @@ usage:
                 deterministic preorder bounds that retire hopeless
                 candidates early); results are bit-identical either way
   varbuf skew FILE [--spatial homog|hetero]
+  varbuf serve [--jobs N] [--watchdog SECS] [--max-sessions N]
+               [--queue-soft COST] [--queue-hard COST] [--faults]
+               [--budget-solutions N] [--budget-time SECS] [--budget-mem MB]
+      resident service on stdin/stdout (one command per line; `help`
+      inside the session prints the protocol). --faults enables the
+      `inject` fault-testing commands; --watchdog cancels any request
+      past the deadline and returns its best-so-far design; requests
+      queued past --queue-hard cost units are shed with a typed
+      `err overloaded` response.
 
 exit codes:
   0  success
@@ -88,8 +125,13 @@ fn has_flag(args: &[String], key: &str) -> bool {
 }
 
 fn build_tree(spec: &str, subdivide: Option<f64>) -> Result<RoutingTree, String> {
+    // Range checks mirror the generators' asserts so a bad spec is a
+    // clean exit-1 error instead of a panic.
     let tree = if let Some(rest) = spec.strip_prefix("htree:") {
         let levels: u32 = rest.parse().map_err(|_| "bad htree levels".to_owned())?;
+        if !(1..=24).contains(&levels) {
+            return Err(format!("htree levels must be in 1..=24, got {levels}"));
+        }
         generate_htree(&HTreeSpec::with_levels(levels))
     } else if let Some(rest) = spec.strip_prefix("random:") {
         let mut parts = rest.split(':');
@@ -97,7 +139,13 @@ fn build_tree(spec: &str, subdivide: Option<f64>) -> Result<RoutingTree, String>
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or("random spec needs SINKS")?;
-        let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+        if sinks == 0 {
+            return Err("random spec needs at least one sink".to_owned());
+        }
+        let seed: u64 = match parts.next() {
+            Some(s) => s.parse().map_err(|_| format!("bad seed in `{spec}`"))?,
+            None => 1,
+        };
         generate_benchmark(&BenchmarkSpec::random("random", sinks, seed))
     } else {
         let bench =
@@ -115,16 +163,31 @@ fn load_tree(path: &str) -> Result<RoutingTree, String> {
     read_tree(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn spatial_kind(args: &[String]) -> SpatialKind {
+fn spatial_kind(args: &[String]) -> Result<SpatialKind, String> {
     match flag_value(args, "--spatial") {
-        Some("homog") => SpatialKind::Homogeneous,
-        _ => SpatialKind::Heterogeneous,
+        Some("homog") => Ok(SpatialKind::Homogeneous),
+        None | Some("hetero") => Ok(SpatialKind::Heterogeneous),
+        Some(other) => Err(format!(
+            "unknown --spatial `{other}` (expected homog or hetero)"
+        )),
+    }
+}
+
+/// The `--p` percentile pair for the 2P rule, if given (a bad value is
+/// an error, not a silent fall-through to the default).
+fn parse_p(args: &[String]) -> Result<Option<f64>, String> {
+    match flag_value(args, "--p") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("bad --p value `{v}`")),
     }
 }
 
 /// The primary pruning rule from `--rule` (with `--p` honored for 2P).
 fn parse_rule(args: &[String]) -> Result<Arc<dyn PruningRule>, String> {
-    let p = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok());
+    let p = parse_p(args)?;
     match flag_value(args, "--rule") {
         None | Some("2p") => Ok(match p {
             Some(p) => Arc::new(TwoParam::try_new(p, p).map_err(|e| e.to_string())?),
@@ -179,7 +242,17 @@ fn parse_budget(args: &[String]) -> Result<Budget, String> {
 
 fn cmd_gen(args: &[String]) -> Result<Outcome, String> {
     let spec = args.first().ok_or("gen needs a spec")?;
-    let subdivide = flag_value(args, "--subdivide").and_then(|v| v.parse().ok());
+    let subdivide = match flag_value(args, "--subdivide") {
+        None => None,
+        Some(v) => {
+            let um: f64 = v
+                .parse()
+                .ok()
+                .filter(|&um| um > 0.0 && f64::is_finite(um))
+                .ok_or_else(|| format!("--subdivide needs a positive length in um, got `{v}`"))?;
+            Some(um)
+        }
+    };
     let tree = build_tree(spec, subdivide)?;
     match flag_value(args, "-o") {
         Some(path) => {
@@ -219,15 +292,20 @@ fn cmd_info(args: &[String]) -> Result<Outcome, String> {
 fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     let path = args.first().ok_or("opt needs a FILE")?;
     let tree = load_tree(path)?;
-    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args)?);
     let mode = match flag_value(args, "--mode") {
         Some("nom") => VariationMode::Nominal,
         Some("d2d") => VariationMode::DieToDie,
-        _ => VariationMode::WithinDie,
+        None | Some("wid") => VariationMode::WithinDie,
+        Some(other) => {
+            return Err(format!(
+                "unknown --mode `{other}` (expected nom, d2d, or wid)"
+            ))
+        }
     };
     let rule = parse_rule(args)?;
     let mut options = Options::default();
-    if let Some(p) = flag_value(args, "--p").and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(p) = parse_p(args)? {
         options.rule = TwoParam::try_new(p, p).map_err(|e| e.to_string())?;
     }
     if let Some(v) = flag_value(args, "--jobs") {
@@ -264,8 +342,7 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
             &sizing,
             &options.dp,
             &budget,
-            None,
-            None,
+            RunControls::default(),
         )
         .map_err(|e| e.to_string())?;
         if g.degradation.degraded() {
@@ -346,7 +423,14 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
         }
     };
 
-    if let Some(samples) = flag_value(args, "--mc").and_then(|v| v.parse::<usize>().ok()) {
+    let mc_samples = match flag_value(args, "--mc") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --mc sample count `{v}`"))?,
+        ),
+    };
+    if let Some(samples) = mc_samples {
         if widths.is_some() {
             return Err("--mc is not supported together with --sizing".to_owned());
         }
@@ -367,10 +451,156 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     Ok(outcome)
 }
 
+/// Service policy from the `serve` flags.
+fn parse_serve_config(args: &[String]) -> Result<(ServiceConfig, usize), String> {
+    let mut config = ServiceConfig {
+        budget: parse_budget(args)?,
+        allow_faults: has_flag(args, "--faults"),
+        ..ServiceConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--watchdog") {
+        let secs: f64 = v
+            .parse()
+            .ok()
+            .filter(|&s| s > 0.0 && f64::is_finite(s))
+            .ok_or("--watchdog needs a positive number of seconds")?;
+        config.watchdog = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = flag_value(args, "--max-sessions") {
+        config.max_sessions = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--max-sessions needs a positive integer")?;
+    }
+    if let Some(v) = flag_value(args, "--queue-soft") {
+        config.queue_soft_cost = v
+            .parse()
+            .map_err(|_| "--queue-soft needs a cost in tree nodes".to_owned())?;
+    }
+    if let Some(v) = flag_value(args, "--queue-hard") {
+        config.queue_hard_cost = v
+            .parse()
+            .map_err(|_| "--queue-hard needs a cost in tree nodes".to_owned())?;
+    }
+    if config.queue_soft_cost > config.queue_hard_cost {
+        return Err("--queue-soft must not exceed --queue-hard".to_owned());
+    }
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| "--jobs needs an integer".to_owned())?;
+            if n == 0 {
+                default_jobs()
+            } else {
+                n
+            }
+        }
+        None => 1,
+    };
+    Ok((config, jobs))
+}
+
+/// The resident service: one command per stdin line, one response line
+/// per request on stdout (see `help` inside the session). A parse error
+/// or a contained crash answers `err …` and keeps serving; EOF or
+/// `quit` shuts down cleanly with `ok bye`.
+fn cmd_serve(args: &[String]) -> Result<Outcome, String> {
+    let (config, jobs) = parse_serve_config(args)?;
+    let mut service = Service::new(config);
+    let stdin = std::io::stdin().lock();
+    let mut out = std::io::stdout().lock();
+    let mut batching = false;
+    let say = |out: &mut dyn Write, line: &str| -> Result<(), String> {
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())
+    };
+    let mut lines = stdin.lines();
+    while let Some(line) = lines.next() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let command = match parse_line(trimmed) {
+            Ok(c) => c,
+            Err(e) => {
+                say(&mut out, &Response::Error(e).to_string())?;
+                continue;
+            }
+        };
+        match command {
+            Command::Quit => break,
+            Command::Help => say(&mut out, varbuf::core::service::PROTOCOL_HELP)?,
+            Command::Begin => {
+                batching = true;
+                say(&mut out, "ok begin")?;
+            }
+            Command::Commit => {
+                batching = false;
+                for response in service.drain(jobs) {
+                    say(&mut out, &response.to_string())?;
+                }
+                say(&mut out, "ok commit")?;
+            }
+            Command::Inject { id, fault } => {
+                say(&mut out, &service.inject(id, fault).to_string())?;
+            }
+            Command::LoadTree { spatial } => {
+                // Collect the inline net until its `end` terminator.
+                let mut text = String::new();
+                let mut terminated = false;
+                for body in lines.by_ref() {
+                    let body = body.map_err(|e| format!("stdin read failed: {e}"))?;
+                    if body.trim() == "end" {
+                        terminated = true;
+                        break;
+                    }
+                    text.push_str(&body);
+                    text.push('\n');
+                }
+                if !terminated {
+                    say(&mut out, "err malformed `load` block hit EOF before `end`")?;
+                    continue;
+                }
+                match read_tree(text.as_bytes()) {
+                    Ok(tree) => {
+                        let request = Request::Open {
+                            tree: Box::new(tree),
+                            spatial,
+                        };
+                        if batching {
+                            service.submit(request);
+                        } else {
+                            say(&mut out, &service.execute(request).to_string())?;
+                        }
+                    }
+                    Err(e) => {
+                        say(&mut out, &format!("err malformed bad tree: {e}"))?;
+                    }
+                }
+            }
+            Command::Req(request) => {
+                if batching {
+                    service.submit(request);
+                } else {
+                    say(&mut out, &service.execute(request).to_string())?;
+                }
+            }
+        }
+    }
+    // Anything still queued at shutdown is abandoned deliberately; the
+    // session stats have already counted its admissions.
+    say(&mut out, "ok bye")?;
+    Ok(Outcome::Clean)
+}
+
 fn cmd_skew(args: &[String]) -> Result<Outcome, String> {
     let path = args.first().ok_or("skew needs a FILE")?;
     let tree = load_tree(path)?;
-    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args));
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args)?);
     let wid = optimize_statistical(&tree, &model, VariationMode::WithinDie, &Options::default())
         .map_err(|e| e.to_string())?;
     let analysis =

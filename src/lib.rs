@@ -50,17 +50,22 @@ pub mod prelude {
     pub use varbuf_core::design::{Design, DesignNet};
     pub use varbuf_core::dp::{
         fallback_cascade, optimize_governed, optimize_governed_detailed, optimize_with_rule,
-        optimize_with_sizing, DpOptions, GovernedResult, RootSelection, WireSizing,
+        optimize_with_sizing, DpOptions, GovernedResult, RootSelection, RunControls, WireSizing,
     };
     pub use varbuf_core::driver::{
         optimize_all_modes, optimize_nominal, optimize_statistical, OptimizeResult, Options,
     };
-    pub use varbuf_core::governor::{Budget, Degradation, DegradationEvent};
+    pub use varbuf_core::faultinject::{RequestFault, RequestFaults};
+    pub use varbuf_core::governor::{Budget, CancelToken, Degradation, DegradationEvent};
     pub use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
     pub use varbuf_core::prune::{FourParam, OneParam, PruningRule, RuleConfigError, TwoParam};
+    pub use varbuf_core::service::{
+        parse_line, parse_open_spec, Command, OptimizeParams, Request, Response, RuleChoice,
+        Service, ServiceConfig, ServiceStats, SessionHandle, SessionStore,
+    };
     pub use varbuf_core::skew::{SkewAnalysis, SkewAnalyzer};
     pub use varbuf_core::yield_eval::{YieldAnalysis, YieldEvaluator};
-    pub use varbuf_core::InsertionError;
+    pub use varbuf_core::{InsertionError, RequestError};
     pub use varbuf_rctree::generate::{
         generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec,
     };

@@ -1,7 +1,9 @@
 //! End-to-end tests of the `varbuf` command-line interface, driving the
-//! real binary through generate → info → optimize → skew.
+//! real binary through generate → info → optimize → skew, plus the
+//! resident `serve` mode over a stdin/stdout pipe.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Stdio};
 
 fn varbuf() -> Command {
     Command::new(env!("CARGO_BIN_EXE_varbuf"))
@@ -20,6 +22,32 @@ fn run(args: &[&str]) -> (bool, String, String) {
 /// contract distinguishes 0 (clean) from 2 (degraded success).
 fn run_code(args: &[&str]) -> (i32, String, String) {
     let out = varbuf().args(args).output().expect("binary runs");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Pipes `script` into `varbuf serve` with the given extra flags and
+/// returns `(exit_code, stdout, stderr)`.
+fn serve(flags: &[&str], script: &str) -> (i32, String, String) {
+    let mut child = varbuf()
+        .arg("serve")
+        .args(flags)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // A broken pipe is fine: flag-validation failures exit before
+    // reading stdin at all.
+    let _ = child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes());
+    let out = child.wait_with_output().expect("serve exits");
     (
         out.status.code().expect("no signal"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -167,6 +195,171 @@ fn help_documents_exit_code_contract() {
     assert!(stdout.contains("--degrade"), "{stdout}");
     assert!(stdout.contains("exit codes"), "{stdout}");
     assert!(stdout.contains("success with degradation"), "{stdout}");
+}
+
+#[test]
+fn malformed_specs_and_flags_exit_one_without_panicking() {
+    // Inputs that used to trip generator asserts or be silently
+    // swallowed must be typed exit-1 errors.
+    for args in [
+        &["gen", "random:0"][..],
+        &["gen", "random:5:notanumber"],
+        &["gen", "htree:0"],
+        &["gen", "htree:30"],
+        &["gen", "random:5:1", "--subdivide", "0"],
+        &["gen", "random:5:1", "--subdivide", "abc"],
+    ] {
+        let (code, _, stderr) = run_code(args);
+        assert_eq!(code, 1, "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    }
+
+    let dir = std::env::temp_dir().join(format!("varbuf-cli-mal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let tree_path = dir.join("net.tree");
+    let tree = tree_path.to_str().expect("utf8 path");
+    let (ok, ..) = run(&["gen", "random:10:1", "-o", tree]);
+    assert!(ok);
+    for (args, needle) in [
+        (&["opt", tree, "--mode", "bogus"][..], "unknown --mode"),
+        (&["opt", tree, "--spatial", "bogus"], "unknown --spatial"),
+        (&["opt", tree, "--mc", "abc"], "bad --mc"),
+        (&["opt", tree, "--p", "abc"], "bad --p"),
+        (&["skew", tree, "--spatial", "bogus"], "unknown --spatial"),
+    ] {
+        let (code, _, stderr) = run_code(args);
+        assert_eq!(code, 1, "{args:?}: {stderr}");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_answers_a_scripted_session_and_contains_a_panic() {
+    let (code, stdout, stderr) = serve(
+        &["--faults"],
+        "ping\n\
+         open random:8:7\n\
+         opt s0.0\n\
+         inject panic 2\n\
+         opt s0.0\n\
+         opt s0.0\n\
+         close s0.0\n\
+         opt s0.0\n\
+         stats\n\
+         quit\n",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "ok pong");
+    assert!(lines[1].starts_with("ok open session=s0.0"), "{stdout}");
+    assert!(lines[2].starts_with("ok opt id=1"), "{stdout}");
+    assert_eq!(lines[3], "ok inject id=2");
+    // The injected panic is contained: a structured error, then the
+    // session only accepts close, then the handle goes stale.
+    assert!(
+        lines[4].starts_with("err internal contained panic"),
+        "{stdout}"
+    );
+    assert!(lines[5].starts_with("err poisoned"), "{stdout}");
+    assert!(lines[6].starts_with("ok close"), "{stdout}");
+    assert!(lines[7].starts_with("err stale"), "{stdout}");
+    assert!(lines[8].contains("panics=1"), "{stdout}");
+    assert_eq!(*lines.last().unwrap(), "ok bye");
+}
+
+#[test]
+fn serve_batches_preserve_order_and_malformed_lines_do_not_kill_it() {
+    let (code, stdout, _) = serve(
+        &[],
+        "open random:6:3\n\
+         begin\n\
+         opt s0.0\n\
+         opt s0.0\n\
+         close s0.0\n\
+         commit\n\
+         open random:0\n\
+         inject panic 1\n\
+         frobnicate\n\
+         quit\n",
+    );
+    assert_eq!(code, 0);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[1].starts_with("ok begin"));
+    assert!(lines[2].starts_with("ok opt id=1"), "{stdout}");
+    assert!(lines[3].starts_with("ok opt id=2"), "{stdout}");
+    assert!(lines[4].starts_with("ok close"), "{stdout}");
+    assert_eq!(lines[5], "ok commit");
+    // Bad spec, faults not enabled, unknown verb: typed errors, service
+    // keeps going.
+    assert!(lines[6].starts_with("err malformed"), "{stdout}");
+    assert!(lines[7].starts_with("err faults-disabled"), "{stdout}");
+    assert!(lines[8].starts_with("err malformed"), "{stdout}");
+    assert_eq!(*lines.last().unwrap(), "ok bye");
+}
+
+#[test]
+fn serve_watchdog_cancels_and_sheds_under_overload() {
+    // Watchdog: a delay-faulted request comes back cancelled with its
+    // best-so-far design rather than hanging the service.
+    let (code, stdout, _) = serve(
+        &["--faults", "--watchdog", "0.05"],
+        "open random:8:7\n\
+         inject delay 1 9\n\
+         opt s0.0\n\
+         quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("cancelled=1"), "{stdout}");
+
+    // Overload: the third queued request exceeds the hard queue budget
+    // and is shed with a typed retry-after; order is preserved.
+    let (code, stdout, _) = serve(
+        &["--queue-soft", "17", "--queue-hard", "34"],
+        "open random:8:7\n\
+         begin\n\
+         opt s0.0\n\
+         opt s0.0\n\
+         opt s0.0\n\
+         commit\n\
+         stats\n\
+         quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("err overloaded"), "{stdout}");
+    assert!(stdout.contains("retry_after_ms="), "{stdout}");
+    assert!(stdout.contains("shed=1"), "{stdout}");
+}
+
+#[test]
+fn serve_loads_an_inline_tree() {
+    // Round-trip a generated net through the protocol's `load` block.
+    let (ok, tree_text, _) = run(&["gen", "random:5:4"]);
+    assert!(ok);
+    let script = format!("load\n{tree_text}end\nopt s0.0\nclose s0.0\nquit\n");
+    let (code, stdout, _) = serve(&[], &script);
+    assert_eq!(code, 0);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("ok open session=s0.0"), "{stdout}");
+    assert!(lines[1].starts_with("ok opt id=1"), "{stdout}");
+    assert!(lines[2].starts_with("ok close"), "{stdout}");
+
+    // A truncated load block is a typed error, not a hang or a panic.
+    let (code, stdout, _) = serve(&[], "load\nvarbuf-tree v1\n");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("err malformed"), "{stdout}");
+}
+
+#[test]
+fn serve_validates_startup_flags() {
+    let (code, _, stderr) = serve(&["--watchdog", "-1"], "quit\n");
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--watchdog"), "{stderr}");
+
+    let (code, _, stderr) = serve(&["--queue-soft", "100", "--queue-hard", "50"], "quit\n");
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--queue-soft"), "{stderr}");
 }
 
 #[test]

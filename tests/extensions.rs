@@ -149,8 +149,7 @@ fn governed_wire_sizing_degrades_but_keeps_consistent_widths() {
         &sizing,
         &DpOptions::default(),
         &budget,
-        None,
-        None,
+        RunControls::default(),
     )
     .expect("governed sizing completes");
     assert!(governed.degradation.degraded());
