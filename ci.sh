@@ -7,7 +7,12 @@
 #                         an injected panic: the service must contain the
 #                         crash and shut down cleanly)
 #   5. smoke bench       (scaling bench, shrunk via VARBUF_BENCH_SMOKE,
-#                         must emit a parseable BENCH_dp.json)
+#                         must emit a parseable BENCH_dp.json whose
+#                         headline ratio stays under the checked-in
+#                         results/ratchet.json ceiling)
+#   6. profile smoke     (profile_stat --json: the per-phase attribution
+#                         report must be well-formed — finite phase
+#                         timers that fit inside the wall clock)
 # No network access is required; the workspace has no external
 # dependencies.
 set -euo pipefail
@@ -57,6 +62,34 @@ for key in ('pruned_by_bound_ratio', 'pruned_by_dominance_ratio',
     v = r.get(key)
     if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
         sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
+# The headline ratio must say which size produced it, and the engine
+# must report both the requested and the effective worker count (the
+# thread clamp is invisible in the request otherwise).
+for key in ('stat_vs_det_ratio_sinks', 'jobs_requested', 'jobs_effective'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 1:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite positive number')
+# Li-Shi and lane-kernel telemetry: counters non-negative, speedups
+# finite and positive (they may dip below 1.0 on a noisy host — the
+# ratchet below is the regression gate, these are schema checks).
+if not isinstance(r.get('lishi_skipped'), int) or r['lishi_skipped'] < 0:
+    sys.exit('BENCH_dp.json: lishi_skipped missing or negative')
+for key in ('lishi_speedup_stat', 'lishi_speedup_det',
+            'lane_variance_speedup', 'lane_covariance_speedup'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite positive number')
+# Ratchet: the statistical/deterministic gap must not regress past the
+# checked-in ceiling. The smoke ratio is noisy and measured at a small
+# N, so the ceiling carries deliberate headroom — it catches collapses,
+# not single-digit drift.
+ratchet = json.load(open('results/ratchet.json'))
+ceiling = ratchet['stat_vs_det_ratio_max']
+if ratio > ceiling:
+    sys.exit(f'BENCH_dp.json: stat_vs_det_ratio {ratio:.2f} exceeds the '
+             f'results/ratchet.json ceiling {ceiling} — the statistical DP '
+             f'regressed (or the deterministic baseline got faster; re-ratchet '
+             f'deliberately if so)')
 # Resident-service telemetry: latency percentiles and throughput must be
 # positive finite numbers, the percentiles ordered, and the overload
 # burst must actually have shed work.
@@ -70,7 +103,8 @@ shed = r.get('service_shed')
 if not isinstance(shed, (int, float)) or shed < 1:
     sys.exit('BENCH_dp.json: service_shed missing or zero')
 groups = {b.get('group') for b in r.get('benches', [])}
-for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service'):
+for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service',
+                 'lishi', 'lane_kernels'):
     if required not in groups:
         sys.exit(f'BENCH_dp.json: {required} bench group missing')
 print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '
@@ -80,5 +114,44 @@ EOF
 else
   echo "(python3 unavailable; skipped BENCH_dp.json schema check)"
 fi
+
+echo "==> profile smoke (profile_stat --json: phase attribution well-formed)"
+cargo build --release -p varbuf-bench --examples
+PROFILE_JSON=$(mktemp /tmp/profile_stat.XXXXXX.json)
+./target/release/examples/profile_stat 64 --json "$PROFILE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PROFILE_JSON" <<'EOF'
+import json, math, sys
+r = json.load(open(sys.argv[1]))
+# Every phase timer and counter the attribution tables are built from
+# must be present and finite; the phases must fit inside the wall clock
+# (generous slack: Instant overhead inflates fine-grained intervals).
+for key in ('wall_ns', 'merge_ns', 'prune_ns', 'buffer_ns', 'bound_ns'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+        sys.exit(f'profile_stat: {key} missing or not a finite non-negative number')
+if r['wall_ns'] <= 0:
+    sys.exit('profile_stat: wall_ns must be positive')
+phase_sum = r['merge_ns'] + r['prune_ns'] + r['buffer_ns'] + r['bound_ns']
+if phase_sum > 1.5 * r['wall_ns']:
+    sys.exit(f'profile_stat: phase timers ({phase_sum:.0f} ns) wildly exceed '
+             f'the wall clock ({r["wall_ns"]:.0f} ns) — attribution is broken')
+for key in ('sinks', 'nodes_processed', 'solutions_generated',
+            'solutions_pruned', 'pruned_by_bound', 'pruned_by_dominance',
+            'lishi_skipped', 'max_solutions_per_node',
+            'jobs_requested', 'jobs_effective'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+        sys.exit(f'profile_stat: {key} missing or not a finite non-negative number')
+if r['solutions_generated'] < 1 or r['nodes_processed'] < 1:
+    sys.exit('profile_stat: counters say the run did no work')
+print(f"profile_stat ok: wall {r['wall_ns']/1e6:.2f} ms, phases "
+      f"{phase_sum/1e6:.2f} ms, {int(r['solutions_generated'])} generated, "
+      f"{int(r['lishi_skipped'])} lishi-skipped")
+EOF
+else
+  echo "(python3 unavailable; skipped profile_stat schema check)"
+fi
+rm -f "$PROFILE_JSON"
 
 echo "==> ci.sh: all gates passed"

@@ -17,9 +17,9 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use varbuf_bench::harness::{alloc_counter, black_box, BenchConfig, Bencher, JsonReport};
-use varbuf_core::det::optimize_deterministic;
+use varbuf_core::det::{optimize_deterministic, optimize_deterministic_with};
 use varbuf_core::dp::DpOptions;
-use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
+use varbuf_core::pool::{default_jobs, optimize_batch, optimize_batch_forced, BatchRequest};
 use varbuf_core::prune::TwoParam;
 use varbuf_core::service::{OptimizeParams, Request, Response, Service, ServiceConfig};
 use varbuf_core::RequestError;
@@ -77,6 +77,7 @@ fn main() {
     };
     let mut group = Bencher::new("dp_scaling").with_config(config);
     let mut last_ratio = f64::NAN;
+    let mut last_ratio_sinks = 0usize;
     for &sinks in sizes {
         let tree = generate_benchmark(&BenchmarkSpec::random("scale", sinks, 77)).subdivided(500.0);
         let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
@@ -121,12 +122,17 @@ fn main() {
         // wall-clock ratio at identical tree size (ISSUE 3's figure of
         // merit; the committed baseline was ~29x at N=1024).
         last_ratio = stat_median.as_secs_f64() / det_median.as_secs_f64().max(f64::MIN_POSITIVE);
+        last_ratio_sinks = sinks;
         report.meta_num(&format!("stat_vs_det_ratio_{sinks}"), last_ratio);
     }
     group.finish();
     report.record_group("dp_scaling", group.results());
+    // The headline ratio always aliases the largest size *actually run*
+    // (a smoke run shrinks the size list), so the size it came from is
+    // recorded alongside — consumers must not assume N=1024.
     report.meta_num("stat_vs_det_ratio", last_ratio);
-    println!("stat vs det ratio (largest size): {last_ratio:.2}x");
+    report.meta_num("stat_vs_det_ratio_sinks", last_ratio_sinks as f64);
+    println!("stat vs det ratio (N={last_ratio_sinks}): {last_ratio:.2}x");
 
     // Bound-guided pruning: the same 2P-WID run with the deterministic
     // bound filter on vs off at the largest scaling size, plus the
@@ -147,6 +153,10 @@ fn main() {
         .result
         .stats;
     let generated = bg_stats.solutions_generated.max(1) as f64;
+    // What the engine actually ran with, next to what was asked for —
+    // the clamp to available threads is invisible in the request.
+    report.meta_num("jobs_requested", bg_stats.jobs_requested as f64);
+    report.meta_num("jobs_effective", bg_stats.jobs_effective as f64);
     report.meta_num("pruned_by_bound", bg_stats.pruned_by_bound as f64);
     report.meta_num("pruned_by_dominance", bg_stats.pruned_by_dominance as f64);
     report.meta_num(
@@ -184,6 +194,48 @@ fn main() {
         100.0 * bg_stats.pruned_by_dominance as f64 / generated,
     );
 
+    // Li–Shi generation skip: the same 2P-WID run (mean-keyed, so the
+    // skip arms) with `use_lishi` on — the default — vs off, and the
+    // deterministic DP both ways. The skip is output-identical by the
+    // oracle suites, so any delta here is pure avoided generation work.
+    report.meta_num("lishi_skipped", bg_stats.lishi_skipped as f64);
+    let mut ls_off_reqs = vec![request(&bg_tree, &bg_model, jobs)];
+    ls_off_reqs[0].options.use_lishi = false;
+    let mut ls = Bencher::new("lishi").with_config(config);
+    let ls_on = ls
+        .bench(&format!("stat_on/{bg_sinks}"), || {
+            optimize_batch(black_box(&on_reqs), 1)
+        })
+        .median;
+    let ls_off = ls
+        .bench(&format!("stat_off/{bg_sinks}"), || {
+            optimize_batch(black_box(&ls_off_reqs), 1)
+        })
+        .median;
+    let det_on = ls
+        .bench(&format!("det_on/{bg_sinks}"), || {
+            optimize_deterministic_with(black_box(&bg_tree), bg_model.library(), true)
+                .expect("completes")
+        })
+        .median;
+    let det_off = ls
+        .bench(&format!("det_off/{bg_sinks}"), || {
+            optimize_deterministic_with(black_box(&bg_tree), bg_model.library(), false)
+                .expect("completes")
+        })
+        .median;
+    ls.finish();
+    report.record_group("lishi", ls.results());
+    let lishi_stat = ls_off.as_secs_f64() / ls_on.as_secs_f64().max(f64::MIN_POSITIVE);
+    let lishi_det = det_off.as_secs_f64() / det_on.as_secs_f64().max(f64::MIN_POSITIVE);
+    report.meta_num("lishi_speedup_stat", lishi_stat);
+    report.meta_num("lishi_speedup_det", lishi_det);
+    println!(
+        "Li-Shi skip at N={bg_sinks}: stat {lishi_stat:.2}x, det {lishi_det:.2}x \
+         ({} generations skipped)",
+        bg_stats.lishi_skipped
+    );
+
     // Batch throughput: independent nets fanned across the worker pool.
     let (net_count, net_sinks) = if smoke { (3, 24) } else { (8, 64) };
     let trees: Vec<RoutingTree> = (0..net_count)
@@ -216,9 +268,13 @@ fn main() {
     let mut batch = Bencher::new("batch_throughput").with_config(config);
     let mut medians = [Duration::ZERO; 2];
     for (slot, workers) in [1usize, 4].into_iter().enumerate() {
+        // Forced: the multi-worker slot must exercise the pool even on a
+        // host with fewer threads, or the reported "speedup" silently
+        // compares jobs=1 against itself (threads_available in the meta
+        // says how to judge the number).
         medians[slot] = batch
             .bench(&format!("{net_count}nets/jobs{workers}"), || {
-                optimize_batch(black_box(&reqs), workers)
+                optimize_batch_forced(black_box(&reqs), workers)
             })
             .annotate_dp(total_generated, peak_list)
             .median;
@@ -290,13 +346,17 @@ fn main() {
     }
     let probe = varbuf_stats::ColumnForm::from_canonical(&interner, &form_a);
     let mut cov_out = Vec::new();
-    kern.bench("batched_covariance/64x48", || {
-        batch.covariances_with_into(&probe, &mut cov_out);
-        cov_out[0]
-    });
-    kern.bench("sparse_covariance/64x48", || {
-        forms.iter().map(|f| f.covariance(&form_a)).sum::<f64>()
-    });
+    let lane_cov = kern
+        .bench("batched_covariance/64x48", || {
+            batch.covariances_with_into(&probe, &mut cov_out);
+            cov_out[0]
+        })
+        .median;
+    let sparse_cov = kern
+        .bench("sparse_covariance/64x48", || {
+            forms.iter().map(|f| f.covariance(&form_a)).sum::<f64>()
+        })
+        .median;
     kern.bench("prob_greater_normal", || {
         prob_greater_normal(
             black_box(-100.0),
@@ -308,6 +368,41 @@ fn main() {
     });
     kern.finish();
     report.record_group("canonical_kernels", kern.results());
+
+    // Lane-blocked batch kernels against their sparse per-form
+    // references — the microbench delta the fixed-stride SoA layout is
+    // accountable to. Both sides compute the same 64 moments; the lane
+    // side sweeps zero-padded `8·⌈48/8⌉` rows branch-free, the sparse
+    // side walks each form's live terms.
+    let mut lanes = Bencher::new("lane_kernels").with_config(kernel_config);
+    let mut var_out = Vec::new();
+    let lane_var = lanes
+        .bench("lane_variance/64x48", || {
+            batch.variances_into(&mut var_out);
+            var_out[0]
+        })
+        .median;
+    let sparse_var = lanes
+        .bench("sparse_variance/64x48", || {
+            forms.iter().map(CanonicalForm::variance).sum::<f64>()
+        })
+        .median;
+    let mut env_lo = Vec::new();
+    let mut env_hi = Vec::new();
+    lanes.bench("lane_envelopes/64x48", || {
+        batch.envelopes_into(3.0, &mut env_lo, &mut env_hi);
+        env_lo[0]
+    });
+    lanes.finish();
+    report.record_group("lane_kernels", lanes.results());
+    let var_speedup = sparse_var.as_secs_f64() / lane_var.as_secs_f64().max(f64::MIN_POSITIVE);
+    let cov_speedup = sparse_cov.as_secs_f64() / lane_cov.as_secs_f64().max(f64::MIN_POSITIVE);
+    report.meta_num("lane_variance_speedup", var_speedup);
+    report.meta_num("lane_covariance_speedup", cov_speedup);
+    println!(
+        "lane kernels vs sparse references (64x48): variance {var_speedup:.2}x, \
+         covariance {cov_speedup:.2}x"
+    );
 
     // Resident service: per-request round-trip latency (p50/p99 over
     // individual samples, not Bencher medians), sustained throughput,

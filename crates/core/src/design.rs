@@ -113,7 +113,7 @@ impl Design {
         // Union of every source any net references.
         let mut sources = BTreeSet::new();
         for net in &self.nets {
-            sources.extend(net.silicon_rat.terms().iter().map(|&(id, _)| id));
+            sources.extend(net.silicon_rat.term_ids().iter().copied());
         }
         let sources: Vec<_> = sources.into_iter().collect();
 

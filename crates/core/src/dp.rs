@@ -30,7 +30,8 @@ use crate::governor::{
 };
 use crate::metrics::DpStats;
 use crate::ops::{
-    buffer_extend_stat_into, driver_rat_stat, merge_pair_stat_into, wire_extend_stat_into,
+    buffer_extend_stat_into, driver_rat_stat, merge_pair_stat_into, wire_extend_stat_in_place,
+    wire_extend_stat_into,
 };
 use crate::prune::{prune_solutions_keyed, MergeStrategy, PruneScratch, PruningRule, TwoParam};
 use crate::solution::StatSolution;
@@ -110,6 +111,40 @@ pub struct DpOptions {
     /// completion), so this is a pure guard band: larger keeps more
     /// candidates, the result never depends on it.
     pub bound_k: f64,
+    /// Li–Shi candidate pruning (arXiv:0710.4691): skip generating a
+    /// buffered candidate whose keys are already dominated by a list
+    /// entry — the keyed dominance sweep would remove it in the same
+    /// pass, so the surviving list (and every output bit) is unchanged;
+    /// only the generated/pruned counters differ. Armed only for rules
+    /// whose keys are plain means ([`PruningRule::mean_keys`], where the
+    /// skipped candidate's keys are computable without building its
+    /// forms) and, like bounding, disarmed under a governed run with
+    /// finite budgets (list sizes feed the degradation schedule).
+    /// `--no-lishi` on the CLI.
+    pub use_lishi: bool,
+    /// Honor `jobs` literally even when it exceeds the host's available
+    /// parallelism. By default a request for more workers than the
+    /// machine has hardware threads is clamped (oversubscribed pools
+    /// only add contention — on a single-thread host `jobs = 4` measured
+    /// ~0.8× of sequential), but benchmarks probing the pool machinery
+    /// itself can force the fan-out with `--jobs-force`.
+    pub jobs_force: bool,
+}
+
+impl DpOptions {
+    /// The worker count the engine will actually use: `jobs` clamped to
+    /// the host's available parallelism unless [`jobs_force`]
+    /// (`Self::jobs_force`) is set. Recorded as
+    /// `DpStats::jobs_effective` alongside the raw request.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        let jobs = self.jobs.max(1);
+        if self.jobs_force {
+            jobs
+        } else {
+            jobs.min(crate::pool::default_jobs())
+        }
+    }
 }
 
 impl Default for DpOptions {
@@ -122,6 +157,8 @@ impl Default for DpOptions {
             jobs: 1,
             use_bounds: true,
             bound_k: 1.0,
+            use_lishi: true,
+            jobs_force: false,
         }
     }
 }
@@ -595,6 +632,10 @@ pub(crate) struct RunCtx<'a> {
     /// the parallel workers, so every engine path applies the same
     /// filter.
     pub(crate) bounds: Option<std::sync::Arc<crate::bounds::DetBounds>>,
+    /// Whether the Li–Shi generation skip is armed for this run (see
+    /// [`DpOptions::use_lishi`] for the arming conditions). Shared by the
+    /// parallel workers and the sequential engine.
+    pub(crate) lishi: bool,
 }
 
 impl<'a> RunCtx<'a> {
@@ -635,6 +676,7 @@ impl<'a> RunCtx<'a> {
             device_forms,
             segments,
             bounds: None,
+            lishi: false,
         }
     }
 
@@ -747,12 +789,17 @@ fn run_engine(
     // those sizes. (Strict runs abort rather than adapt, so the filter
     // cannot change their output — see the bounds-oracle suite.)
     let mut bound_setup = Duration::ZERO;
-    if options.use_bounds && !(governor.is_governed() && governor.budget().constrains_run()) {
+    let degradable = governor.is_governed() && governor.budget().constrains_run();
+    if options.use_bounds && !degradable {
         let t = Instant::now();
         let bounds = crate::bounds::det_bounds(&ctx, mode, options.bound_k, options.root_selection);
         ctx.bounds = bounds;
         bound_setup = t.elapsed();
     }
+    // The Li–Shi generation skip shares the bounding arm condition: it
+    // never changes the post-prune list, but it does shrink the
+    // *pre*-prune list a governed degradation schedule keys off.
+    ctx.lishi = options.use_lishi && !degradable;
 
     // Speculative parallel phase: `None` means ineligible or aborted on
     // pressure — fall through to the sequential engine with the
@@ -764,6 +811,8 @@ fn run_engine(
                 Ok((root_list, mut stats)) => {
                     stats.runtime = governor.elapsed();
                     stats.bound_time += bound_setup;
+                    stats.jobs_requested = options.jobs.max(1);
+                    stats.jobs_effective = options.effective_jobs();
                     Ok(select_winner(tree, options, &root_list, stats))
                 }
                 Err(e) => Err(e),
@@ -801,6 +850,8 @@ fn run_engine(
 
     stats.runtime = governor.elapsed();
     stats.bound_time += bound_setup;
+    stats.jobs_requested = options.jobs.max(1);
+    stats.jobs_effective = 1;
     Ok(select_winner(
         tree,
         options,
@@ -849,22 +900,42 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                 let widths = ctx.sizing.widths().len();
                 let record_width = widths > 1;
                 let t_lift = Instant::now();
-                let mut lifted = pool.take(child_list.len() * widths);
-                for s in &child_list {
-                    for wi in 0..widths {
-                        let mut out = pool.take_sol();
-                        wire_extend_stat_into(&mut out, s, ctx.segment(c, wi));
-                        if record_width {
-                            out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
-                        }
-                        sparsify(&mut out, sup.epsilon());
-                        lifted.push(out);
+                let mut lifted = if widths == 1 {
+                    // Single-width lift: the child list is consumed by this
+                    // edge, so each solution is extended where it sits —
+                    // the in-place kernel is bitwise identical to the
+                    // copying one, and the trace Arc stays untouched. The
+                    // freed estimate is taken before the extension so the
+                    // governor sees the same numbers as the copying path.
+                    let freed: usize = child_list.iter().map(solution_footprint).sum();
+                    let mut lifted = child_list;
+                    let seg = ctx.segment(c, 0);
+                    for s in &mut lifted {
+                        wire_extend_stat_in_place(s, seg);
+                        sparsify(s, sup.epsilon());
                     }
-                }
-                stats.merge_time += t_lift.elapsed();
-                let freed: usize = child_list.iter().map(solution_footprint).sum();
-                pool.put(child_list);
-                sup.note_memory(&[], freed);
+                    stats.merge_time += t_lift.elapsed();
+                    sup.note_memory(&[], freed);
+                    lifted
+                } else {
+                    let mut lifted = pool.take(child_list.len() * widths);
+                    for s in &child_list {
+                        for wi in 0..widths {
+                            let mut out = pool.take_sol();
+                            wire_extend_stat_into(&mut out, s, ctx.segment(c, wi));
+                            if record_width {
+                                out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
+                            }
+                            sparsify(&mut out, sup.epsilon());
+                            lifted.push(out);
+                        }
+                    }
+                    stats.merge_time += t_lift.elapsed();
+                    let freed: usize = child_list.iter().map(solution_footprint).sum();
+                    pool.put(child_list);
+                    sup.note_memory(&[], freed);
+                    lifted
+                };
                 stats.solutions_generated += lifted.len();
                 let before = lifted.len();
                 let t_prune = Instant::now();
@@ -910,6 +981,53 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                             let kb = b.rat_mean() - resistance * b.load_mean();
                             ka.total_cmp(&kb)
                         }) {
+                            // Li–Shi predecessor dominance: predict the
+                            // candidate's scalar keys without building its
+                            // forms and skip the (expensive) generation when
+                            // a listed solution already shadows it — i.e.
+                            // the keyed sweep in `prune_full` would sort
+                            // that solution before the appended candidate
+                            // and then discard the candidate as dominated.
+                            // Only exact for mean-keyed rules: the key
+                            // arithmetic below replicates the kernel's
+                            // nominal path bit for bit (`1.0·x = x`,
+                            // `x + (−1.0)·d = x − d`, and `copy_from`
+                            // preserves the cap form's mean), so the
+                            // surviving list is bitwise identical — only
+                            // generation counters differ.
+                            if ctx.lishi && rule.mean_keys() {
+                                let cand_load = cap_form.mean();
+                                // Written to mirror the kernel's grouping
+                                // `(1·T + (−R)·L) + (−1)·T_b` term-for-term;
+                                // the lint's rewrite is bit-identical but
+                                // hides the correspondence.
+                                #[allow(clippy::neg_multiply)]
+                                let cand_rat = (1.0 * best.rat_mean()
+                                    + (-resistance) * best.load_mean())
+                                    + (-1.0) * delay_form.mean();
+                                let shadows = |e: &StatSolution| {
+                                    use std::cmp::Ordering::{Equal, Greater, Less};
+                                    let (el, er) = (e.load_mean(), e.rat_mean());
+                                    // `e` sorts before the appended candidate
+                                    // (load asc, rat desc, stable tie → `e`
+                                    // first) under the sweep's `total_cmp`
+                                    // order…
+                                    let before = match el.total_cmp(&cand_load) {
+                                        Less => true,
+                                        Equal => cand_rat.total_cmp(&er) != Greater,
+                                        Greater => false,
+                                    };
+                                    // …and carries at least the candidate's
+                                    // RAT key, so the sweep's last-kept
+                                    // entry (the running max-RAT) discards
+                                    // the candidate.
+                                    before && er >= cand_rat
+                                };
+                                if sols.iter().any(&shadows) || buffered.iter().any(shadows) {
+                                    stats.lishi_skipped += 1;
+                                    continue;
+                                }
+                            }
                             let mut s = pool.take_sol();
                             buffer_extend_stat_into(
                                 &mut s, best, cap_form, delay_form, resistance, id, ty,
@@ -1374,7 +1492,7 @@ mod tests {
         )
         .expect("optimize");
         let layout = model.layout();
-        for &(id, _) in r.root_rat.terms() {
+        for &id in r.root_rat.term_ids() {
             assert!(
                 !layout.is_region(id),
                 "D2D form must not reference spatial regions"

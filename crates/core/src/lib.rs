@@ -72,12 +72,12 @@ pub mod solution;
 pub mod trace;
 pub mod yield_eval;
 
-pub use det::optimize_deterministic;
+pub use det::{optimize_deterministic, optimize_deterministic_with};
 pub use dp::{optimize_governed, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
 pub use error::{InsertionError, RequestError};
 pub use governor::{Budget, Degradation, DegradationEvent, Governor};
-pub use pool::{default_jobs, optimize_batch, BatchRequest};
+pub use pool::{default_jobs, optimize_batch, optimize_batch_forced, BatchRequest};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
 pub use service::{
     OptimizeParams, Request, Response, RuleChoice, Service, ServiceConfig, ServiceStats,

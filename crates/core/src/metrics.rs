@@ -37,6 +37,21 @@ pub struct DpStats {
     /// including the preorder bound construction. Summed across workers
     /// in parallel runs.
     pub bound_time: Duration,
+    /// Buffered-candidate generations the Li–Shi precheck skipped: the
+    /// candidate's predicted keys were already shadowed by a listed
+    /// solution, so the dominance sweep would have discarded it and the
+    /// form kernels never ran (0 when `use_lishi` is off or disarmed).
+    pub lishi_skipped: usize,
+    /// The `DpOptions::jobs` value the caller asked for (1 = sequential).
+    /// Recorded for bench attribution; cleared by
+    /// [`sans_times`](Self::sans_times) because it is configuration, not
+    /// computation.
+    pub jobs_requested: usize,
+    /// The worker count actually used after clamping to the host's
+    /// available parallelism (unless forced). Cleared by
+    /// [`sans_times`](Self::sans_times) — it is host-dependent while the
+    /// computed result is not.
+    pub jobs_effective: usize,
     /// Pruning-rule fallback steps a governed run took (0 = primary rule
     /// held for the whole run).
     pub rule_fallbacks: usize,
@@ -95,6 +110,8 @@ impl DpStats {
         self.prune_time = Duration::ZERO;
         self.buffer_time = Duration::ZERO;
         self.bound_time = Duration::ZERO;
+        self.jobs_requested = 0;
+        self.jobs_effective = 0;
         self
     }
 
@@ -116,6 +133,9 @@ impl DpStats {
         self.pruned_by_bound += other.pruned_by_bound;
         self.pruned_by_dominance += other.pruned_by_dominance;
         self.bound_time += other.bound_time;
+        self.lishi_skipped += other.lishi_skipped;
+        self.jobs_requested = self.jobs_requested.max(other.jobs_requested);
+        self.jobs_effective = self.jobs_effective.max(other.jobs_effective);
         self.rule_fallbacks += other.rule_fallbacks;
         self.epsilon_tightenings += other.epsilon_tightenings;
         self.list_truncations += other.list_truncations;

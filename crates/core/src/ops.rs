@@ -210,8 +210,8 @@ mod tests {
         wire_extend_stat_in_place(&mut s, &seg);
         for (a, b) in [(&reference.load, &s.load), (&reference.rat, &s.rat)] {
             assert_eq!(a.mean().to_bits(), b.mean().to_bits());
-            assert_eq!(a.terms().len(), b.terms().len());
-            for (x, y) in a.terms().iter().zip(b.terms()) {
+            assert_eq!(a.term_count(), b.term_count());
+            for (x, y) in a.terms().zip(b.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }
@@ -285,8 +285,8 @@ mod tests {
 
     fn assert_form_bits(a: &CanonicalForm, b: &CanonicalForm) {
         assert_eq!(a.mean().to_bits(), b.mean().to_bits());
-        assert_eq!(a.terms().len(), b.terms().len());
-        for (x, y) in a.terms().iter().zip(b.terms()) {
+        assert_eq!(a.term_count(), b.term_count());
+        for (x, y) in a.terms().zip(b.terms()) {
             assert_eq!(x.0, y.0);
             assert_eq!(x.1.to_bits(), y.1.to_bits());
         }

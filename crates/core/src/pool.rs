@@ -201,8 +201,32 @@ where
 /// each request runs with one intra-tree worker (the batch already
 /// saturates the pool; nesting would oversubscribe), so the output is
 /// bit-identical to running the requests in a serial loop.
+/// `jobs` beyond the host's available parallelism is clamped (an
+/// oversubscribed pool only adds contention); use
+/// [`optimize_batch_forced`] to probe the pool machinery regardless.
 #[must_use]
 pub fn optimize_batch(
+    requests: &[BatchRequest<'_>],
+    jobs: usize,
+) -> Vec<Result<GovernedResult, InsertionError>> {
+    optimize_batch_with(requests, jobs.min(default_jobs()))
+}
+
+/// [`optimize_batch`] without the available-parallelism clamp: spawns
+/// exactly `min(jobs, requests.len())` workers even on a host with
+/// fewer hardware threads. The output is bit-identical to
+/// [`optimize_batch`] either way (order-preserving result slots); this
+/// exists so determinism tests and pool diagnostics exercise the
+/// multi-worker path on any machine.
+#[must_use]
+pub fn optimize_batch_forced(
+    requests: &[BatchRequest<'_>],
+    jobs: usize,
+) -> Vec<Result<GovernedResult, InsertionError>> {
+    optimize_batch_with(requests, jobs)
+}
+
+fn optimize_batch_with(
     requests: &[BatchRequest<'_>],
     jobs: usize,
 ) -> Vec<Result<GovernedResult, InsertionError>> {
@@ -414,7 +438,7 @@ pub(crate) fn try_parallel_tree(
     governor: &Governor,
 ) -> Option<Result<(Vec<StatSolution>, DpStats), InsertionError>> {
     let tree = ctx.tree;
-    if options.jobs <= 1
+    if options.effective_jobs() <= 1
         || !governor.uses_real_clock()
         || !governor.pristine()
         || governor.cancellable()
@@ -471,7 +495,7 @@ pub(crate) fn try_parallel_tree(
         error: Mutex::new(None),
     };
 
-    let workers = options.jobs.min(n.max(1));
+    let workers = options.effective_jobs().min(n.max(1));
     let mut worker_stats: Vec<DpStats> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers - 1);

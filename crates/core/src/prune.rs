@@ -202,6 +202,18 @@ pub trait PruningRule: fmt::Debug + Send + Sync {
         let _ = keys;
         self.dominates(&sols[a], &sols[b])
     }
+
+    /// Whether this rule's scalar keys are plain means — i.e.
+    /// `load_key == load_mean()` and `rat_key == rat_mean()` with
+    /// dominance a pure `(load ≤, rat ≥)` key comparison. When true, the
+    /// DP can predict a candidate's keys from scalar arithmetic *before*
+    /// building its canonical forms, enabling the Li–Shi generation skip
+    /// (see `DpOptions::use_lishi`). Percentile-keyed rules (1P, 2P with
+    /// thresholds above 0.5, 2P9) need a σ that only exists once the
+    /// form is built, so they return the default `false`.
+    fn mean_keys(&self) -> bool {
+        false
+    }
 }
 
 /// The proposed two-parameter rule, eqs. (6)–(7).
@@ -292,6 +304,10 @@ impl PruningRule for TwoParam {
         // Thresholded 2P needs the probability integrals; prob_less /
         // prob_greater are allocation-free via `sub_stats`.
         self.dominates(&sols[a], &sols[b])
+    }
+
+    fn mean_keys(&self) -> bool {
+        self.p_load == 0.5 && self.p_rat == 0.5
     }
 }
 

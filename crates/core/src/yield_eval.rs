@@ -210,7 +210,7 @@ impl<'a> YieldEvaluator<'a> {
         // Pinning all sources at +z lowers the RAT by z·Σ|aᵢ| when the
         // worst sign is taken per source; the conventional corner instead
         // moves every source in its locally-worst direction:
-        let l1: f64 = rat.terms().iter().map(|&(_, a)| a.abs()).sum();
+        let l1: f64 = rat.term_coeffs().iter().map(|&a| a.abs()).sum();
         rat.mean() - z * l1
     }
 
@@ -235,7 +235,7 @@ impl<'a> YieldEvaluator<'a> {
                 self.model.buffer_cap_form(ty, node, loc, self.mode),
                 self.model.buffer_delay_form(ty, node, loc, self.mode),
             ] {
-                used.extend(form.terms().iter().map(|&(id, _)| id));
+                used.extend(form.term_ids().iter().copied());
             }
         }
         let mut mc = MonteCarlo::new(seed, used.into_iter().collect());

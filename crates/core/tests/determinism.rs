@@ -17,7 +17,10 @@ use varbuf_core::solution::StatSolution;
 use varbuf_core::InsertionError;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_rctree::RoutingTree;
-use varbuf_stats::{CanonicalForm, ColumnForm, FormBatch, SourceId, SplitMix64, TermInterner};
+use varbuf_stats::{
+    lane_dot_ref, lane_variance_ref, CanonicalForm, ColumnForm, FormBatch, SourceId, SplitMix64,
+    TermInterner,
+};
 use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
 
 /// SplitMix64-style seeds for the generated benchmark topologies.
@@ -64,9 +67,12 @@ fn assert_bit_identical(label: &str, seq: &StatResult, par: &StatResult) {
         par.root_rat.variance().to_bits(),
         "{label}: RAT variance bits"
     );
-    let (ts, tp) = (seq.root_rat.terms(), par.root_rat.terms());
-    assert_eq!(ts.len(), tp.len(), "{label}: term count");
-    for (a, b) in ts.iter().zip(tp) {
+    assert_eq!(
+        seq.root_rat.term_count(),
+        par.root_rat.term_count(),
+        "{label}: term count"
+    );
+    for (a, b) in seq.root_rat.terms().zip(par.root_rat.terms()) {
         assert_eq!(a.0, b.0, "{label}: term source");
         assert_eq!(a.1.to_bits(), b.1.to_bits(), "{label}: term coefficient");
     }
@@ -112,6 +118,9 @@ fn strict_parallel_is_bit_identical_for_all_rules() {
                     rule.as_ref(),
                     &DpOptions {
                         jobs,
+                        // Force the fan-out so single-thread hosts still
+                        // exercise the parallel engine under test.
+                        jobs_force: true,
                         ..DpOptions::default()
                     },
                 )
@@ -138,6 +147,9 @@ fn governed_parallel_is_bit_identical_for_all_rules() {
                     Arc::clone(&rule),
                     &DpOptions {
                         jobs,
+                        // Force the fan-out so single-thread hosts still
+                        // exercise the parallel engine under test.
+                        jobs_force: true,
                         ..DpOptions::default()
                     },
                     &Budget::unlimited(),
@@ -174,6 +186,9 @@ fn governed_under_pressure_matches_including_degradation_counters() {
                     Arc::clone(&rule),
                     &DpOptions {
                         jobs,
+                        // Force the fan-out so single-thread hosts still
+                        // exercise the parallel engine under test.
+                        jobs_force: true,
                         ..DpOptions::default()
                     },
                     &budget,
@@ -224,8 +239,8 @@ fn assert_form_bits(label: &str, a: &CanonicalForm, b: &CanonicalForm) {
         b.variance().to_bits(),
         "{label}: variance"
     );
-    assert_eq!(a.terms().len(), b.terms().len(), "{label}: term count");
-    for (x, y) in a.terms().iter().zip(b.terms()) {
+    assert_eq!(a.term_count(), b.term_count(), "{label}: term count");
+    for (x, y) in a.terms().zip(b.terms()) {
         assert_eq!(x.0, y.0, "{label}: term source");
         assert_eq!(x.1.to_bits(), y.1.to_bits(), "{label}: term coefficient");
     }
@@ -272,7 +287,10 @@ fn interner_round_trip_preserves_moments_and_rule_decisions() {
             }
         }
 
-        // 3. The SoA batch kernels agree with the per-form calls.
+        // 3. The lane-blocked batch kernels follow their documented
+        // scalar references exactly (the lane schedule reassociates the
+        // fold, so the pin is against `lane_*_ref`, not the sparse
+        // walk), and stay numerically equivalent to the sparse moments.
         let mut batch = FormBatch::new(&interner);
         for f in &forms {
             batch.push(&interner, f);
@@ -283,14 +301,24 @@ fn interner_round_trip_preserves_moments_and_rule_decisions() {
         batch.covariances_with_into(&columns[0], &mut covariances);
         for (i, f) in forms.iter().enumerate() {
             assert_eq!(
-                f.variance().to_bits(),
+                lane_variance_ref(batch.row(i)).to_bits(),
                 variances[i].to_bits(),
                 "seed{seed:x}: batched variance {i}"
             );
             assert_eq!(
-                f.covariance(&forms[0]).to_bits(),
+                lane_dot_ref(batch.row(i), columns[0].columns()).to_bits(),
                 covariances[i].to_bits(),
                 "seed{seed:x}: batched covariance {i}"
+            );
+            let tol = 1e-12 * (1.0 + f.variance().abs());
+            assert!(
+                (f.variance() - variances[i]).abs() <= tol,
+                "seed{seed:x}: lane variance {i} drifted beyond reassociation"
+            );
+            assert!(
+                (f.covariance(&forms[0]) - covariances[i]).abs()
+                    <= 1e-12 * (1.0 + f.covariance(&forms[0]).abs()),
+                "seed{seed:x}: lane covariance {i} drifted beyond reassociation"
             );
         }
 
@@ -339,6 +367,7 @@ fn strict_capacity_error_is_deterministic_across_jobs() {
             &DpOptions {
                 max_solutions_per_node: 150,
                 jobs,
+                jobs_force: true,
                 ..DpOptions::default()
             },
         )
@@ -387,8 +416,11 @@ fn batch_is_bit_identical_to_serial_loop_and_order_preserving() {
     };
     requests.push(failing);
 
+    // Forced fan-out: the host clamp would quietly serialize this on a
+    // single-thread machine, and the whole point is to drive the
+    // multi-worker result slots.
     let serial = optimize_batch(&requests, 1);
-    let batched = optimize_batch(&requests, 4);
+    let batched = varbuf_core::optimize_batch_forced(&requests, 4);
     assert_eq!(serial.len(), requests.len());
     assert_eq!(batched.len(), requests.len());
     for (i, (s, p)) in serial.iter().zip(&batched).enumerate() {

@@ -1,14 +1,22 @@
-//! The bound-guided pruning golden oracle.
+//! The Li–Shi generation-skip golden oracle.
 //!
-//! Bounding is sold as a *pure speedup*: retiring a candidate on the
-//! deterministic upstream bound must never change what the engine
-//! returns — not the winning assignment, not the wire widths, not one
-//! bit of the root RAT's canonical form. This suite replays the repo's
-//! 336-case verification matrix (rules × governance × jobs × seeds ×
-//! spatial kinds × variation modes, plus a wire-sizing subset) with
-//! `use_bounds` on and off and asserts byte-for-byte identity, then
-//! checks the filter actually fired somewhere (a vacuous pass would
-//! prove nothing).
+//! The skip (see `DpOptions::use_lishi`) predicts a buffered candidate's
+//! scalar keys before building its canonical forms and drops it when a
+//! listed solution already shadows it under the keyed prune sweep. Like
+//! bounding, it is sold as a *pure speedup*: toggling it must never
+//! change what the engine returns — not the winning assignment, not the
+//! wire widths, not one bit of the root RAT's canonical form. This
+//! suite replays the repo's 336-case verification matrix (rules ×
+//! governance × jobs × seeds × spatial kinds × variation modes, plus a
+//! wire-sizing subset) with `use_lishi` on and off and asserts
+//! byte-for-byte identity, then checks the skip actually fired
+//! somewhere (a vacuous pass would prove nothing).
+//!
+//! Arming is narrower than bounding's: besides disarming under a
+//! degradable (pressured) governor, the skip only runs for rules whose
+//! scalar keys are plain means — in this matrix, the default 2P rule.
+//! Percentile-keyed rules (1P, 2P9) and the 4P partial order must
+//! report zero skips even when armed.
 
 use std::sync::Arc;
 use varbuf_core::dp::{
@@ -25,12 +33,12 @@ const SEEDS: [u64; 3] = [0x9E37_79B9, 0x85EB_CA6B, 0xC2B2_AE35];
 
 #[derive(Clone, Copy)]
 enum Gov {
-    /// `optimize_with_sizing`: hard caps, no degradation — bounds armed.
+    /// `optimize_with_sizing`: hard caps, no degradation — skip armed.
     Strict,
-    /// Governed with `Budget::unlimited()` — cannot degrade, bounds armed.
+    /// Governed with `Budget::unlimited()` — cannot degrade, skip armed.
     Governed,
-    /// Governed with a tight solution budget — degradation schedule
-    /// depends on list sizes, so bounding must disarm itself.
+    /// Governed with a tight solution budget — the degradation schedule
+    /// keys off pre-prune list sizes, so the skip must disarm itself.
     Pressured,
 }
 
@@ -57,13 +65,13 @@ fn run_case(
     sizing: &WireSizing,
     gov: Gov,
     jobs: usize,
-    use_bounds: bool,
+    use_lishi: bool,
 ) -> StatResult {
     let options = DpOptions {
         jobs,
         // Forced so single-thread hosts still cover the parallel engine.
         jobs_force: true,
-        use_bounds,
+        use_lishi,
         ..DpOptions::default()
     };
     match gov {
@@ -118,27 +126,33 @@ fn assert_results_identical(label: &str, on: &StatResult, off: &StatResult) {
     }
 }
 
-fn rule_suite() -> Vec<(&'static str, Arc<dyn PruningRule>, usize)> {
+/// `(name, rule, sinks, mean_keyed)` — the last field says whether the
+/// skip is allowed to fire at all under this rule.
+fn rule_suite() -> Vec<(&'static str, Arc<dyn PruningRule>, usize, bool)> {
     vec![
         (
             "1P",
             Arc::new(OneParam::default()) as Arc<dyn PruningRule>,
             40,
+            false,
         ),
         (
             "2P",
             Arc::new(TwoParam::default()) as Arc<dyn PruningRule>,
             40,
+            true,
         ),
         (
             "2P9",
             Arc::new(TwoParam::new(0.9, 0.9)) as Arc<dyn PruningRule>,
             40,
+            false,
         ),
         (
             "4P",
             Arc::new(FourParam::default()) as Arc<dyn PruningRule>,
             6,
+            false,
         ),
     ]
 }
@@ -149,15 +163,15 @@ const KINDS: [SpatialKind; 2] = [SpatialKind::Homogeneous, SpatialKind::Heteroge
 const MODES: [VariationMode; 2] = [VariationMode::DieToDie, VariationMode::WithinDie];
 
 #[test]
-fn bounding_never_changes_any_output_bit() {
+fn lishi_skip_never_changes_any_output_bit() {
     let mut cases = 0usize;
-    let mut retired_total = 0usize;
+    let mut skipped_total = 0usize;
     let single = WireSizing::single();
     let sized = WireSizing::default_three();
 
     // 288 unsized cases: 4 rules × 3 governance levels × 2 jobs ×
     // 3 seeds × 2 spatial kinds × 2 variation modes.
-    for (rule_name, rule, sinks) in rule_suite() {
+    for (rule_name, rule, sinks, mean_keyed) in rule_suite() {
         for &seed in &SEEDS {
             let tree = generate_benchmark(&BenchmarkSpec::random("oracle", sinks, seed));
             for kind in KINDS {
@@ -173,17 +187,18 @@ fn bounding_never_changes_any_output_bit() {
                             let off =
                                 run_case(&tree, &model, mode, &rule, &single, gov, jobs, false);
                             assert_results_identical(&label, &on, &off);
-                            if gov.armed() {
-                                retired_total += on.stats.pruned_by_bound;
+                            if gov.armed() && mean_keyed {
+                                skipped_total += on.stats.lishi_skipped;
                             } else {
                                 assert_eq!(
-                                    on.stats.pruned_by_bound, 0,
-                                    "{label}: pressured runs must disarm bounding"
+                                    on.stats.lishi_skipped, 0,
+                                    "{label}: skip must stay disarmed (pressured governor \
+                                     or non-mean-keyed rule)"
                                 );
                             }
                             assert_eq!(
-                                off.stats.pruned_by_bound, 0,
-                                "{label}: disabled runs must not bound-prune"
+                                off.stats.lishi_skipped, 0,
+                                "{label}: disabled runs must not skip"
                             );
                             cases += 1;
                         }
@@ -194,8 +209,9 @@ fn bounding_never_changes_any_output_bit() {
     }
 
     // 48 sized cases: the 2P rule re-run with the three-width sizing
-    // table over 2 seeds (the sized decision space multiplies candidate
-    // counts, so this is where an unsound bound would show first).
+    // table over 2 seeds (sizing multiplies the buffered-candidate
+    // count per node, so this is where an unsound skip would show
+    // first).
     let two_p: Arc<dyn PruningRule> = Arc::new(TwoParam::default());
     for &seed in &SEEDS[..2] {
         let tree = generate_benchmark(&BenchmarkSpec::random("oracle-sized", 40, seed));
@@ -212,7 +228,12 @@ fn bounding_never_changes_any_output_bit() {
                         let off = run_case(&tree, &model, mode, &two_p, &sized, gov, jobs, false);
                         assert_results_identical(&label, &on, &off);
                         if gov.armed() {
-                            retired_total += on.stats.pruned_by_bound;
+                            skipped_total += on.stats.lishi_skipped;
+                        } else {
+                            assert_eq!(
+                                on.stats.lishi_skipped, 0,
+                                "{label}: pressured runs must disarm the skip"
+                            );
                         }
                         cases += 1;
                     }
@@ -223,7 +244,8 @@ fn bounding_never_changes_any_output_bit() {
 
     assert_eq!(cases, 336, "oracle matrix must cover exactly 336 cases");
     assert!(
-        retired_total > 0,
-        "the bound filter never fired across the armed matrix — the oracle is vacuous"
+        skipped_total > 0,
+        "the Li–Shi skip never fired across the armed mean-keyed matrix — \
+         the oracle is vacuous"
     );
 }

@@ -13,9 +13,32 @@
 //! the coefficient vectors. Terms are stored sparsely, sorted by
 //! [`SourceId`], which keeps every operation `O(k)` in the number of live
 //! terms and makes merging two forms a single sorted walk.
+//!
+//! # Memory layout
+//!
+//! Terms are stored **structure-of-arrays**: one `Vec<SourceId>` of sorted
+//! ids and one parallel `Vec<f64>` of coefficients, instead of a single
+//! `Vec<(SourceId, f64)>`. Two effects pay for the split on the DP hot
+//! path. The id probes that drive every sorted walk read a dense `u32`
+//! array (4 bytes per term instead of a 16-byte padded pair), and the
+//! bulk run appends of the linear-combination kernels become straight-line
+//! `out[i] = k · src[i]` loops over `f64` slices that LLVM auto-vectorizes
+//! — the interleaved pair layout defeated vectorization entirely. All
+//! kernels perform the identical floating-point operations in the
+//! identical order, so every result is bit-for-bit what the
+//! array-of-pairs layout produced.
 
 use crate::gaussian::{norm_cdf, norm_quantile};
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Matched-position scratch for [`CanonicalForm::add_scaled_assign`]:
+    /// pass 1 records the index at which each of `other`'s sources landed
+    /// so the no-insertion update pass is a direct scatter instead of a
+    /// second, identical probe walk over `self`'s id array.
+    static ASA_POSITIONS: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Identifier of one independent `N(0, 1)` variation source.
 ///
@@ -33,8 +56,9 @@ impl fmt::Display for SourceId {
 
 /// A sparse first-order canonical form `v0 + Σ aᵢ·Xᵢ`.
 ///
-/// Invariant: `terms` is sorted by [`SourceId`] with no duplicate ids and no
-/// exactly-zero coefficients.
+/// Invariant: `ids` is sorted strictly ascending with no duplicates,
+/// `coeffs` is the parallel coefficient array (same length), and no
+/// coefficient is exactly zero.
 ///
 /// ```
 /// use varbuf_stats::canonical::{CanonicalForm, SourceId};
@@ -45,7 +69,8 @@ impl fmt::Display for SourceId {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CanonicalForm {
     nominal: f64,
-    terms: Vec<(SourceId, f64)>,
+    ids: Vec<SourceId>,
+    coeffs: Vec<f64>,
 }
 
 impl CanonicalForm {
@@ -54,7 +79,8 @@ impl CanonicalForm {
     pub fn constant(nominal: f64) -> Self {
         Self {
             nominal,
-            terms: Vec::new(),
+            ids: Vec::new(),
+            coeffs: Vec::new(),
         }
     }
 
@@ -67,25 +93,22 @@ impl CanonicalForm {
     /// sort-and-compact pass entirely.
     #[must_use]
     pub fn with_terms(nominal: f64, mut terms: Vec<(SourceId, f64)>) -> Self {
-        if Self::terms_canonical(&terms) {
-            debug_assert!(
-                terms.windows(2).all(|w| w[0].0 < w[1].0) && terms.iter().all(|&(_, c)| c != 0.0),
-                "fast-path precondition violated"
-            );
-            return Self { nominal, terms };
-        }
-        terms.sort_unstable_by_key(|&(id, _)| id);
-        let mut compact: Vec<(SourceId, f64)> = Vec::with_capacity(terms.len());
-        for (id, coeff) in terms {
-            match compact.last_mut() {
-                Some((last_id, last_coeff)) if *last_id == id => *last_coeff += coeff,
-                _ => compact.push((id, coeff)),
+        if !Self::terms_canonical(&terms) {
+            terms.sort_unstable_by_key(|&(id, _)| id);
+            let mut compact: Vec<(SourceId, f64)> = Vec::with_capacity(terms.len());
+            for (id, coeff) in terms {
+                match compact.last_mut() {
+                    Some((last_id, last_coeff)) if *last_id == id => *last_coeff += coeff,
+                    _ => compact.push((id, coeff)),
+                }
             }
+            compact.retain(|&(_, c)| c != 0.0);
+            terms = compact;
         }
-        compact.retain(|&(_, c)| c != 0.0);
         Self {
             nominal,
-            terms: compact,
+            ids: terms.iter().map(|&(id, _)| id).collect(),
+            coeffs: terms.iter().map(|&(_, c)| c).collect(),
         }
     }
 
@@ -96,25 +119,40 @@ impl CanonicalForm {
         self.nominal
     }
 
-    /// The sorted sensitivity terms.
+    /// Iterates the sorted sensitivity terms as `(id, coefficient)` pairs.
+    #[inline]
+    pub fn terms(
+        &self,
+    ) -> impl ExactSizeIterator<Item = (SourceId, f64)> + DoubleEndedIterator + '_ {
+        self.ids.iter().copied().zip(self.coeffs.iter().copied())
+    }
+
+    /// The sorted source ids (parallel to [`term_coeffs`](Self::term_coeffs)).
     #[inline]
     #[must_use]
-    pub fn terms(&self) -> &[(SourceId, f64)] {
-        &self.terms
+    pub fn term_ids(&self) -> &[SourceId] {
+        &self.ids
+    }
+
+    /// The coefficients (parallel to [`term_ids`](Self::term_ids)).
+    #[inline]
+    #[must_use]
+    pub fn term_coeffs(&self) -> &[f64] {
+        &self.coeffs
     }
 
     /// Number of live (non-zero) sensitivity terms.
     #[inline]
     #[must_use]
     pub fn term_count(&self) -> usize {
-        self.terms.len()
+        self.ids.len()
     }
 
     /// The coefficient of one source (zero if absent).
     #[must_use]
     pub fn coeff(&self, id: SourceId) -> f64 {
-        match self.terms.binary_search_by_key(&id, |&(i, _)| i) {
-            Ok(pos) => self.terms[pos].1,
+        match self.ids.binary_search(&id) {
+            Ok(pos) => self.coeffs[pos],
             Err(_) => 0.0,
         }
     }
@@ -122,7 +160,7 @@ impl CanonicalForm {
     /// Variance `Σ aᵢ²` (sources are i.i.d. standard normal).
     #[must_use]
     pub fn variance(&self) -> f64 {
-        self.terms.iter().map(|&(_, a)| a * a).sum()
+        self.coeffs.iter().map(|&a| a * a).sum()
     }
 
     /// Standard deviation.
@@ -146,17 +184,16 @@ impl CanonicalForm {
     #[must_use]
     pub fn covariance(&self, other: &Self) -> f64 {
         let mut cov = 0.0;
-        let (ta, tb) = (&self.terms[..], &other.terms[..]);
+        let (ia, ib) = (&self.ids[..], &other.ids[..]);
         let (mut i, mut j) = (0, 0);
-        while i < ta.len() && j < tb.len() {
-            let (ida, a) = ta[i];
-            let (idb, b) = tb[j];
+        while i < ia.len() && j < ib.len() {
+            let (ida, idb) = (ia[i], ib[j]);
             match ida.cmp(&idb) {
                 // Unshared ids contribute nothing: gallop over the run.
-                std::cmp::Ordering::Less => i += 1 + lower_bound(&ta[i + 1..], idb),
-                std::cmp::Ordering::Greater => j += 1 + lower_bound(&tb[j + 1..], ida),
+                std::cmp::Ordering::Less => i += 1 + lower_bound(&ia[i + 1..], idb),
+                std::cmp::Ordering::Greater => j += 1 + lower_bound(&ib[j + 1..], ida),
                 std::cmp::Ordering::Equal => {
-                    cov += a * b;
+                    cov += self.coeffs[i] * other.coeffs[j];
                     i += 1;
                     j += 1;
                 }
@@ -199,7 +236,8 @@ impl CanonicalForm {
         }
         Self {
             nominal: self.nominal * k,
-            terms: self.terms.iter().map(|&(id, a)| (id, a * k)).collect(),
+            ids: self.ids.clone(),
+            coeffs: self.coeffs.iter().map(|&a| a * k).collect(),
         }
     }
 
@@ -210,50 +248,13 @@ impl CanonicalForm {
     /// `O(k_self + k_other)` via a sorted merge.
     #[must_use]
     pub fn linear_combination(&self, k1: f64, other: &Self, k2: f64) -> Self {
-        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
-        let (ta, tb) = (&self.terms[..], &other.terms[..]);
-        let (mut i, mut j) = (0, 0);
-        // Sibling subtrees own disjoint source-id blocks (SourceLayout is
-        // keyed by node id, and node ids are assigned in DFS order), so
-        // the operands interleave in long single-owner runs: gallop to
-        // the end of each run and append it wholesale instead of paying
-        // a three-way compare per term. The pushed values and their
-        // order are exactly the one-term-at-a-time walk's.
-        while i < ta.len() && j < tb.len() {
-            let (ida, a) = ta[i];
-            let (idb, b) = tb[j];
-            match ida.cmp(&idb) {
-                std::cmp::Ordering::Less => {
-                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
-                    for &(id, a) in &ta[i..run] {
-                        push_nonzero(&mut terms, id, k1 * a);
-                    }
-                    i = run;
-                }
-                std::cmp::Ordering::Greater => {
-                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
-                    for &(id, b) in &tb[j..run] {
-                        push_nonzero(&mut terms, id, k2 * b);
-                    }
-                    j = run;
-                }
-                std::cmp::Ordering::Equal => {
-                    push_nonzero(&mut terms, ida, k1 * a + k2 * b);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        for &(id, a) in &ta[i..] {
-            push_nonzero(&mut terms, id, k1 * a);
-        }
-        for &(id, b) in &tb[j..] {
-            push_nonzero(&mut terms, id, k2 * b);
-        }
-        Self {
-            nominal: k1 * self.nominal + k2 * other.nominal,
-            terms,
-        }
+        let mut out = Self {
+            nominal: 0.0,
+            ids: Vec::with_capacity(self.ids.len() + other.ids.len()),
+            coeffs: Vec::with_capacity(self.ids.len() + other.ids.len()),
+        };
+        out.lin_comb_into(self, k1, other, k2);
+        out
     }
 
     /// `self + other`.
@@ -282,70 +283,95 @@ impl CanonicalForm {
     /// on `±0.0`, which the canonical representation must drop) falls
     /// back to the allocating reference path.
     pub fn add_scaled_assign(&mut self, other: &Self, k: f64) {
-        // Pass 1 (read-only): find every `other` source, counting the
-        // insertions and detecting cancellations.
-        let mut inserts = 0usize;
-        let mut cancels = false;
-        let mut i = 0usize;
-        for &(id, cb) in &other.terms {
-            i += lower_bound(&self.terms[i..], id);
-            match self.terms.get(i) {
-                Some(&(ida, ca)) if ida == id => {
-                    if ca + k * cb == 0.0 {
-                        cancels = true;
-                        break;
-                    }
-                    i += 1;
-                }
-                _ => {
-                    if k * cb == 0.0 {
-                        cancels = true;
-                        break;
-                    }
-                    inserts += 1;
-                }
-            }
-        }
-        if cancels {
-            *self = self.linear_combination(1.0, other, k);
-            return;
-        }
-        self.nominal += k * other.nominal;
-        if inserts == 0 {
+        // Probe strategy: galloping wins when `other` is much sparser
+        // than `self`; at comparable densities (the wire-lift shape —
+        // a load whose sources are mostly already in the RAT) a linear
+        // two-pointer advance is branch-predictable and ~2× cheaper.
+        // The probe walk runs exactly once: matched positions are
+        // recorded into a thread-local scratch so the no-insert update
+        // is a direct scatter rather than a second identical walk. The
+        // applied expression (`a += k·b` at the same index) is
+        // unchanged, so every output bit is too.
+        let linear = other.ids.len() * 4 >= self.ids.len();
+        ASA_POSITIONS.with(|scratch| {
+            let mut pos = scratch.borrow_mut();
+            pos.clear();
+            // Pass 1 (read-only): find every `other` source, counting
+            // the insertions and detecting cancellations.
+            let mut inserts = 0usize;
+            let mut cancels = false;
             let mut i = 0usize;
-            for &(id, cb) in &other.terms {
-                i += lower_bound(&self.terms[i..], id);
-                self.terms[i].1 += k * cb;
-                i += 1;
-            }
-        } else {
-            // Backward merge into the grown tail: `w` never catches up
-            // with the unread `self` prefix because every remaining
-            // write covers at least the remaining reads plus the
-            // pending insertions.
-            let old = self.terms.len();
-            let filler = *other.terms.first().expect("inserts imply terms");
-            self.terms.resize(old + inserts, filler);
-            let (mut i, mut j) = (old as isize - 1, other.terms.len() as isize - 1);
-            let mut w = (old + inserts) as isize - 1;
-            while j >= 0 {
-                let (idb, cb) = other.terms[j as usize];
-                if i >= 0 && self.terms[i as usize].0 > idb {
-                    self.terms[w as usize] = self.terms[i as usize];
-                    i -= 1;
-                } else if i >= 0 && self.terms[i as usize].0 == idb {
-                    let ca = self.terms[i as usize].1;
-                    self.terms[w as usize] = (idb, ca + k * cb);
-                    i -= 1;
-                    j -= 1;
+            for (j, &id) in other.ids.iter().enumerate() {
+                if linear {
+                    while self.ids.get(i).is_some_and(|&ida| ida < id) {
+                        i += 1;
+                    }
                 } else {
-                    self.terms[w as usize] = (idb, k * cb);
-                    j -= 1;
+                    i += lower_bound(&self.ids[i..], id);
                 }
-                w -= 1;
+                let cb = other.coeffs[j];
+                match self.ids.get(i) {
+                    Some(&ida) if ida == id => {
+                        if self.coeffs[i] + k * cb == 0.0 {
+                            cancels = true;
+                            break;
+                        }
+                        pos.push(i as u32);
+                        i += 1;
+                    }
+                    _ => {
+                        if k * cb == 0.0 {
+                            cancels = true;
+                            break;
+                        }
+                        inserts += 1;
+                    }
+                }
             }
-            debug_assert_eq!(w, i, "prefix below the last insertion is already in place");
-        }
+            if cancels {
+                *self = self.linear_combination(1.0, other, k);
+                return;
+            }
+            self.nominal += k * other.nominal;
+            if inserts == 0 {
+                // Every source matched, and pass 1 already knows where:
+                // scatter the updates straight to the recorded indices.
+                for (j, &p) in pos.iter().enumerate() {
+                    self.coeffs[p as usize] += k * other.coeffs[j];
+                }
+            } else {
+                // Backward merge into the grown tail: `w` never catches
+                // up with the unread `self` prefix because every
+                // remaining write covers at least the remaining reads
+                // plus the pending insertions.
+                let old = self.ids.len();
+                self.ids.resize(old + inserts, other.ids[0]);
+                self.coeffs.resize(old + inserts, 0.0);
+                let (mut i, mut j) = (old as isize - 1, other.ids.len() as isize - 1);
+                let mut w = (old + inserts) as isize - 1;
+                while j >= 0 {
+                    let idb = other.ids[j as usize];
+                    let cb = other.coeffs[j as usize];
+                    if i >= 0 && self.ids[i as usize] > idb {
+                        self.ids[w as usize] = self.ids[i as usize];
+                        self.coeffs[w as usize] = self.coeffs[i as usize];
+                        i -= 1;
+                    } else if i >= 0 && self.ids[i as usize] == idb {
+                        let ca = self.coeffs[i as usize];
+                        self.ids[w as usize] = idb;
+                        self.coeffs[w as usize] = ca + k * cb;
+                        i -= 1;
+                        j -= 1;
+                    } else {
+                        self.ids[w as usize] = idb;
+                        self.coeffs[w as usize] = k * cb;
+                        j -= 1;
+                    }
+                    w -= 1;
+                }
+                debug_assert_eq!(w, i, "prefix below the last insertion is already in place");
+            }
+        });
     }
 
     /// The `α`-percentile `π_α = μ + z_α·σ` of this (normal) form.
@@ -420,8 +446,10 @@ impl CanonicalForm {
     /// round trip once `self` has grown to its working size.
     pub fn copy_from(&mut self, src: &Self) {
         self.nominal = src.nominal;
-        self.terms.clear();
-        self.terms.extend_from_slice(&src.terms);
+        self.ids.clear();
+        self.ids.extend_from_slice(&src.ids);
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(&src.coeffs);
     }
 
     /// In-place [`linear_combination`](Self::linear_combination):
@@ -431,43 +459,67 @@ impl CanonicalForm {
     /// merge walk and per-term arithmetic are the same; only the
     /// destination buffer is recycled.
     pub fn lin_comb_into(&mut self, a: &Self, k1: f64, b: &Self, k2: f64) {
-        self.terms.clear();
-        let terms = &mut self.terms;
-        let (ta, tb) = (&a.terms[..], &b.terms[..]);
+        self.ids.clear();
+        self.coeffs.clear();
+        let (ia, ib) = (&a.ids[..], &b.ids[..]);
         let (mut i, mut j) = (0, 0);
-        // Run-chunked like `linear_combination`: gallop over each
-        // single-owner run of ids and bulk-append it.
-        while i < ta.len() && j < tb.len() {
-            let (ida, ca) = ta[i];
-            let (idb, cb) = tb[j];
+        // Run-chunked: sibling subtrees own disjoint source-id blocks
+        // (SourceLayout is keyed by node id, and node ids are assigned in
+        // DFS order), so the operands interleave in long single-owner
+        // runs. Gallop to the end of each run and bulk-append it scaled —
+        // on the split layout the scale loop is a vectorizable
+        // `out[r] = k·src[r]` over a plain `f64` slice. The pushed values
+        // and their order are exactly the one-term-at-a-time walk's.
+        while i < ia.len() && j < ib.len() {
+            let (ida, idb) = (ia[i], ib[j]);
             match ida.cmp(&idb) {
                 std::cmp::Ordering::Less => {
-                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
-                    for &(id, ca) in &ta[i..run] {
-                        push_nonzero(terms, id, k1 * ca);
-                    }
+                    let run = i + 1 + lower_bound(&ia[i + 1..], idb);
+                    append_scaled_run(
+                        &mut self.ids,
+                        &mut self.coeffs,
+                        &ia[i..run],
+                        &a.coeffs[i..run],
+                        k1,
+                    );
                     i = run;
                 }
                 std::cmp::Ordering::Greater => {
-                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
-                    for &(id, cb) in &tb[j..run] {
-                        push_nonzero(terms, id, k2 * cb);
-                    }
+                    let run = j + 1 + lower_bound(&ib[j + 1..], ida);
+                    append_scaled_run(
+                        &mut self.ids,
+                        &mut self.coeffs,
+                        &ib[j..run],
+                        &b.coeffs[j..run],
+                        k2,
+                    );
                     j = run;
                 }
                 std::cmp::Ordering::Equal => {
-                    push_nonzero(terms, ida, k1 * ca + k2 * cb);
+                    let c = k1 * a.coeffs[i] + k2 * b.coeffs[j];
+                    if c != 0.0 {
+                        self.ids.push(ida);
+                        self.coeffs.push(c);
+                    }
                     i += 1;
                     j += 1;
                 }
             }
         }
-        for &(id, ca) in &ta[i..] {
-            push_nonzero(terms, id, k1 * ca);
-        }
-        for &(id, cb) in &tb[j..] {
-            push_nonzero(terms, id, k2 * cb);
-        }
+        append_scaled_run(
+            &mut self.ids,
+            &mut self.coeffs,
+            &ia[i..],
+            &a.coeffs[i..],
+            k1,
+        );
+        append_scaled_run(
+            &mut self.ids,
+            &mut self.coeffs,
+            &ib[j..],
+            &b.coeffs[j..],
+            k2,
+        );
         self.nominal = k1 * a.nominal + k2 * b.nominal;
     }
 
@@ -488,7 +540,7 @@ impl CanonicalForm {
         // bit-equal to its allocating reference, so the chain reproduces
         // `a.linear_combination(k1, b, k2).sub(c)` exactly — including
         // the `±0.0` cases: a combination term that cancels is dropped
-        // by `push_nonzero` and the subtraction then *inserts* `−cᵢ`,
+        // by the run append and the subtraction then *inserts* `−cᵢ`,
         // the same bits `±0.0 − cᵢ` yields for the nonzero `cᵢ` a
         // canonical form carries.
         self.lin_comb_into(a, k1, b, k2);
@@ -502,52 +554,51 @@ impl CanonicalForm {
     /// self.sub(other).variance())`: the merged walk visits the union of
     /// ids in the same ascending order and squares the same surviving
     /// coefficients. Exact cancellations are skipped rather than added,
-    /// because the materialized path drops them via `push_nonzero` — and
-    /// `variance()`'s `Sum` fold starts at `-0.0`, so a difference whose
-    /// terms all cancel yields `-0.0`, which an unconditional `+= 0.0`
-    /// would flip to `+0.0`.
+    /// because the materialized path drops them via the nonzero filter —
+    /// and `variance()`'s `Sum` fold starts at `-0.0`, so a difference
+    /// whose terms all cancel yields `-0.0`, which an unconditional
+    /// `+= 0.0` would flip to `+0.0`.
     #[must_use]
     pub fn sub_stats(&self, other: &Self) -> (f64, f64) {
         let mut var = -0.0;
-        let (ta, tb) = (&self.terms[..], &other.terms[..]);
+        let (ia, ib) = (&self.ids[..], &other.ids[..]);
         let (mut i, mut j) = (0, 0);
-        // Run-chunked like `linear_combination`: unmatched ids come in
-        // long single-owner runs, squared here in the same ascending
-        // order the one-term walk used (`(−b)·(−b)` and `b·b` are the
-        // same bits, so the run loops square the raw coefficients).
-        while i < ta.len() && j < tb.len() {
-            let (ida, a) = ta[i];
-            let (idb, b) = tb[j];
+        // Run-chunked like `lin_comb_into`: unmatched ids come in long
+        // single-owner runs, squared here in the same ascending order
+        // the one-term walk used (`(−b)·(−b)` and `b·b` are the same
+        // bits, so the run loops square the raw coefficients).
+        while i < ia.len() && j < ib.len() {
+            let (ida, idb) = (ia[i], ib[j]);
             match ida.cmp(&idb) {
                 std::cmp::Ordering::Less => {
-                    let run = i + 1 + lower_bound(&ta[i + 1..], idb);
-                    for &(_, a) in &ta[i..run] {
+                    let run = i + 1 + lower_bound(&ia[i + 1..], idb);
+                    for &a in &self.coeffs[i..run] {
                         var += a * a;
                     }
                     i = run;
                 }
                 std::cmp::Ordering::Greater => {
-                    let run = j + 1 + lower_bound(&tb[j + 1..], ida);
-                    for &(_, b) in &tb[j..run] {
+                    let run = j + 1 + lower_bound(&ib[j + 1..], ida);
+                    for &b in &other.coeffs[j..run] {
                         var += b * b;
                     }
                     j = run;
                 }
                 std::cmp::Ordering::Equal => {
+                    let d = self.coeffs[i] - other.coeffs[j];
                     i += 1;
                     j += 1;
-                    let d = a - b;
                     if d != 0.0 {
-                        // dropped by push_nonzero in the materialized path
+                        // dropped by the nonzero filter in the materialized path
                         var += d * d;
                     }
                 }
             }
         }
-        for &(_, a) in &ta[i..] {
+        for &a in &self.coeffs[i..] {
             var += a * a;
         }
-        for &(_, b) in &tb[j..] {
+        for &b in &other.coeffs[j..] {
             var += b * b;
         }
         (self.nominal - other.nominal, var)
@@ -563,9 +614,18 @@ impl CanonicalForm {
             return 0;
         }
         let cutoff = epsilon * self.std_dev().max(f64::MIN_POSITIVE);
-        let before = self.terms.len();
-        self.terms.retain(|&(_, a)| a.abs() >= cutoff);
-        before - self.terms.len()
+        let before = self.ids.len();
+        let mut w = 0usize;
+        for r in 0..before {
+            if self.coeffs[r].abs() >= cutoff {
+                self.ids[w] = self.ids[r];
+                self.coeffs[w] = self.coeffs[r];
+                w += 1;
+            }
+        }
+        self.ids.truncate(w);
+        self.coeffs.truncate(w);
+        before - w
     }
 }
 
@@ -578,7 +638,7 @@ impl Default for CanonicalForm {
 impl fmt::Display for CanonicalForm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}", self.nominal)?;
-        for &(id, a) in &self.terms {
+        for (id, a) in self.terms() {
             if a >= 0.0 {
                 write!(f, " + {a:.6}·{id}")?;
             } else {
@@ -589,25 +649,53 @@ impl fmt::Display for CanonicalForm {
     }
 }
 
+/// Appends one single-owner run scaled by `k`, preserving the
+/// term-at-a-time reference semantics: each product `k·c` is computed in
+/// order and exact zeros are dropped.
+///
+/// The products land in a branch-free `out[r] = k·src[r]` loop (the
+/// vectorizable fast path); the rare run containing an exact zero product
+/// (`k` of zero magnitude or a denormal underflow) is re-compacted in a
+/// second scan, which yields the same surviving values in the same order
+/// as pushing one term at a time.
 #[inline]
-fn push_nonzero(terms: &mut Vec<(SourceId, f64)>, id: SourceId, coeff: f64) {
-    if coeff != 0.0 {
-        terms.push((id, coeff));
+fn append_scaled_run(
+    ids_out: &mut Vec<SourceId>,
+    coeffs_out: &mut Vec<f64>,
+    ids: &[SourceId],
+    coeffs: &[f64],
+    k: f64,
+) {
+    let start = coeffs_out.len();
+    coeffs_out.extend(coeffs.iter().map(|&c| k * c));
+    if coeffs_out[start..].iter().all(|&c| c != 0.0) {
+        ids_out.extend_from_slice(ids);
+        return;
     }
+    let mut w = start;
+    for (r, &id) in ids.iter().enumerate() {
+        let c = coeffs_out[start + r];
+        if c != 0.0 {
+            coeffs_out[w] = c;
+            ids_out.push(id);
+            w += 1;
+        }
+    }
+    coeffs_out.truncate(w);
 }
 
-/// Index of the first term with source `>= id`: a galloping probe
-/// (1, 2, 4, …) brackets the answer, a binary search pins it. Starting
-/// the gallop at the front makes repeated searches from a moving lower
-/// bound cheap when successive ids land close together.
-fn lower_bound(terms: &[(SourceId, f64)], id: SourceId) -> usize {
+/// Index of the first id `>= id`: a galloping probe (1, 2, 4, …)
+/// brackets the answer, a binary search pins it. Starting the gallop at
+/// the front makes repeated searches from a moving lower bound cheap
+/// when successive ids land close together.
+fn lower_bound(ids: &[SourceId], id: SourceId) -> usize {
     let mut hi = 1usize;
-    while hi <= terms.len() && terms[hi - 1].0 < id {
+    while hi <= ids.len() && ids[hi - 1] < id {
         hi <<= 1;
     }
-    let lo = (hi >> 1).min(terms.len());
-    let hi = hi.min(terms.len());
-    lo + terms[lo..hi].partition_point(|t| t.0 < id)
+    let lo = (hi >> 1).min(ids.len());
+    let hi = hi.min(ids.len());
+    lo + ids[lo..hi].partition_point(|&t| t < id)
 }
 
 #[cfg(test)]
@@ -616,6 +704,10 @@ mod tests {
 
     fn form(n: f64, terms: &[(u32, f64)]) -> CanonicalForm {
         CanonicalForm::with_terms(n, terms.iter().map(|&(i, a)| (SourceId(i), a)).collect())
+    }
+
+    fn terms_of(f: &CanonicalForm) -> Vec<(SourceId, f64)> {
+        f.terms().collect()
     }
 
     #[test]
@@ -640,7 +732,7 @@ mod tests {
     #[test]
     fn with_terms_sorts_and_merges() {
         let f = form(0.0, &[(3, 1.0), (1, 2.0), (3, -1.0), (2, 0.0)]);
-        assert_eq!(f.terms(), &[(SourceId(1), 2.0)]);
+        assert_eq!(terms_of(&f), vec![(SourceId(1), 2.0)]);
     }
 
     #[test]
@@ -660,7 +752,7 @@ mod tests {
         let b = form(2.0, &[(1, 3.0), (2, -2.0)]);
         let s = a.add(&b);
         assert_eq!(s.mean(), 3.0);
-        assert_eq!(s.terms(), &[(SourceId(0), 1.0), (SourceId(1), 3.0)]);
+        assert_eq!(terms_of(&s), vec![(SourceId(0), 1.0), (SourceId(1), 3.0)]);
         let d = a.sub(&a);
         assert_eq!(d.mean(), 0.0);
         assert_eq!(d.term_count(), 0);
@@ -726,13 +818,13 @@ mod tests {
         // Already-canonical input: fast path must preserve it verbatim.
         let terms = vec![(SourceId(1), 2.0), (SourceId(3), -1.5), (SourceId(9), 0.25)];
         let f = CanonicalForm::with_terms(1.0, terms.clone());
-        assert_eq!(f.terms(), &terms[..]);
+        assert_eq!(terms_of(&f), terms);
         // A zero coefficient forces the slow path and is dropped.
         let g = CanonicalForm::with_terms(1.0, vec![(SourceId(1), 2.0), (SourceId(3), 0.0)]);
         assert_eq!(g.term_count(), 1);
         // Equal ids force the slow path and are summed.
         let h = CanonicalForm::with_terms(0.0, vec![(SourceId(4), 1.0), (SourceId(4), 2.0)]);
-        assert_eq!(h.terms(), &[(SourceId(4), 3.0)]);
+        assert_eq!(terms_of(&h), vec![(SourceId(4), 3.0)]);
     }
 
     #[test]
@@ -744,12 +836,27 @@ mod tests {
             let mut out = form(99.0, &[(50, 123.0)]);
             out.lin_comb_into(&a, k1, &b, k2);
             assert_eq!(legacy.mean().to_bits(), out.mean().to_bits());
-            assert_eq!(legacy.terms().len(), out.terms().len());
-            for (x, y) in legacy.terms().iter().zip(out.terms()) {
+            assert_eq!(legacy.term_count(), out.term_count());
+            for (x, y) in legacy.terms().zip(out.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn append_scaled_run_drops_exact_zero_products() {
+        // k = 0 zeroes a whole run: the compaction path must drop every
+        // product, exactly like pushing one term at a time would.
+        let a = form(1.0, &[(0, 1.0), (4, 3.0)]);
+        let b = form(2.0, &[(1, 5.0), (2, 2.0)]);
+        let out = a.linear_combination(1.0, &b, 0.0);
+        assert_eq!(terms_of(&out), vec![(SourceId(0), 1.0), (SourceId(4), 3.0)]);
+        // And a partial-zero run (underflow to 0.0) keeps the survivors
+        // in order.
+        let c = form(0.0, &[(1, 5e-324), (2, 1.0)]);
+        let scaled = CanonicalForm::constant(0.0).linear_combination(1.0, &c, 0.5);
+        assert_eq!(terms_of(&scaled), vec![(SourceId(2), 0.5)]);
     }
 
     #[test]
@@ -795,11 +902,11 @@ mod tests {
             inplace.add_scaled_assign(&b, k);
             assert_eq!(reference.mean().to_bits(), inplace.mean().to_bits());
             assert_eq!(
-                reference.terms().len(),
-                inplace.terms().len(),
+                reference.term_count(),
+                inplace.term_count(),
                 "{reference} vs {inplace}"
             );
-            for (x, y) in reference.terms().iter().zip(inplace.terms()) {
+            for (x, y) in reference.terms().zip(inplace.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }
@@ -816,8 +923,8 @@ mod tests {
             let mut out = form(99.0, &[(50, 123.0)]);
             out.lin_comb_sub_into(&a, k1, &b, k2, &c);
             assert_eq!(legacy.mean().to_bits(), out.mean().to_bits());
-            assert_eq!(legacy.terms().len(), out.terms().len(), "{legacy} vs {out}");
-            for (x, y) in legacy.terms().iter().zip(out.terms()) {
+            assert_eq!(legacy.term_count(), out.term_count(), "{legacy} vs {out}");
+            for (x, y) in legacy.terms().zip(out.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }
@@ -850,7 +957,7 @@ mod tests {
         let cap = 3; // dst grew to at least 3 terms
         dst.copy_from(&src);
         assert_eq!(dst, src);
-        assert!(dst.terms.capacity() >= cap);
+        assert!(dst.coeffs.capacity() >= cap);
     }
 
     #[test]

@@ -268,8 +268,8 @@ mod tests {
             let t = stat_min_assign(&mut dest, a, b);
             assert_eq!(t.to_bits(), r.tightness.to_bits());
             assert_eq!(dest.mean().to_bits(), r.form.mean().to_bits());
-            assert_eq!(dest.terms().len(), r.form.terms().len());
-            for (x, y) in dest.terms().iter().zip(r.form.terms()) {
+            assert_eq!(dest.term_count(), r.form.term_count());
+            for (x, y) in dest.terms().zip(r.form.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }

@@ -1,25 +1,63 @@
-//! Run-global term interning and SoA batched kernels.
+//! Run-global term interning and lane-blocked batched kernels.
 //!
 //! The DP's sparse canonical forms pay a branchy sorted-merge per binary
 //! operation. For workloads that evaluate moments over *whole solution
-//! lists* — batched covariance, variance sweeps, representation
-//! cross-checks — a denser layout wins: a per-run [`TermInterner`] maps
-//! every live [`SourceId`] to a dense column index, so a form becomes a
-//! fixed-stride `f64` row ([`ColumnForm`]) and a list of forms becomes a
-//! contiguous row-major matrix ([`FormBatch`]) whose reductions are flat
-//! slice sweeps that autovectorize.
+//! lists* — batched covariance, variance sweeps, envelope dominance,
+//! representation cross-checks — a denser layout wins: a per-run
+//! [`TermInterner`] maps every live [`SourceId`] to a dense column index,
+//! so a form becomes a fixed-stride `f64` row ([`ColumnForm`]) and a list
+//! of forms becomes a contiguous row-major matrix ([`FormBatch`]) whose
+//! reductions are flat slice sweeps.
 //!
-//! # Determinism contract
+//! # Lane-block layout
 //!
-//! Columns are assigned in **ascending [`SourceId`] order**, so iterating
-//! a row left to right visits sources in exactly the order the sparse
-//! sorted-merge walk does. Absent sources hold `0.0`, and every moment
-//! kernel skips zero slots so it replays *exactly* the sequence of adds
-//! the sparse walk performs — including the sign of the empty sum
-//! (`f64`'s `Sum` fold starts at `-0.0`, so a term-free form has
-//! `variance() == -0.0`). The kernels here are therefore **bitwise
-//! identical** to their sparse counterparts in [`CanonicalForm`] —
-//! pinned by the `determinism` suite in `varbuf-core`.
+//! [`FormBatch`] stores every row padded to a multiple of [`LANES`]
+//! (8 × `f64`), tail slots zeroed. The batched kernels then walk rows as
+//! `chunks_exact(LANES)` blocks and accumulate into [`LANES`] independent
+//! partial sums — straight-line, branch-free inner loops with no
+//! cross-iteration dependence per lane, the exact shape LLVM's
+//! auto-vectorizer turns into packed SIMD without any unsafe code or
+//! fast-math flags. Zero slots are *not* skipped: a padding or absent
+//! source contributes an exact `+0.0` product, which cannot change any
+//! lane's partial sum.
+//!
+//! # Determinism contracts
+//!
+//! Two distinct contracts coexist here, and the difference matters:
+//!
+//! * **[`ColumnForm`] (single rows): sparse parity.** Its `variance`/
+//!   `covariance` replay exactly the sparse sorted-walk fold of
+//!   [`CanonicalForm`] — zero slots skipped, same order, same empty-sum
+//!   sign — so round-tripping a form through the dense representation is
+//!   a bitwise identity on every moment (pinned by the `determinism`
+//!   suite in `varbuf-core`).
+//! * **[`FormBatch`] (lane kernels): fixed lane schedule.** A lane
+//!   reduction sums lane `l ∈ 0..8` over blocks, then combines the
+//!   eight partials by the fixed halving tree
+//!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`. That order differs from
+//!   the sparse sequential fold (floating-point addition does not
+//!   reassociate), so batch results are **not** bit-equal to
+//!   [`CanonicalForm`]'s — they are bit-equal to the *scalar reference
+//!   kernels* [`lane_variance_ref`] / [`lane_dot_ref`] /
+//!   [`lane_lin_comb_dot_ref`], which spell out the schedule in plain
+//!   scalar code. Every optimized kernel is pinned against its reference
+//!   across seeds by the `lane_kernels` property suite. Columns are
+//!   still assigned in ascending [`SourceId`] order, so the *set* of
+//!   products a kernel folds is exactly the sparse walk's.
+//!
+//! The DP engine itself never consumes lane-kernel moments — its pruning
+//! and merging stay on the sparse forms — so the engine's own bitwise
+//! oracles (`determinism`, `bounds_oracle`, `lishi_oracle`) are
+//! unaffected by the schedule change.
+//!
+//! # Term-set interning
+//!
+//! Sibling solutions in a DP list overwhelmingly share term *sets* (the
+//! same subtree sources, different coefficients): scattering each form
+//! with a per-term binary search repeats identical id→column lookups.
+//! [`ScatterPlanCache`] interns each distinct sorted id-set once and
+//! caches its column-position plan, so every further form with the same
+//! set scatters with a single hash probe and a flat indexed copy.
 //!
 //! # Arena lifetime
 //!
@@ -29,26 +67,101 @@
 //! recycling discipline of the DP engine.
 
 use crate::canonical::{CanonicalForm, SourceId};
+use std::collections::HashMap;
+use std::rc::Rc;
 
-/// `Σ aᵢ²` over a dense row, bitwise identical to the sparse
-/// [`CanonicalForm::variance`]: zero slots are skipped, so the `Sum`
-/// fold sees exactly the sparse term sequence (and an all-zero row
-/// yields the same `-0.0` an empty sparse sum does).
-fn row_variance(row: &[f64]) -> f64 {
-    row.iter().filter(|&&a| a != 0.0).map(|&a| a * a).sum()
+/// `f64` lanes per block: one AVX-512 register, two AVX2, four SSE2.
+pub const LANES: usize = 8;
+
+/// Folds the eight lane partials by the fixed halving tree
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the one reduction order
+/// every lane kernel (optimized and reference alike) commits to.
+#[inline]
+#[must_use]
+fn reduce_lanes(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
 }
 
-/// Dot product of two dense rows, bitwise identical to the sparse
-/// [`CanonicalForm::covariance`] walk: only slots nonzero in both rows
-/// (the shared sources) contribute, folded from `0.0`.
-fn row_dot(a: &[f64], b: &[f64]) -> f64 {
-    let mut cov = 0.0;
-    for (&x, &y) in a.iter().zip(b) {
-        if x != 0.0 && y != 0.0 {
-            cov += x * y;
+/// Scalar reference for the lane variance kernel: `Σ aᵢ²` accumulated
+/// lane-by-lane over [`LANES`]-wide blocks (remainder elements fold into
+/// lanes `0..rem`), reduced by [`reduce_lanes`]'s fixed tree.
+///
+/// This function *defines* the batched variance result: the optimized
+/// [`FormBatch::variances_into`] sweep is pinned bit-for-bit against it.
+/// An all-zero (or empty) row yields `+0.0` — unlike the sparse fold's
+/// `-0.0` empty sum, one of the documented schedule differences.
+#[must_use]
+pub fn lane_variance_ref(row: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let chunks = row.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for block in chunks {
+        for l in 0..LANES {
+            acc[l] += block[l] * block[l];
         }
     }
-    cov
+    for (l, &x) in tail.iter().enumerate() {
+        acc[l] += x * x;
+    }
+    reduce_lanes(acc)
+}
+
+/// Scalar reference for the lane dot-product kernel:
+/// `Σ aᵢ·bᵢ` with the same blocking, tail folding, and reduction tree as
+/// [`lane_variance_ref`]. Zero slots are folded, not skipped — their
+/// products are exact `±0.0` and leave every `+0.0`-seeded lane partial
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn lane_dot_ref(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "lane dot operands must match in length");
+    let mut acc = [0.0f64; LANES];
+    let ca = a.chunks_exact(LANES);
+    let tail_a = ca.remainder();
+    let mut bs = b.chunks_exact(LANES);
+    for block_a in ca {
+        let block_b = bs.next().expect("equal lengths");
+        for l in 0..LANES {
+            acc[l] += block_a[l] * block_b[l];
+        }
+    }
+    let tail_b = &b[b.len() - tail_a.len()..];
+    for (l, (&x, &y)) in tail_a.iter().zip(tail_b).enumerate() {
+        acc[l] += x * y;
+    }
+    reduce_lanes(acc)
+}
+
+/// Scalar reference for the fused lin-comb + covariance kernel: writes
+/// `out[j] = k1·a[j] + k2·b[j]` and simultaneously folds
+/// `Σ out[j]·probe[j]` with the lane schedule, in one logical pass — the
+/// combined row never needs a second traversal to get its covariance.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[must_use]
+pub fn lane_lin_comb_dot_ref(
+    a: &[f64],
+    k1: f64,
+    b: &[f64],
+    k2: f64,
+    probe: &[f64],
+    out: &mut [f64],
+) -> f64 {
+    assert_eq!(a.len(), b.len(), "lin-comb operands must match in length");
+    assert_eq!(a.len(), probe.len(), "probe must match operand length");
+    assert_eq!(a.len(), out.len(), "out must match operand length");
+    let mut acc = [0.0f64; LANES];
+    for (j, o) in out.iter_mut().enumerate() {
+        let v = k1 * a[j] + k2 * b[j];
+        *o = v;
+        acc[j % LANES] += v * probe[j];
+    }
+    reduce_lanes(acc)
 }
 
 /// A run-global map from sparse [`SourceId`]s to dense column indices.
@@ -122,6 +235,64 @@ impl TermInterner {
     }
 }
 
+/// Interns distinct sorted term *sets* and caches their column-position
+/// scatter plans (see the module docs: sibling solutions share sets far
+/// more often than they share coefficients).
+///
+/// One cache per batch-building site — like the arena, per-run scratch.
+#[derive(Debug, Default)]
+pub struct ScatterPlanCache {
+    plans: HashMap<Box<[SourceId]>, Rc<[u32]>>,
+    hits: usize,
+}
+
+impl ScatterPlanCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The column-position plan for `ids` under `interner`: `plan[t]` is
+    /// the dense column of `ids[t]`. Computed (with one binary search
+    /// per term) only the first time a given id-set is seen; every
+    /// further form sharing the set gets the cached plan from a single
+    /// hash probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is outside the interner.
+    #[must_use]
+    pub fn plan(&mut self, interner: &TermInterner, ids: &[SourceId]) -> Rc<[u32]> {
+        if let Some(plan) = self.plans.get(ids) {
+            self.hits += 1;
+            return Rc::clone(plan);
+        }
+        let plan: Rc<[u32]> = ids
+            .iter()
+            .map(|&id| {
+                interner
+                    .column(id)
+                    .expect("form references a source outside the interner") as u32
+            })
+            .collect();
+        self.plans.insert(ids.into(), Rc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct id-sets interned so far.
+    #[must_use]
+    pub fn distinct_sets(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of `plan` calls answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
 /// A canonical form in dense column representation: `nominal` plus one
 /// coefficient slot per interned column (0.0 = source absent).
 #[derive(Debug, Clone, PartialEq)]
@@ -155,7 +326,7 @@ impl ColumnForm {
         self.cols.clear();
         self.cols.resize(interner.len(), 0.0);
         self.nominal = form.mean();
-        for &(id, a) in form.terms() {
+        for (id, a) in form.terms() {
             let col = interner
                 .column(id)
                 .expect("form references a source outside the interner");
@@ -185,21 +356,22 @@ impl ColumnForm {
         self.nominal
     }
 
-    /// Variance `Σ aᵢ²` over the dense row (one sequential sweep).
-    ///
-    /// Bitwise identical to [`CanonicalForm::variance`]: zero slots are
-    /// skipped, so the fold sees exactly the sparse term sequence.
+    /// Variance `Σ aᵢ²` over the dense row — **sparse parity**: zero
+    /// slots are skipped, so the fold sees exactly the sparse term
+    /// sequence and matches [`CanonicalForm::variance`] bitwise.
     #[must_use]
     pub fn variance(&self) -> f64 {
-        row_variance(&self.cols)
+        self.cols
+            .iter()
+            .filter(|&&a| a != 0.0)
+            .map(|&a| a * a)
+            .sum()
     }
 
-    /// Covariance against another row of the same width (one sequential
-    /// dot sweep).
-    ///
-    /// Bitwise identical to [`CanonicalForm::covariance`]: only slots
-    /// nonzero in *both* rows (the shared sources) contribute, folded
-    /// from `0.0` exactly like the sparse walk.
+    /// Covariance against another row of the same width — **sparse
+    /// parity**: only slots nonzero in *both* rows (the shared sources)
+    /// contribute, folded from `0.0` exactly like the sparse walk in
+    /// [`CanonicalForm::covariance`].
     ///
     /// # Panics
     ///
@@ -207,7 +379,13 @@ impl ColumnForm {
     #[must_use]
     pub fn covariance(&self, other: &Self) -> f64 {
         assert_eq!(self.cols.len(), other.cols.len(), "interner width mismatch");
-        row_dot(&self.cols, &other.cols)
+        let mut cov = 0.0;
+        for (&x, &y) in self.cols.iter().zip(&other.cols) {
+            if x != 0.0 && y != 0.0 {
+                cov += x * y;
+            }
+        }
+        cov
     }
 
     /// The dense coefficient row.
@@ -217,8 +395,8 @@ impl ColumnForm {
     }
 
     /// The `±k·σ` envelope `(mean − k·σ, mean + k·σ)` of this row —
-    /// matches [`CanonicalForm::envelope`] bitwise (the variance sweep is
-    /// [`row_variance`], identical to the sparse fold).
+    /// matches [`CanonicalForm::envelope`] bitwise (sparse-parity
+    /// variance).
     #[must_use]
     pub fn envelope(&self, k: f64) -> (f64, f64) {
         let spread = k * self.variance().sqrt();
@@ -267,12 +445,16 @@ impl FormArena {
     }
 }
 
-/// A solution list's forms in SoA layout: nominals contiguous, term
-/// columns contiguous row-major — the shape whose per-list reductions
-/// are single sequential sweeps over flat `f64` slices.
+/// A solution list's forms in lane-blocked SoA layout: nominals
+/// contiguous, coefficient rows contiguous row-major with each row
+/// padded to a [`LANES`] multiple (zero tail), so every batched kernel
+/// walks whole `chunks_exact(LANES)` blocks with no remainder branch.
 #[derive(Debug, Clone, Default)]
 pub struct FormBatch {
+    /// Logical row width (interner columns).
     width: usize,
+    /// Physical row stride: `width` rounded up to a [`LANES`] multiple.
+    stride: usize,
     nominals: Vec<f64>,
     rows: Vec<f64>,
 }
@@ -281,8 +463,10 @@ impl FormBatch {
     /// An empty batch over `interner`'s column space.
     #[must_use]
     pub fn new(interner: &TermInterner) -> Self {
+        let width = interner.len();
         Self {
-            width: interner.len(),
+            width,
+            stride: width.div_ceil(LANES) * LANES,
             nominals: Vec::new(),
             rows: Vec::new(),
         }
@@ -292,11 +476,13 @@ impl FormBatch {
     /// `interner`'s width.
     pub fn reset(&mut self, interner: &TermInterner) {
         self.width = interner.len();
+        self.stride = self.width.div_ceil(LANES) * LANES;
         self.nominals.clear();
         self.rows.clear();
     }
 
-    /// Appends one sparse form as a dense row.
+    /// Appends one sparse form as a dense row (zero-padded to the lane
+    /// stride), locating each term's column by binary search.
     ///
     /// # Panics
     ///
@@ -305,13 +491,38 @@ impl FormBatch {
         assert_eq!(interner.len(), self.width, "interner width mismatch");
         self.nominals.push(form.mean());
         let start = self.rows.len();
-        self.rows.resize(start + self.width, 0.0);
+        self.rows.resize(start + self.stride, 0.0);
         let row = &mut self.rows[start..];
-        for &(id, a) in form.terms() {
+        for (id, a) in form.terms() {
             let col = interner
                 .column(id)
                 .expect("form references a source outside the interner");
             row[col] = a;
+        }
+    }
+
+    /// [`push`](Self::push) through a [`ScatterPlanCache`]: the form's
+    /// id-set is interned once and its column plan reused, so sibling
+    /// forms sharing a term set scatter without any per-term search.
+    /// Produces bit-identical rows to `push`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the form references a source outside the interner.
+    pub fn push_interned(
+        &mut self,
+        interner: &TermInterner,
+        cache: &mut ScatterPlanCache,
+        form: &CanonicalForm,
+    ) {
+        assert_eq!(interner.len(), self.width, "interner width mismatch");
+        let plan = cache.plan(interner, form.term_ids());
+        self.nominals.push(form.mean());
+        let start = self.rows.len();
+        self.rows.resize(start + self.stride, 0.0);
+        let row = &mut self.rows[start..];
+        for (&col, &a) in plan.iter().zip(form.term_coeffs()) {
+            row[col as usize] = a;
         }
     }
 
@@ -333,28 +544,42 @@ impl FormBatch {
         &self.nominals
     }
 
-    /// One dense row.
+    /// One logical row (padding slots excluded).
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i * self.width..(i + 1) * self.width]
+        &self.rows[i * self.stride..i * self.stride + self.width]
     }
 
-    /// Batched variance: `out[i] = Σⱼ row[i][j]²` for every row, one
-    /// sequential pass over the matrix. Bitwise identical to calling
-    /// [`CanonicalForm::variance`] per form (see [`row_variance`]).
+    /// One physical row including its zeroed lane padding.
+    fn row_padded(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Batched lane variance: `out[i] = Σⱼ row[i][j]²` for every row,
+    /// one branch-free blocked pass over the matrix. Bitwise identical
+    /// to [`lane_variance_ref`] per row (padding zeros contribute exact
+    /// `+0.0` to the same lanes the reference's tail fold uses).
     pub fn variances_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend((0..self.len()).map(|i| row_variance(self.row(i))));
+        out.extend((0..self.len()).map(|i| {
+            let mut acc = [0.0f64; LANES];
+            for block in self.row_padded(i).chunks_exact(LANES) {
+                for l in 0..LANES {
+                    acc[l] += block[l] * block[l];
+                }
+            }
+            reduce_lanes(acc)
+        }));
     }
 
-    /// Batched covariance against a probe row:
-    /// `out[i] = Σⱼ row[i][j]·probe[j]`, one sequential pass. Bitwise
-    /// identical to [`CanonicalForm::covariance`] per form (see
-    /// [`row_dot`]).
+    /// Batched lane covariance against a probe row:
+    /// `out[i] = Σⱼ row[i][j]·probe[j]`, one branch-free blocked pass.
+    /// Bitwise identical to [`lane_dot_ref`] of each logical row against
+    /// `probe.columns()`.
     ///
     /// # Panics
     ///
@@ -362,21 +587,114 @@ impl FormBatch {
     pub fn covariances_with_into(&self, probe: &ColumnForm, out: &mut Vec<f64>) {
         assert_eq!(probe.cols.len(), self.width, "interner width mismatch");
         out.clear();
-        out.extend((0..self.len()).map(|i| row_dot(self.row(i), &probe.cols)));
+        let full = self.width / LANES * LANES;
+        out.extend((0..self.len()).map(|i| {
+            let row = self.row_padded(i);
+            let mut acc = [0.0f64; LANES];
+            let mut pb = probe.cols.chunks_exact(LANES);
+            for block in row[..full].chunks_exact(LANES) {
+                let p = pb.next().expect("probe width checked");
+                for l in 0..LANES {
+                    acc[l] += block[l] * p[l];
+                }
+            }
+            for (l, (&x, &y)) in row[full..self.width]
+                .iter()
+                .zip(&probe.cols[full..])
+                .enumerate()
+            {
+                acc[l] += x * y;
+            }
+            reduce_lanes(acc)
+        }));
+    }
+
+    /// Fused lin-comb + covariance: appends the combined row
+    /// `k1·row[i] + k2·row[j]` to the batch (its nominal is
+    /// `k1·mean[i] + k2·mean[j]`) and returns its lane covariance
+    /// against the existing row `probe` — one pass produces both the
+    /// row and the moment, where the unfused pipeline would traverse
+    /// the fresh row twice. Bitwise identical to
+    /// [`lane_lin_comb_dot_ref`] over the padded rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`, `j`, or `probe` are out of range.
+    pub fn lin_comb_cov_push(&mut self, i: usize, k1: f64, j: usize, k2: f64, probe: usize) -> f64 {
+        assert!(
+            i < self.len() && j < self.len() && probe < self.len(),
+            "row out of range"
+        );
+        self.nominals
+            .push(k1 * self.nominals[i] + k2 * self.nominals[j]);
+        let start = self.rows.len();
+        self.rows.resize(start + self.stride, 0.0);
+        let (head, out) = self.rows.split_at_mut(start);
+        let a = &head[i * self.stride..i * self.stride + self.stride];
+        let b = &head[j * self.stride..j * self.stride + self.stride];
+        let p = &head[probe * self.stride..probe * self.stride + self.stride];
+        let mut acc = [0.0f64; LANES];
+        for (blk, ((oa, ob), op)) in out.chunks_exact_mut(LANES).zip(
+            a.chunks_exact(LANES)
+                .zip(b.chunks_exact(LANES))
+                .zip(p.chunks_exact(LANES)),
+        ) {
+            for l in 0..LANES {
+                let v = k1 * oa[l] + k2 * ob[l];
+                blk[l] = v;
+                acc[l] += v * op[l];
+            }
+        }
+        reduce_lanes(acc)
     }
 
     /// Batched `±k·σ` envelopes: `lo[i] = mean[i] − k·σ[i]`,
-    /// `hi[i] = mean[i] + k·σ[i]`, one variance sweep per row. Matches
-    /// [`ColumnForm::envelope`] (and hence [`CanonicalForm::envelope`])
-    /// bitwise per element.
+    /// `hi[i] = mean[i] + k·σ[i]`, fused with the lane variance sweep.
+    /// The spread arithmetic matches [`ColumnForm::envelope`]'s
+    /// expression with the lane variance in place of the sparse one.
     pub fn envelopes_into(&self, k: f64, lo: &mut Vec<f64>, hi: &mut Vec<f64>) {
         lo.clear();
         hi.clear();
         for i in 0..self.len() {
-            let spread = k * row_variance(self.row(i)).sqrt();
+            let mut acc = [0.0f64; LANES];
+            for block in self.row_padded(i).chunks_exact(LANES) {
+                for l in 0..LANES {
+                    acc[l] += block[l] * block[l];
+                }
+            }
+            let spread = k * reduce_lanes(acc).sqrt();
             lo.push(self.nominals[i] - spread);
             hi.push(self.nominals[i] + spread);
         }
+    }
+
+    /// Batched envelope-dominance sweep: `flags[i]` is set when some
+    /// *other* row's pessimistic `k·σ` bound still beats row `i`'s
+    /// optimistic one — `max_{j≠i} lo[j] > hi[i]` (strict, so a row
+    /// never dominates itself through a zero-width envelope). One
+    /// envelope pass plus one max scan: `O(n·width/LANES + n)`, no
+    /// pairwise loop.
+    pub fn envelope_dominated_into(&self, k: f64, flags: &mut Vec<bool>) {
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        self.envelopes_into(k, &mut lo, &mut hi);
+        // Best and runner-up pessimistic bounds, so row `argmax` tests
+        // against the second best instead of itself.
+        let (mut best, mut second, mut arg) = (f64::NEG_INFINITY, f64::NEG_INFINITY, usize::MAX);
+        for (j, &l) in lo.iter().enumerate() {
+            if l > best {
+                second = best;
+                best = l;
+                arg = j;
+            } else if l > second {
+                second = l;
+            }
+        }
+        flags.clear();
+        flags.extend(
+            hi.iter()
+                .enumerate()
+                .map(|(i, &h)| (if i == arg { second } else { best }) > h),
+        );
     }
 }
 
@@ -436,42 +754,133 @@ mod tests {
     }
 
     #[test]
-    fn batch_kernels_match_per_form_calls_bitwise() {
-        let mut rng = SplitMix64::new(3);
-        let universe: Vec<SourceId> = (0..25).map(SourceId).collect();
+    fn batch_kernels_match_lane_references_bitwise() {
+        // Widths straddling the lane boundary: 7 (pure tail), 8 (exact),
+        // 25 (blocks + tail) — the padding must be invisible.
+        for &width in &[7u32, 8, 25, 48] {
+            let mut rng = SplitMix64::new(u64::from(width) + 3);
+            let universe: Vec<SourceId> = (0..width).map(SourceId).collect();
+            let it = TermInterner::new(universe.iter().copied());
+            let forms: Vec<CanonicalForm> = (0..20)
+                .map(|_| random_form(&mut rng, &universe, width as usize / 2 + 1))
+                .collect();
+            let probe = random_form(&mut rng, &universe, width as usize / 2 + 1);
+
+            let mut batch = FormBatch::new(&it);
+            for f in &forms {
+                batch.push(&it, f);
+            }
+            assert_eq!(batch.len(), forms.len());
+
+            let mut vars = Vec::new();
+            batch.variances_into(&mut vars);
+            let mut covs = Vec::new();
+            let dp = ColumnForm::from_canonical(&it, &probe);
+            batch.covariances_with_into(&dp, &mut covs);
+            for (i, f) in forms.iter().enumerate() {
+                assert_eq!(batch.means()[i].to_bits(), f.mean().to_bits());
+                assert_eq!(vars[i].to_bits(), lane_variance_ref(batch.row(i)).to_bits());
+                assert_eq!(
+                    covs[i].to_bits(),
+                    lane_dot_ref(batch.row(i), dp.columns()).to_bits()
+                );
+            }
+
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            batch.envelopes_into(1.5, &mut lo, &mut hi);
+            for i in 0..forms.len() {
+                let spread = 1.5 * lane_variance_ref(batch.row(i)).sqrt();
+                assert_eq!(lo[i].to_bits(), (batch.means()[i] - spread).to_bits());
+                assert_eq!(hi[i].to_bits(), (batch.means()[i] + spread).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_lin_comb_cov_matches_reference() {
+        let mut rng = SplitMix64::new(99);
+        let universe: Vec<SourceId> = (0..21).map(SourceId).collect();
         let it = TermInterner::new(universe.iter().copied());
-        let forms: Vec<CanonicalForm> = (0..20)
-            .map(|_| random_form(&mut rng, &universe, 8))
-            .collect();
-        let probe = random_form(&mut rng, &universe, 8);
-
         let mut batch = FormBatch::new(&it);
-        for f in &forms {
-            batch.push(&it, f);
+        for _ in 0..4 {
+            batch.push(&it, &random_form(&mut rng, &universe, 12));
         }
-        assert_eq!(batch.len(), forms.len());
+        let (a, b, p) = (0, 1, 2);
+        let stride = batch.row_padded(0).len();
+        let mut out_ref = vec![0.0; stride];
+        let want = lane_lin_comb_dot_ref(
+            batch.row_padded(a),
+            0.75,
+            batch.row_padded(b),
+            -1.25,
+            batch.row_padded(p),
+            &mut out_ref,
+        );
+        let got = batch.lin_comb_cov_push(a, 0.75, b, -1.25, p);
+        assert_eq!(got.to_bits(), want.to_bits());
+        let new = batch.len() - 1;
+        for (x, y) in batch.row_padded(new).iter().zip(&out_ref) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(
+            batch.means()[new].to_bits(),
+            (0.75 * batch.means()[a] + -1.25 * batch.means()[b]).to_bits()
+        );
+    }
 
-        let mut vars = Vec::new();
-        batch.variances_into(&mut vars);
-        let mut covs = Vec::new();
-        let dp = ColumnForm::from_canonical(&it, &probe);
-        batch.covariances_with_into(&dp, &mut covs);
-        for (i, f) in forms.iter().enumerate() {
-            assert_eq!(batch.means()[i].to_bits(), f.mean().to_bits());
-            assert_eq!(vars[i].to_bits(), f.variance().to_bits());
-            assert_eq!(covs[i].to_bits(), f.covariance(&probe).to_bits());
+    #[test]
+    fn scatter_plan_cache_dedups_sibling_term_sets() {
+        let universe: Vec<SourceId> = (0..16).map(SourceId).collect();
+        let it = TermInterner::new(universe.iter().copied());
+        let mut cache = ScatterPlanCache::new();
+        // Five "siblings": same term set, different coefficients.
+        let siblings: Vec<CanonicalForm> = (0..5)
+            .map(|k| {
+                CanonicalForm::with_terms(
+                    f64::from(k),
+                    [1u32, 4, 9, 13]
+                        .iter()
+                        .map(|&i| (SourceId(i), 0.5 + f64::from(k) * 0.1))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut plain = FormBatch::new(&it);
+        let mut interned = FormBatch::new(&it);
+        for f in &siblings {
+            plain.push(&it, f);
+            interned.push_interned(&it, &mut cache, f);
         }
+        assert_eq!(cache.distinct_sets(), 1, "one shared set interned once");
+        assert_eq!(cache.hits(), 4, "four forms reused the plan");
+        for i in 0..siblings.len() {
+            assert_eq!(plain.means()[i].to_bits(), interned.means()[i].to_bits());
+            for (x, y) in plain.row(i).iter().zip(interned.row(i)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
 
-        let (mut lo, mut hi) = (Vec::new(), Vec::new());
-        batch.envelopes_into(1.5, &mut lo, &mut hi);
-        for (i, f) in forms.iter().enumerate() {
-            let sparse = f.envelope(1.5);
-            let dense = ColumnForm::from_canonical(&it, f).envelope(1.5);
-            assert_eq!(lo[i].to_bits(), sparse.0.to_bits());
-            assert_eq!(hi[i].to_bits(), sparse.1.to_bits());
-            assert_eq!(dense.0.to_bits(), sparse.0.to_bits());
-            assert_eq!(dense.1.to_bits(), sparse.1.to_bits());
-        }
+    #[test]
+    fn envelope_dominance_flags_strictly_beaten_rows() {
+        let it = TermInterner::new((0..4).map(SourceId));
+        let mut batch = FormBatch::new(&it);
+        // Row 0: mean 10, no spread. Row 1: mean 3, no spread (beaten).
+        // Row 2: mean 9.9, wide spread (not beaten at k=1).
+        batch.push(&it, &CanonicalForm::constant(10.0));
+        batch.push(&it, &CanonicalForm::constant(3.0));
+        batch.push(
+            &it,
+            &CanonicalForm::with_terms(9.9, vec![(SourceId(1), 2.0)]),
+        );
+        let mut flags = Vec::new();
+        batch.envelope_dominated_into(1.0, &mut flags);
+        assert_eq!(flags, vec![false, true, false]);
+        // A solitary row is never dominated (no other row exists).
+        let mut lone = FormBatch::new(&it);
+        lone.push(&it, &CanonicalForm::constant(0.0));
+        lone.envelope_dominated_into(1.0, &mut flags);
+        assert_eq!(flags, vec![false]);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub use canonical::{CanonicalForm, SourceId};
 pub use clark::{stat_max, stat_min, MinMaxResult};
 pub use gaussian::{norm_cdf, norm_pdf, norm_quantile, prob_greater_normal};
 pub use histogram::Histogram;
-pub use interner::{ColumnForm, FormArena, FormBatch, TermInterner};
+pub use interner::{
+    lane_dot_ref, lane_lin_comb_dot_ref, lane_variance_ref, ColumnForm, FormArena, FormBatch,
+    ScatterPlanCache, TermInterner, LANES,
+};
 pub use ks::{ks_critical, ks_statistic};
 pub use mc::{MonteCarlo, SampleVector};
 pub use rng::SplitMix64;

@@ -42,12 +42,7 @@ impl SampleVector {
     /// Evaluates a canonical form at this sample point.
     #[must_use]
     pub fn eval(&self, form: &CanonicalForm) -> f64 {
-        form.mean()
-            + form
-                .terms()
-                .iter()
-                .map(|&(id, a)| a * self.get(id))
-                .sum::<f64>()
+        form.mean() + form.terms().map(|(id, a)| a * self.get(id)).sum::<f64>()
     }
 
     /// Number of explicitly sampled sources.

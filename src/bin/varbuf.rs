@@ -87,12 +87,18 @@ usage:
   varbuf opt FILE [--mode nom|d2d|wid] [--spatial homog|hetero]
                   [--rule 2p|4p|1p] [--p THRESH] [--sizing] [--mc SAMPLES]
                   [--degrade] [--budget-solutions N] [--budget-time SECS]
-                  [--budget-mem MB] [--jobs N] [--no-bounds]
+                  [--budget-mem MB] [--jobs N] [--jobs-force]
+                  [--no-bounds] [--no-lishi]
       --jobs N: worker threads for the DP (0 = all cores); results are
-                bit-identical to --jobs 1
+                bit-identical to --jobs 1. Requests beyond the host's
+                available parallelism are clamped unless --jobs-force.
       --no-bounds: disable bound-guided predictive pruning (the
                 deterministic preorder bounds that retire hopeless
                 candidates early); results are bit-identical either way
+      --no-lishi: disable the Li–Shi generation skip (predicted-key
+                predecessor dominance that avoids building candidates
+                the next sweep would discard); results are bit-identical
+                either way
   varbuf skew FILE [--spatial homog|hetero]
   varbuf serve [--jobs N] [--watchdog SECS] [--max-sessions N]
                [--queue-soft COST] [--queue-hard COST] [--faults]
@@ -316,6 +322,12 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     }
     if has_flag(args, "--no-bounds") {
         options.dp.use_bounds = false;
+    }
+    if has_flag(args, "--no-lishi") {
+        options.dp.use_lishi = false;
+    }
+    if has_flag(args, "--jobs-force") {
+        options.dp.jobs_force = true;
     }
     let degrade = has_flag(args, "--degrade")
         || has_flag(args, "--budget-solutions")
