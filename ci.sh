@@ -31,9 +31,10 @@ echo "==> cargo test --workspace"
 cargo test --workspace
 
 echo "==> service smoke (varbuf serve: scripted mix with an injected panic)"
-SERVE_OUT=$(printf 'ping\nopen random:8:7\nopt s0.0\ninject panic 2\nopt s0.0\nopt s0.0\nclose s0.0\nstats\nquit\n' \
+SERVE_OUT=$(printf 'ping\nopen random:8:7\nedit wire s0.0 1 140\nopt s0.0\ninject panic 2\nopt s0.0\nopt s0.0\nclose s0.0\nstats\nquit\n' \
   | ./target/debug/varbuf serve --faults --watchdog 10 2>/dev/null)
 echo "$SERVE_OUT" | sed 's/^/    /'
+echo "$SERVE_OUT" | grep -q '^ok edit'           || { echo "serve smoke: edit ack missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^ok opt id=1'       || { echo "serve smoke: clean optimize missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^err internal'      || { echo "serve smoke: contained panic missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^err poisoned'      || { echo "serve smoke: poisoned-session error missing" >&2; exit 1; }
@@ -102,12 +103,34 @@ if r['service_p99_ns'] < r['service_p50_ns']:
 shed = r.get('service_shed')
 if not isinstance(shed, (int, float)) or shed < 1:
     sys.exit('BENCH_dp.json: service_shed missing or zero')
+# Incremental re-optimization: the cached edit→opt loop must beat the
+# cold rerun by at least the ratchet floor (smoke sizes are small, so
+# the floor is far below the full-size target), the warm side must have
+# actually replayed (hit rate in (0, 1]), and the scatter-plan interner
+# counters must be present.
+speedup = r.get('incremental_speedup')
+if not isinstance(speedup, (int, float)) or not math.isfinite(speedup) or speedup <= 0:
+    sys.exit('BENCH_dp.json: incremental_speedup missing or not a finite positive number')
+floor = ratchet.get('incremental_speedup_min', 1.0)
+if speedup < floor:
+    sys.exit(f'BENCH_dp.json: incremental_speedup {speedup:.2f} below the '
+             f'results/ratchet.json floor {floor} — the session cache stopped '
+             f'paying for itself')
+hit_rate = r.get('cache_hit_rate')
+if not isinstance(hit_rate, (int, float)) or not math.isfinite(hit_rate) \
+        or hit_rate <= 0 or hit_rate > 1:
+    sys.exit('BENCH_dp.json: cache_hit_rate missing or outside (0, 1]')
+for key in ('scatter_plan_hits', 'scatter_plan_misses'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
 groups = {b.get('group') for b in r.get('benches', [])}
 for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service',
-                 'lishi', 'lane_kernels'):
+                 'lishi', 'lane_kernels', 'incremental'):
     if required not in groups:
         sys.exit(f'BENCH_dp.json: {required} bench group missing')
 print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '
+      f'incremental_speedup={speedup:.2f} (hit rate {hit_rate:.3f}), '
       f'bound/dominance pruned={r["pruned_by_bound"]}/{r["pruned_by_dominance"]}, '
       f'groups={sorted(g for g in groups if g)}')
 EOF

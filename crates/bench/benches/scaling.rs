@@ -21,11 +21,13 @@ use varbuf_core::det::{optimize_deterministic, optimize_deterministic_with};
 use varbuf_core::dp::DpOptions;
 use varbuf_core::pool::{default_jobs, optimize_batch, optimize_batch_forced, BatchRequest};
 use varbuf_core::prune::TwoParam;
-use varbuf_core::service::{OptimizeParams, Request, Response, Service, ServiceConfig};
+use varbuf_core::service::{EditOp, OptimizeParams, Request, Response, Service, ServiceConfig};
 use varbuf_core::RequestError;
 use varbuf_rctree::generate::{generate_benchmark, BenchmarkSpec};
 use varbuf_rctree::RoutingTree;
-use varbuf_stats::{prob_greater_normal, CanonicalForm, FormBatch, SourceId, TermInterner};
+use varbuf_stats::{
+    prob_greater_normal, CanonicalForm, FormBatch, ScatterPlanCache, SourceId, TermInterner,
+};
 use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
 
 /// Counting allocator: lets the bench assert the DP hot path stays
@@ -393,8 +395,22 @@ fn main() {
         batch.envelopes_into(3.0, &mut env_lo, &mut env_hi);
         env_lo[0]
     });
+    // Batch building through the scatter-plan interner: the 64 forms
+    // share 3 distinct term sets, so after the first iteration almost
+    // every push is a single hash probe. The accumulated counters feed
+    // the hit/miss meta the observability satellite reports on.
+    let mut plan_cache = ScatterPlanCache::new();
+    lanes.bench("push_interned/64x48", || {
+        let mut scratch = FormBatch::new(&interner);
+        for f in &forms {
+            scratch.push_interned(&interner, &mut plan_cache, f);
+        }
+        scratch.len()
+    });
     lanes.finish();
     report.record_group("lane_kernels", lanes.results());
+    report.meta_num("scatter_plan_hits", plan_cache.hits() as f64);
+    report.meta_num("scatter_plan_misses", plan_cache.misses() as f64);
     let var_speedup = sparse_var.as_secs_f64() / lane_var.as_secs_f64().max(f64::MIN_POSITIVE);
     let cov_speedup = sparse_cov.as_secs_f64() / lane_cov.as_secs_f64().max(f64::MIN_POSITIVE);
     report.meta_num("lane_variance_speedup", var_speedup);
@@ -411,7 +427,14 @@ fn main() {
     // device-characterization memo is warm — the quantity the service
     // exists to amortize.
     let (svc_sinks, svc_requests) = if smoke { (12usize, 40usize) } else { (48, 400) };
-    let mut service = Service::new(ServiceConfig::default());
+    // Cache off: with the solution cache armed every repeat opt on an
+    // unedited session is a pure replay, which would silently turn this
+    // latency metric into the incremental benchmark below. Pinning it
+    // cold keeps p50/p99/throughput comparable across releases.
+    let mut service = Service::new(ServiceConfig {
+        use_cache: false,
+        ..ServiceConfig::default()
+    });
     let svc_tree = generate_benchmark(&BenchmarkSpec::random("serve", svc_sinks, 11));
     let svc_cost = svc_tree.len() as u64;
     let handle = match service.execute(Request::Open {
@@ -485,6 +508,96 @@ fn main() {
         "service: p50 {:.3} ms, p99 {:.3} ms, {throughput:.0} req/s, {shed} shed in burst",
         p50.as_secs_f64() * 1e3,
         p99.as_secs_f64() * 1e3,
+    );
+
+    // Incremental re-optimization: the edit→opt loop the session cache
+    // exists for. Two services over identical N-sink trees — one with
+    // the default (armed) cache, one pinned cold — replay the same
+    // single-sink RAT-edit script; the warm side recomputes only the
+    // dirtied root path, the cold side reruns the full DP. The median
+    // ratio is the headline `incremental_speedup`, and the warm side's
+    // hit/miss counters give `cache_hit_rate` (results are byte-
+    // identical either way — `tests/incremental.rs` is the oracle).
+    let inc_sinks = if smoke { 96usize } else { 1024 };
+    let inc_iters = if smoke { 5usize } else { 9 };
+    let inc_tree = generate_benchmark(&BenchmarkSpec::random("incr", inc_sinks, 23));
+    let edit_sink = inc_tree.sinks().last().expect("generated tree has sinks").0;
+    let open_session = |use_cache: bool| {
+        let mut svc = Service::new(ServiceConfig {
+            use_cache,
+            ..ServiceConfig::default()
+        });
+        let handle = match svc.execute(Request::Open {
+            tree: Box::new(inc_tree.clone()),
+            spatial: SpatialKind::Heterogeneous,
+        }) {
+            Response::Opened { handle, .. } => handle,
+            other => panic!("service open failed: {other}"),
+        };
+        // Prime run: charges the model memo on both sides and, on the
+        // warm side, populates the cache the edits will dirty.
+        let warmup = svc.execute(Request::Optimize {
+            handle,
+            params: OptimizeParams::default(),
+        });
+        assert!(!warmup.is_error(), "prime run errored: {warmup}");
+        (svc, handle)
+    };
+    let (mut warm_svc, warm_handle) = open_session(true);
+    let (mut cold_svc, cold_handle) = open_session(false);
+    let edit_opt_median = |svc: &mut Service, handle| {
+        let mut samples = Vec::with_capacity(inc_iters);
+        for i in 0..inc_iters {
+            let edited = svc.execute(Request::Edit {
+                handle,
+                op: EditOp::SinkRat {
+                    node: edit_sink,
+                    required_arrival: 250.0 + i as f64 * 7.0,
+                },
+            });
+            assert!(!edited.is_error(), "edit errored: {edited}");
+            let t = Instant::now();
+            let response = svc.execute(Request::Optimize {
+                handle,
+                params: OptimizeParams::default(),
+            });
+            samples.push(t.elapsed());
+            assert!(!response.is_error(), "incremental opt errored: {response}");
+        }
+        samples.sort_unstable();
+        samples[inc_iters / 2]
+    };
+    let warm_median = edit_opt_median(&mut warm_svc, warm_handle);
+    let cold_median = edit_opt_median(&mut cold_svc, cold_handle);
+    let incremental_speedup =
+        cold_median.as_secs_f64() / warm_median.as_secs_f64().max(f64::MIN_POSITIVE);
+    let warm_stats = warm_svc.stats();
+    let cache_hit_rate = warm_stats.cache_hits as f64
+        / (warm_stats.cache_hits + warm_stats.cache_misses).max(1) as f64;
+    report.meta_num("incremental_speedup", incremental_speedup);
+    report.meta_num("cache_hit_rate", cache_hit_rate);
+    let mut inc_bench = Bencher::new("incremental").with_config(kernel_config);
+    inc_bench.bench(&format!("edit_opt_warm/{inc_sinks}sinks"), || {
+        let edited = warm_svc.execute(Request::Edit {
+            handle: warm_handle,
+            op: EditOp::SinkRat {
+                node: edit_sink,
+                required_arrival: 321.5,
+            },
+        });
+        assert!(!edited.is_error(), "edit errored: {edited}");
+        warm_svc.execute(Request::Optimize {
+            handle: warm_handle,
+            params: OptimizeParams::default(),
+        })
+    });
+    inc_bench.finish();
+    report.record_group("incremental", inc_bench.results());
+    println!(
+        "incremental: warm {:.3} ms vs cold {:.3} ms at N={inc_sinks} \
+         ({incremental_speedup:.1}x, hit rate {cache_hit_rate:.3})",
+        warm_median.as_secs_f64() * 1e3,
+        cold_median.as_secs_f64() * 1e3,
     );
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp.json");

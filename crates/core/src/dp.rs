@@ -457,6 +457,169 @@ pub fn optimize_governed_detailed(
     })
 }
 
+/// [`optimize_governed_detailed`] with an epoch-scoped solution cache:
+/// nodes whose content signature still matches a cached entry replay
+/// their pruned list (a clone, re-admitted through the governor so
+/// budget accounting stays coherent) and their subtrees are never
+/// visited; only dirty nodes — the root path of the session's edits —
+/// run the DP. Fresh lists are stored back under the node's signature.
+///
+/// Two soundness rules keep cached replay byte-identical to a cold run:
+///
+/// * the incremental path never arms the deterministic bound pass —
+///   cached lists are the bounds-off fixpoint, and the bounds oracle
+///   guarantees the *final* result matches a bounds-on cold run;
+/// * the cache only feeds (and is only fed by) full-fidelity runs. A
+///   constraining budget or a fault injector falls back to the plain
+///   governed engine without touching the cache, and a run that
+///   degraded, was cancelled, or errored flushes the cache — its lists
+///   may be truncated best-so-far artifacts.
+///
+/// `sigs` must be current for `tree` (see [`NodeSigs::update_path`]);
+/// `run_sig` is the [`crate::cache::run_signature`] of the run-wide
+/// inputs. `stats.cache_hits` counts the nodes covered by replayed
+/// lists (whole clean subtrees); `stats.cache_misses` the recomputed
+/// dirty nodes.
+///
+/// # Errors
+///
+/// Same as [`optimize_governed`].
+///
+/// # Panics
+///
+/// Panics if `cascade` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_incremental(
+    tree: &RoutingTree,
+    model: &ProcessModel,
+    mode: VariationMode,
+    cascade: Vec<Arc<dyn PruningRule>>,
+    sizing: &WireSizing,
+    options: &DpOptions,
+    budget: &Budget,
+    controls: RunControls<'_>,
+    sigs: &crate::cache::NodeSigs,
+    cache: &mut crate::cache::SolutionCache,
+    run_sig: u64,
+) -> Result<GovernedResult, InsertionError> {
+    // Degradable or fault-injected runs take the cold path: their lists
+    // are not the unconstrained fixpoint, so they must neither consume
+    // nor produce cache entries.
+    if controls.faults.is_some() || budget.constrains_run() {
+        return optimize_governed_detailed(
+            tree, model, mode, cascade, sizing, options, budget, controls,
+        );
+    }
+    tree.validate()?;
+    if tree.sink_count() == 0 {
+        return Err(InsertionError::NoSinks);
+    }
+    if sigs.len() != tree.len() {
+        return Err(InsertionError::InvalidTree(
+            varbuf_rctree::TreeError::Unreachable(tree.root()),
+        ));
+    }
+
+    let mut governor = Governor::governed(*budget, cascade, options.sparsify_epsilon);
+    if controls.has_cancellation() {
+        governor = governor.with_cancellation(
+            controls.cancel.clone().unwrap_or_default(),
+            controls.watchdog,
+        );
+    }
+    if let Some(c) = controls.clock {
+        governor = governor.with_clock(c);
+    }
+
+    // Bounds stay off (see the soundness rules above); Li–Shi is list-
+    // neutral and arms exactly as it would on this run's cold path.
+    let mut ctx = RunCtx::new(tree, model, mode, sizing);
+    ctx.lishi = options.use_lishi;
+
+    cache.begin_run(run_sig, tree.len());
+
+    let mut stats = DpStats::default();
+    let mut lists: Vec<Vec<StatSolution>> = vec![Vec::new(); tree.len()];
+    let mut pool = SolPool::default();
+    let mut sup = GovSupervisor {
+        static_rule: None,
+        governor: &mut governor,
+    };
+
+    // Explicit enter/exit walk from the root. A signature hit at entry
+    // replays the cached list and prunes the whole subtree from the
+    // walk; a miss defers the node behind its children (postorder) and
+    // recomputes it. Only the clean-top frontier is ever cloned, so the
+    // replay cost is proportional to the dirty path, not the tree.
+    enum Step {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut stack = vec![Step::Enter(tree.root())];
+    let walk = (|| -> Result<(), EngineInterrupt> {
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(id) => {
+                    let sig = sigs.get(id);
+                    if let Some(cached) = cache.lookup(id, sig) {
+                        sup.check_time()?;
+                        let mut list = pool.take(cached.len());
+                        list.extend(cached.iter().cloned());
+                        admit_list(&mut sup, id, &mut list, &mut pool, &mut stats)?;
+                        sup.note_memory(&list, 0);
+                        stats.max_solutions_per_node = stats.max_solutions_per_node.max(list.len());
+                        lists[id.index()] = list;
+                    } else {
+                        stack.push(Step::Exit(id));
+                        for &c in tree.node(id).children.iter().rev() {
+                            stack.push(Step::Enter(c));
+                        }
+                    }
+                }
+                Step::Exit(id) => {
+                    let children: Vec<Vec<StatSolution>> = tree
+                        .node(id)
+                        .children
+                        .iter()
+                        .map(|c| std::mem::take(&mut lists[c.index()]))
+                        .collect();
+                    let sols =
+                        process_node(&ctx, &mut sup, id, children, None, &mut pool, &mut stats)?;
+                    cache.store(id, sigs.get(id), &sols);
+                    lists[id.index()] = sols;
+                }
+            }
+        }
+        Ok(())
+    })();
+    if let Err(interrupt) = walk {
+        cache.clear();
+        return Err(interrupt.into_error());
+    }
+
+    stats.cache_misses = stats.nodes_processed;
+    stats.cache_hits = tree.len() - stats.nodes_processed;
+    stats.runtime = governor.elapsed();
+    stats.jobs_requested = options.jobs.max(1);
+    stats.jobs_effective = 1;
+    let mut result = select_winner(tree, options, &lists[tree.root().index()], stats);
+    let degradation = governor.into_report();
+    result.stats.rule_fallbacks = degradation.rule_fallbacks();
+    result.stats.epsilon_tightenings = degradation.epsilon_tightenings();
+    result.stats.list_truncations = degradation.truncations();
+    result.stats.poisoned_dropped = degradation.poisoned_dropped();
+    result.stats.panic_completion = degradation.panic_completion;
+    if degradation.degraded() {
+        // A cancelled/degraded run may have stored best-so-far lists;
+        // they are not the fixpoint, so nothing of this run survives.
+        cache.clear();
+    }
+    Ok(GovernedResult {
+        result,
+        degradation,
+    })
+}
+
 /// The rule in force right now: the caller's fixed rule on the legacy
 /// path, or the governor's current cascade entry on the governed path.
 pub(crate) enum RuleHandle<'a> {
@@ -636,7 +799,27 @@ pub(crate) struct RunCtx<'a> {
     /// [`DpOptions::use_lishi`] for the arming conditions). Shared by the
     /// parallel workers and the sequential engine.
     pub(crate) lishi: bool,
+    /// Per-node bound-pass probe aggregates, packed as
+    /// `invocations << 32 | retired` over the node's whole subtree.
+    /// Sized `tree.len()` only when bounds arm; the aggregates drive the
+    /// auto-disarm gate in `process_node` (see `BOUND_PROBE_ANCHOR`).
+    /// A node's value is a pure function of its subtree, and children
+    /// complete before their parent in both engines, so the disarm
+    /// decision is identical sequentially and in parallel — and the
+    /// stores are idempotent, so a pressure-abort rerun is safe.
+    bound_probe: Vec<std::sync::atomic::AtomicU64>,
 }
+
+/// Subtree probe invocations (lists of at least [`BOUND_PROBE_MIN`]
+/// candidates offered to `bound_filter`) after which, if *nothing* was
+/// retired anywhere below, the bound pass disarms for the rest of the
+/// node's ancestors: the anchor is evidently too loose on this net to
+/// ever fire, and the per-candidate envelope scans are pure overhead.
+const BOUND_PROBE_ANCHOR: u64 = 48;
+
+/// Minimum list length for a `bound_filter` call to count as a probe
+/// invocation — tiny lists say nothing about whether the bound can fire.
+const BOUND_PROBE_MIN: usize = 4;
 
 impl<'a> RunCtx<'a> {
     pub(crate) fn new(
@@ -677,7 +860,44 @@ impl<'a> RunCtx<'a> {
             segments,
             bounds: None,
             lishi: false,
+            bound_probe: Vec::new(),
         }
+    }
+
+    /// Sizes the bound-probe table for an armed bound pass. Must be
+    /// called before the first `process_node` when `bounds` is set.
+    pub(crate) fn arm_bound_probe(&mut self) {
+        self.bound_probe = std::iter::repeat_with(|| std::sync::atomic::AtomicU64::new(0))
+            .take(self.tree.len())
+            .collect();
+    }
+
+    /// Sum of the children's probe aggregates as `(invocations, retired)`.
+    /// An unsized table (bounds armed without [`Self::arm_bound_probe`],
+    /// e.g. driving `process_node` directly) reads as "no evidence yet",
+    /// which keeps the filter armed — the pre-gate behavior.
+    fn probe_children(&self, id: NodeId) -> (u64, u64) {
+        if self.bound_probe.is_empty() {
+            return (0, 0);
+        }
+        let mut inv = 0u64;
+        let mut ret = 0u64;
+        for &c in &self.tree.node(id).children {
+            let packed = self.bound_probe[c.index()].load(std::sync::atomic::Ordering::Acquire);
+            inv = inv.saturating_add(packed >> 32);
+            ret = ret.saturating_add(packed & 0xffff_ffff);
+        }
+        (inv.min(u64::from(u32::MAX)), ret.min(u64::from(u32::MAX)))
+    }
+
+    /// Publishes a node's subtree aggregate (clamped into the packing).
+    /// No-op when the table is unsized (see [`Self::probe_children`]).
+    fn store_probe(&self, id: NodeId, inv: u64, ret: u64) {
+        if self.bound_probe.is_empty() {
+            return;
+        }
+        let packed = (inv.min(u64::from(u32::MAX)) << 32) | ret.min(u64::from(u32::MAX));
+        self.bound_probe[id.index()].store(packed, std::sync::atomic::Ordering::Release);
     }
 
     /// The pre-scaled RC segment of the edge above `node` at width `wi`.
@@ -794,6 +1014,9 @@ fn run_engine(
         let t = Instant::now();
         let bounds = crate::bounds::det_bounds(&ctx, mode, options.bound_k, options.root_selection);
         ctx.bounds = bounds;
+        if ctx.bounds.is_some() {
+            ctx.arm_bound_probe();
+        }
         bound_setup = t.elapsed();
     }
     // The Li–Shi generation skip shares the bounding arm condition: it
@@ -1078,20 +1301,32 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
     // 4. Predictive retirement: candidates whose optimistic envelope
     // cannot reach the deterministic anchor leave the DP here, before
     // the parent's lift, merge and dominance sweeps ever see them.
+    // The subtree probe disarms the pass once the anchor has evidently
+    // gone cold: enough meaningful invocations below this node with zero
+    // retirements anywhere means the envelope test is pure overhead.
+    // Both the decision and the published aggregate depend only on the
+    // node's subtree, so sequential and parallel runs agree bit for bit.
     if let Some(bounds) = ctx.bounds.as_deref() {
-        // Clock the pass only on lists big enough for the filter to cost
-        // anything; on tiny lists the two `Instant::now` calls would
-        // outweigh the work they measure.
-        if sols.len() >= 16 {
-            let t_bound = Instant::now();
-            let retired = bound_filter(bounds, id, &mut sols, pool);
-            stats.pruned_by_bound += retired;
-            stats.solutions_pruned += retired;
-            stats.bound_time += t_bound.elapsed();
+        let (sub_inv, sub_ret) = ctx.probe_children(id);
+        if sub_ret == 0 && sub_inv >= BOUND_PROBE_ANCHOR {
+            stats.bound_skipped += 1;
+            ctx.store_probe(id, sub_inv, sub_ret);
         } else {
-            let retired = bound_filter(bounds, id, &mut sols, pool);
+            let own_inv = u64::from(sols.len() >= BOUND_PROBE_MIN);
+            // Clock the pass only on lists big enough for the filter to
+            // cost anything; on tiny lists the two `Instant::now` calls
+            // would outweigh the work they measure.
+            let retired = if sols.len() >= 16 {
+                let t_bound = Instant::now();
+                let retired = bound_filter(bounds, id, &mut sols, pool);
+                stats.bound_time += t_bound.elapsed();
+                retired
+            } else {
+                bound_filter(bounds, id, &mut sols, pool)
+            };
             stats.pruned_by_bound += retired;
             stats.solutions_pruned += retired;
+            ctx.store_probe(id, sub_inv + own_inv, sub_ret + retired as u64);
         }
     }
 

@@ -28,6 +28,9 @@
 //!   [`pool::optimize_batch`] worker pool over independent nets and the
 //!   speculative intra-tree scheduler behind [`dp::DpOptions::jobs`],
 //!   both bit-identical to the sequential engine;
+//! * [`cache`] — epoch-scoped per-node solution caching (Merkle content
+//!   signatures + a per-session solution arena) behind the service's
+//!   incremental re-optimization path;
 //! * [`service`] — the resident optimization service behind
 //!   `varbuf serve`: a generational-arena session store, per-request
 //!   crash isolation (`catch_unwind` + session poisoning), watchdog
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod bounds;
+pub mod cache;
 pub mod criticality;
 pub mod design;
 pub mod det;
@@ -72,16 +76,17 @@ pub mod solution;
 pub mod trace;
 pub mod yield_eval;
 
+pub use cache::{NodeSigs, SolutionCache};
 pub use det::{optimize_deterministic, optimize_deterministic_with};
-pub use dp::{optimize_governed, GovernedResult};
+pub use dp::{optimize_governed, optimize_incremental, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
 pub use error::{InsertionError, RequestError};
 pub use governor::{Budget, Degradation, DegradationEvent, Governor};
 pub use pool::{default_jobs, optimize_batch, optimize_batch_forced, BatchRequest};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
 pub use service::{
-    OptimizeParams, Request, Response, RuleChoice, Service, ServiceConfig, ServiceStats,
-    SessionHandle,
+    EditOp, LibChoice, OptimizeParams, Request, Response, RuleChoice, Service, ServiceConfig,
+    ServiceStats, SessionHandle,
 };
 pub use solution::StatSolution;
 pub use yield_eval::{YieldAnalysis, YieldEvaluator};

@@ -63,6 +63,16 @@ pub struct DpStats {
     pub poisoned_dropped: usize,
     /// Whether the run finished in panic-completion (best-so-far) mode.
     pub panic_completion: bool,
+    /// Nodes whose pruned lists were replayed from the session solution
+    /// cache instead of being recomputed (0 outside incremental runs).
+    pub cache_hits: usize,
+    /// Nodes the incremental engine had to recompute — the dirty set.
+    /// Equals `nodes_processed` on the incremental path; 0 elsewhere.
+    pub cache_misses: usize,
+    /// Candidate nodes where the deterministic bound pass was skipped
+    /// because the subtree probe had already disarmed it (the anchor
+    /// invocations retired nothing).
+    pub bound_skipped: usize,
 }
 
 impl DpStats {
@@ -90,12 +100,16 @@ impl DpStats {
     #[must_use]
     pub fn phase_summary(&self) -> String {
         format!(
-            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms, bounds {:.1}ms (of {:.1}ms total)",
+            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms, bounds {:.1}ms \
+             (of {:.1}ms total; cache {}/{} hit/miss, {} bound-skipped)",
             self.merge_time.as_secs_f64() * 1e3,
             self.prune_time.as_secs_f64() * 1e3,
             self.buffer_time.as_secs_f64() * 1e3,
             self.bound_time.as_secs_f64() * 1e3,
             self.runtime.as_secs_f64() * 1e3,
+            self.cache_hits,
+            self.cache_misses,
+            self.bound_skipped,
         )
     }
 
@@ -141,6 +155,9 @@ impl DpStats {
         self.list_truncations += other.list_truncations;
         self.poisoned_dropped += other.poisoned_dropped;
         self.panic_completion |= other.panic_completion;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bound_skipped += other.bound_skipped;
     }
 }
 

@@ -37,7 +37,11 @@
 //! wall-clock values), which is what makes the isolation suite's
 //! byte-compare meaningful.
 
-use crate::dp::{fallback_cascade, optimize_governed_detailed, DpOptions, RunControls, WireSizing};
+use crate::cache::{run_signature, NodeSigs, SolutionCache};
+use crate::dp::{
+    fallback_cascade, optimize_governed_detailed, optimize_incremental, DpOptions, RunControls,
+    WireSizing,
+};
 use crate::error::{InsertionError, RequestError};
 use crate::faultinject::{FaultInjector, FaultPlan, RequestFault, RequestFaults, SkewedClock};
 use crate::governor::{Budget, CancelToken};
@@ -46,11 +50,12 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 use varbuf_rctree::generate::{generate_benchmark, generate_htree, BenchmarkSpec, HTreeSpec};
-use varbuf_rctree::RoutingTree;
-use varbuf_variation::{ProcessModel, SpatialKind, VariationMode};
+use varbuf_rctree::tree::NodeKind;
+use varbuf_rctree::{NodeId, RoutingTree};
+use varbuf_variation::{BufferLibrary, ProcessModel, SpatialKind, VariationBudgets, VariationMode};
 
 /// Largest net accepted through the protocol's `open` spec — a parse
 /// guard, not a resource policy (that is the queue budget's job).
@@ -73,6 +78,10 @@ pub struct ServiceConfig {
     pub watchdog: Option<Duration>,
     /// Whether `inject` commands are honored.
     pub allow_faults: bool,
+    /// Whether sessions keep their epoch-scoped solution cache armed
+    /// (the incremental re-optimization path). Off (`--no-cache`),
+    /// every optimize runs cold.
+    pub use_cache: bool,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +93,7 @@ impl Default for ServiceConfig {
             budget: Budget::unlimited(),
             watchdog: None,
             allow_faults: false,
+            use_cache: true,
         }
     }
 }
@@ -122,12 +132,29 @@ impl FromStr for SessionHandle {
 }
 
 /// One resident net: the routing tree plus its process model (whose
-/// device-form memo amortizes across this session's requests).
+/// device-form memo amortizes across this session's requests), the
+/// per-node content signatures that detect what an `edit` dirtied, and
+/// the epoch-scoped solution cache the incremental engine replays.
 #[derive(Debug)]
 pub struct Session {
     tree: RoutingTree,
     model: ProcessModel,
     poisoned: bool,
+    /// Spatial structure the model was built with — needed to rebuild
+    /// it on `edit lib` without re-asking the client.
+    spatial: SpatialKind,
+    /// Bumped by every `edit`; purely observational (rendered in the
+    /// `ok edit` line so scripts can assert mutation ordering).
+    epoch: u64,
+    /// Bumped only by model-wide edits (`edit lib`); folded into the
+    /// run signature so stale entries can never replay across a
+    /// library swap.
+    model_epoch: u64,
+    sigs: NodeSigs,
+    /// `drain` holds `&Session` across the worker pool, so the cache
+    /// sits behind a mutex; runs against the same session serialize on
+    /// it (distinct sessions still parallelize).
+    cache: Mutex<SolutionCache>,
 }
 
 impl Session {
@@ -141,6 +168,21 @@ impl Session {
     #[must_use]
     pub fn poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Mutation epoch: 0 at open, +1 per applied `edit`.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Nodes with a live (replayable) cache entry right now.
+    #[must_use]
+    pub fn cached_nodes(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .live_entries()
     }
 }
 
@@ -207,10 +249,16 @@ impl SessionStore {
             return Err(InsertionError::NoSinks.into());
         }
         let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial);
+        let sigs = NodeSigs::build(&tree);
         let session = Session {
             tree,
             model,
             poisoned: false,
+            spatial,
+            epoch: 0,
+            model_epoch: 0,
+            sigs,
+            cache: Mutex::new(SolutionCache::new()),
         };
         let index = match self.free.pop() {
             Some(i) => {
@@ -247,6 +295,21 @@ impl SessionStore {
     pub fn resolve(&self, handle: SessionHandle) -> Result<&Session, RequestError> {
         let session = self
             .slot(handle)
+            .ok_or(RequestError::StaleHandle { handle })?;
+        if session.poisoned {
+            return Err(RequestError::SessionPoisoned { handle });
+        }
+        Ok(session)
+    }
+
+    /// Mutable variant of [`resolve`](Self::resolve) — the edit path.
+    fn resolve_mut(&mut self, handle: SessionHandle) -> Result<&mut Session, RequestError> {
+        let slot = self
+            .slots
+            .get_mut(handle.index as usize)
+            .filter(|s| s.generation == handle.generation);
+        let session = slot
+            .and_then(|s| s.session.as_mut())
             .ok_or(RequestError::StaleHandle { handle })?;
         if session.poisoned {
             return Err(RequestError::SessionPoisoned { handle });
@@ -321,6 +384,47 @@ impl Default for OptimizeParams {
     }
 }
 
+/// Which buffer library an `edit lib` swaps the session's model to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibChoice {
+    /// The full 65 nm library (the open-time default).
+    Full,
+    /// The single-buffer 65 nm library.
+    Single,
+}
+
+/// One in-place mutation of a resident session's net or model.
+///
+/// Structural edits dirty exactly the edited node's root path (those
+/// cache entries are invalidated; the rest of the tree replays);
+/// `Lib` is model-wide, so it flushes the whole cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EditOp {
+    /// Replace a sink's load capacitance (fF).
+    SinkCap {
+        /// Target node index.
+        node: u32,
+        /// New load capacitance, fF (finite, non-negative).
+        capacitance: f64,
+    },
+    /// Replace a sink's required arrival time (ps).
+    SinkRat {
+        /// Target node index.
+        node: u32,
+        /// New required arrival time, ps (finite).
+        required_arrival: f64,
+    },
+    /// Replace the wire length of a node's parent edge (µm).
+    Wire {
+        /// Target node index (not the root — it has no parent edge).
+        node: u32,
+        /// New edge length, µm (finite, non-negative).
+        length: f64,
+    },
+    /// Swap the session's buffer library, rebuilding the model.
+    Lib(LibChoice),
+}
+
 /// One service request, in submission order.
 #[derive(Debug)]
 pub enum Request {
@@ -344,6 +448,14 @@ pub enum Request {
         handle: SessionHandle,
         /// Run parameters.
         params: OptimizeParams,
+    },
+    /// Mutate a resident session in place (epoch bump + targeted cache
+    /// invalidation; the next optimize replays clean subtrees).
+    Edit {
+        /// The session to mutate.
+        handle: SessionHandle,
+        /// The mutation.
+        op: EditOp,
     },
     /// Structural summary of a session's net.
     Info {
@@ -376,6 +488,14 @@ pub struct ServiceStats {
     pub open_sessions: usize,
     /// High-water mark of queued cost units.
     pub peak_queue_cost: u64,
+    /// Nodes replayed from session solution caches across all served
+    /// optimize requests.
+    pub cache_hits: u64,
+    /// Nodes the incremental engine recomputed (the dirty sets).
+    pub cache_misses: u64,
+    /// Cache entries invalidated by edits, flushes, and armed runs
+    /// that degraded or crashed.
+    pub cache_invalidations: u64,
 }
 
 /// One service response; renders as a single deterministic protocol
@@ -419,6 +539,16 @@ pub enum Response {
         fallbacks: usize,
         /// List truncations recorded.
         truncations: usize,
+    },
+    /// Session mutated in place.
+    Edited {
+        /// The mutated session.
+        handle: SessionHandle,
+        /// The session's mutation epoch after this edit.
+        epoch: u64,
+        /// Nodes this edit dirtied: the edited node's root path for
+        /// structural edits, the whole net for `edit lib`.
+        dirty: u64,
     },
     /// Net summary.
     Info {
@@ -484,6 +614,11 @@ impl fmt::Display for Response {
                 b(*cancelled),
                 b(*tightened),
             ),
+            Response::Edited {
+                handle,
+                epoch,
+                dirty,
+            } => write!(f, "ok edit session={handle} epoch={epoch} dirty={dirty}"),
             Response::Info {
                 handle,
                 name,
@@ -498,7 +633,7 @@ impl fmt::Display for Response {
             Response::Stats(s) => write!(
                 f,
                 "ok stats sessions={} served={} shed={} tightened={} panics={} cancelled={} \
-                 degraded={} peak_queue={}",
+                 degraded={} peak_queue={} cache_hits={} cache_misses={} cache_inval={}",
                 s.open_sessions,
                 s.served,
                 s.shed,
@@ -506,7 +641,10 @@ impl fmt::Display for Response {
                 s.panics_contained,
                 s.cancelled,
                 s.degraded,
-                s.peak_queue_cost
+                s.peak_queue_cost,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_invalidations,
             ),
             Response::Injected { id } => write!(f, "ok inject id={id}"),
             Response::Pong => write!(f, "ok pong"),
@@ -534,6 +672,10 @@ struct OptOutcome {
     handle: SessionHandle,
     response: Response,
     poison: bool,
+    /// Solution-cache deltas this envelope produced (0 on cold runs).
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
 }
 
 /// The long-lived optimization service.
@@ -724,6 +866,7 @@ impl Service {
                 Ok(()) => Response::Closed { handle },
                 Err(e) => Response::Error(e),
             },
+            Request::Edit { handle, op } => self.apply_edit(handle, op),
             Request::Info { handle } => match self.store.resolve(handle) {
                 Ok(session) => {
                     let t = session.tree();
@@ -740,6 +883,117 @@ impl Service {
             Request::Stats => Response::Stats(self.stats()),
             Request::Ping => Response::Pong,
             Request::Optimize { .. } => unreachable!("optimize is batched, not control-plane"),
+        }
+    }
+
+    /// Applies one in-place mutation: validate → mutate → resign the
+    /// root path (or rebuild the model) → invalidate exactly the
+    /// dirtied cache entries → bump the epoch.
+    fn apply_edit(&mut self, handle: SessionHandle, op: EditOp) -> Response {
+        let session = match self.store.resolve_mut(handle) {
+            Ok(s) => s,
+            Err(e) => return Response::Error(e),
+        };
+        // Pre-validate against this session's net so every bad edit is
+        // a typed `Malformed`, never a tree-mutator assert.
+        let check_node = |node: u32, len: usize| -> Result<NodeId, RequestError> {
+            if (node as usize) < len {
+                Ok(NodeId(node))
+            } else {
+                Err(malformed(format!(
+                    "node {node} out of range (net has {len} nodes)"
+                )))
+            }
+        };
+        let len = session.tree.len();
+        let dirtied = match op {
+            EditOp::SinkCap { node, capacitance } => {
+                let id = match check_node(node, len) {
+                    Ok(id) => id,
+                    Err(e) => return Response::Error(e),
+                };
+                let NodeKind::Sink {
+                    required_arrival, ..
+                } = session.tree.node(id).kind
+                else {
+                    return Response::Error(malformed(format!("node {node} is not a sink")));
+                };
+                if !(capacitance.is_finite() && capacitance >= 0.0) {
+                    return Response::Error(malformed(
+                        "sink capacitance must be finite and non-negative",
+                    ));
+                }
+                session.tree.set_sink(id, capacitance, required_arrival);
+                session.sigs.update_path(&session.tree, id)
+            }
+            EditOp::SinkRat {
+                node,
+                required_arrival,
+            } => {
+                let id = match check_node(node, len) {
+                    Ok(id) => id,
+                    Err(e) => return Response::Error(e),
+                };
+                let NodeKind::Sink { capacitance, .. } = session.tree.node(id).kind else {
+                    return Response::Error(malformed(format!("node {node} is not a sink")));
+                };
+                if !required_arrival.is_finite() {
+                    return Response::Error(malformed("sink RAT must be finite"));
+                }
+                session.tree.set_sink(id, capacitance, required_arrival);
+                session.sigs.update_path(&session.tree, id)
+            }
+            EditOp::Wire { node, length } => {
+                let id = match check_node(node, len) {
+                    Ok(id) => id,
+                    Err(e) => return Response::Error(e),
+                };
+                if id == session.tree.root() {
+                    return Response::Error(malformed("the root has no parent edge"));
+                }
+                if !(length.is_finite() && length >= 0.0) {
+                    return Response::Error(malformed(
+                        "wire length must be finite and non-negative",
+                    ));
+                }
+                session.tree.set_edge_length(id, length);
+                session.sigs.update_path(&session.tree, id)
+            }
+            EditOp::Lib(choice) => {
+                let library = match choice {
+                    LibChoice::Full => BufferLibrary::default_65nm(),
+                    LibChoice::Single => BufferLibrary::single_65nm(),
+                };
+                session.model = ProcessModel::new(
+                    session.tree.bounding_box(),
+                    session.spatial,
+                    VariationBudgets::paper_5pct(),
+                    library,
+                );
+                session.model_epoch += 1;
+                Vec::new()
+            }
+        };
+        let mut cache = session.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = cache.invalidations();
+        let dirty = if matches!(op, EditOp::Lib(_)) {
+            cache.clear();
+            len as u64
+        } else {
+            for &id in &dirtied {
+                cache.invalidate(id);
+            }
+            dirtied.len() as u64
+        };
+        let invalidated = cache.invalidations() - before;
+        drop(cache);
+        session.epoch += 1;
+        let epoch = session.epoch;
+        self.stats.cache_invalidations += invalidated;
+        Response::Edited {
+            handle,
+            epoch,
+            dirty,
         }
     }
 
@@ -761,7 +1015,7 @@ impl Service {
                 .iter()
                 .zip(faults)
                 .map(|(&(id, handle, params, tightened), fault)| {
-                    let resolved = store.resolve(handle).map(|s| (&s.tree, &s.model));
+                    let resolved = store.resolve(handle);
                     (id, handle, params, tightened, resolved, fault)
                 })
                 .collect();
@@ -781,6 +1035,9 @@ impl Service {
         let mut out = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             self.stats.served += 1;
+            self.stats.cache_hits += outcome.cache_hits;
+            self.stats.cache_misses += outcome.cache_misses;
+            self.stats.cache_invalidations += outcome.cache_invalidations;
             if outcome.poison {
                 self.store.poison(outcome.handle);
                 self.stats.panics_contained += 1;
@@ -834,25 +1091,37 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The hardened per-request execution envelope: resolve, arm the
 /// watchdog and any injected fault, run the governed DP under
 /// `catch_unwind`, and map the outcome to a structured response.
+///
+/// When the session cache is armed (service-enabled, no fault, an
+/// unconstraining budget), the DP runs through
+/// [`optimize_incremental`], replaying clean subtrees from the cache.
+/// The cache mutex is locked *outside* `catch_unwind` and the closure
+/// only borrows the guard, so a contained panic can neither poison the
+/// mutex nor leave half-written entries live — the still-held guard
+/// flushes them on the way out.
 fn run_envelope(
     config: &ServiceConfig,
     id: u64,
     handle: SessionHandle,
     params: OptimizeParams,
     tightened: bool,
-    resolved: Result<(&RoutingTree, &ProcessModel), RequestError>,
+    resolved: Result<&Session, RequestError>,
     fault: Option<RequestFault>,
 ) -> OptOutcome {
-    let (tree, model) = match resolved {
-        Ok(pair) => pair,
+    let session = match resolved {
+        Ok(s) => s,
         Err(e) => {
             return OptOutcome {
                 handle,
                 response: Response::Error(e),
                 poison: false,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_invalidations: 0,
             }
         }
     };
+    let (tree, model) = (&session.tree, &session.model);
     let mut budget = params.budget.unwrap_or(config.budget);
     if tightened {
         budget = tighten(budget);
@@ -873,6 +1142,29 @@ fn run_envelope(
         Some(RequestFault::AllocSpike(count)) => Some(FaultInjector::new(FaultPlan::pad(1, count))),
         _ => None,
     };
+    // Arm the session cache only for runs whose lists are the
+    // unconstrained fixpoint: a fault-injected or budget-constrained
+    // run may produce (or want to consume) lists that differ from the
+    // cold result, so it takes the cold path untouched.
+    let armed = config.use_cache && fault.is_none() && !budget.constrains_run();
+    let mut cache_guard =
+        armed.then(|| session.cache.lock().unwrap_or_else(PoisonError::into_inner));
+    let inv_before = cache_guard.as_ref().map_or(0, |c| c.invalidations());
+    let run_sig = run_signature(
+        match params.rule {
+            RuleChoice::TwoP => 2,
+            RuleChoice::FourP => 4,
+            RuleChoice::OneP => 1,
+        },
+        match params.mode {
+            VariationMode::Nominal => 0,
+            VariationMode::DieToDie => 1,
+            VariationMode::WithinDie => 2,
+        },
+        options.sparsify_epsilon,
+        sizing.widths().len(),
+        session.model_epoch,
+    );
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let controls = RunControls {
             // A delay fault pre-ages the run's clock, so the watchdog
@@ -885,17 +1177,45 @@ fn run_envelope(
             cancel: Some(CancelToken::new()),
             watchdog: config.watchdog,
         };
-        optimize_governed_detailed(
-            tree,
-            model,
-            params.mode,
-            cascade,
-            &sizing,
-            &options,
-            &budget,
-            controls,
-        )
+        match cache_guard.as_mut() {
+            Some(cache) => optimize_incremental(
+                tree,
+                model,
+                params.mode,
+                cascade,
+                &sizing,
+                &options,
+                &budget,
+                controls,
+                &session.sigs,
+                cache,
+                run_sig,
+            ),
+            None => optimize_governed_detailed(
+                tree,
+                model,
+                params.mode,
+                cascade,
+                &sizing,
+                &options,
+                &budget,
+                controls,
+            ),
+        }
     }));
+    // Any outcome other than a clean completion flushes the cache: a
+    // typed error or contained panic may have stored partial entries,
+    // and `optimize_incremental` already cleared on degradation.
+    if let Some(cache) = cache_guard.as_mut() {
+        match &outcome {
+            Ok(Ok(_)) => {}
+            _ => cache.clear(),
+        }
+    }
+    let cache_invalidations = cache_guard
+        .as_ref()
+        .map_or(0, |c| c.invalidations() - inv_before);
+    drop(cache_guard);
     match outcome {
         Ok(Ok(governed)) => OptOutcome {
             handle,
@@ -914,11 +1234,17 @@ fn run_envelope(
                 truncations: governed.degradation.truncations(),
             },
             poison: false,
+            cache_hits: governed.result.stats.cache_hits as u64,
+            cache_misses: governed.result.stats.cache_misses as u64,
+            cache_invalidations,
         },
         Ok(Err(e)) => OptOutcome {
             handle,
             response: Response::Error(RequestError::Insertion(e)),
             poison: false,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations,
         },
         Err(payload) => OptOutcome {
             handle,
@@ -926,6 +1252,9 @@ fn run_envelope(
                 message: panic_message(payload.as_ref()),
             }),
             poison: true,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations,
         },
     }
 }
@@ -1097,6 +1426,66 @@ fn parse_opt_params(tokens: &[&str]) -> Result<OptimizeParams, RequestError> {
     Ok(params)
 }
 
+fn parse_edit(tokens: &[&str]) -> Result<Command, RequestError> {
+    let kind = tokens
+        .first()
+        .ok_or_else(|| malformed("`edit` needs a kind (sink|rat|wire|lib)"))?;
+    let handle = parse_handle(tokens.get(1).copied(), "edit")?;
+    // Node tokens accept the rendered `n<IDX>` form or a bare index.
+    let parse_node = |pos: usize| -> Result<u32, RequestError> {
+        let token = tokens
+            .get(pos)
+            .ok_or_else(|| malformed(format!("`edit {kind}` needs a node index")))?;
+        token
+            .strip_prefix('n')
+            .unwrap_or(token)
+            .parse()
+            .map_err(|_| malformed(format!("bad node index `{token}`")))
+    };
+    let parse_value = |pos: usize, what: &str| -> Result<f64, RequestError> {
+        let token = tokens
+            .get(pos)
+            .ok_or_else(|| malformed(format!("`edit {kind}` needs a {what}")))?;
+        token
+            .parse()
+            .map_err(|_| malformed(format!("bad {what} `{token}`")))
+    };
+    let op = match *kind {
+        "sink" => EditOp::SinkCap {
+            node: parse_node(2)?,
+            capacitance: parse_value(3, "capacitance (fF)")?,
+        },
+        "rat" => EditOp::SinkRat {
+            node: parse_node(2)?,
+            required_arrival: parse_value(3, "required arrival (ps)")?,
+        },
+        "wire" => EditOp::Wire {
+            node: parse_node(2)?,
+            length: parse_value(3, "length (um)")?,
+        },
+        "lib" => EditOp::Lib(match tokens.get(2).copied() {
+            Some("full") => LibChoice::Full,
+            Some("single") => LibChoice::Single,
+            other => {
+                return Err(malformed(format!(
+                    "unknown library `{}` (expected full|single)",
+                    other.unwrap_or("")
+                )))
+            }
+        }),
+        other => {
+            return Err(malformed(format!(
+                "unknown edit kind `{other}` (expected sink|rat|wire|lib)"
+            )))
+        }
+    };
+    let arity = if matches!(op, EditOp::Lib(_)) { 3 } else { 4 };
+    if tokens.len() > arity {
+        return Err(malformed(format!("trailing fields after `edit {kind}`")));
+    }
+    Ok(Command::Req(Request::Edit { handle, op }))
+}
+
 fn parse_inject(tokens: &[&str]) -> Result<Command, RequestError> {
     let kind = tokens
         .first()
@@ -1175,6 +1564,7 @@ pub fn parse_line(line: &str) -> Result<Command, RequestError> {
             let params = parse_opt_params(&rest[1..])?;
             Ok(Command::Req(Request::Optimize { handle, params }))
         }
+        "edit" => parse_edit(rest),
         "info" => Ok(Command::Req(Request::Info {
             handle: parse_handle(rest.first().copied(), "info")?,
         })),
@@ -1196,6 +1586,10 @@ commands:
   load [homog|hetero]   read a varbuf-tree v1 net on following lines, until `end`
   close s<I>.<G>        close a session (frees the slot, bumps its generation)
   opt s<I>.<G> [mode=d2d|wid] [rule=2p|4p|1p] [budget-solutions=N] [budget-time=SECS]
+  edit sink s<I>.<G> <NODE> <CAP_FF> | edit rat s<I>.<G> <NODE> <RAT_PS>
+  edit wire s<I>.<G> <NODE> <LEN_UM> | edit lib s<I>.<G> <full|single>
+                        mutate the resident net in place; the next opt
+                        replays cached subtrees the edit left clean
   info s<I>.<G>         net summary
   stats                 service counters
   ping                  liveness probe
@@ -1439,6 +1833,173 @@ mod tests {
     }
 
     #[test]
+    fn edits_bump_epoch_and_dirty_only_the_root_path() {
+        let mut service = Service::new(ServiceConfig::default());
+        let h = open_tiny(&mut service);
+        // Warm the cache, then edit one sink's RAT: the replay after it
+        // must recompute only the dirtied root path.
+        assert!(matches!(
+            service.execute(Request::Optimize {
+                handle: h,
+                params: OptimizeParams::default(),
+            }),
+            Response::Optimized { .. }
+        ));
+        let warm = service.stats();
+        assert_eq!(warm.cache_hits, 0, "cold run replays nothing");
+        let sink = {
+            let tree = service.store().resolve(h).unwrap().tree();
+            tree.sinks().next().unwrap()
+        };
+        let dirty = match service.execute(Request::Edit {
+            handle: h,
+            op: EditOp::SinkRat {
+                node: sink.0,
+                required_arrival: 321.0,
+            },
+        }) {
+            Response::Edited {
+                epoch: 1, dirty, ..
+            } => dirty,
+            other => panic!("expected first-epoch Edited, got {other}"),
+        };
+        let nodes = service.store().resolve(h).unwrap().tree().len() as u64;
+        assert!(dirty >= 1 && dirty < nodes, "path dirty count: {dirty}");
+        assert!(matches!(
+            service.execute(Request::Optimize {
+                handle: h,
+                params: OptimizeParams::default(),
+            }),
+            Response::Optimized { .. }
+        ));
+        let s = service.stats();
+        assert_eq!(s.cache_hits, nodes - dirty, "clean subtrees replayed");
+        assert!(s.cache_invalidations >= dirty);
+        // A library swap is model-wide: the next run is cold again.
+        assert!(matches!(
+            service.execute(Request::Edit {
+                handle: h,
+                op: EditOp::Lib(LibChoice::Single),
+            }),
+            Response::Edited { epoch: 2, .. }
+        ));
+        let before = service.stats().cache_hits;
+        assert!(matches!(
+            service.execute(Request::Optimize {
+                handle: h,
+                params: OptimizeParams::default(),
+            }),
+            Response::Optimized { .. }
+        ));
+        assert_eq!(service.stats().cache_hits, before, "lib swap flushed");
+    }
+
+    #[test]
+    fn edits_reject_bad_targets_with_typed_errors() {
+        let mut service = Service::new(ServiceConfig::default());
+        let h = open_tiny(&mut service);
+        for (op, what) in [
+            (
+                EditOp::SinkCap {
+                    node: 10_000,
+                    capacitance: 1.0,
+                },
+                "out-of-range node",
+            ),
+            (
+                EditOp::SinkRat {
+                    node: 0,
+                    required_arrival: 1.0,
+                },
+                "root is not a sink",
+            ),
+            (
+                EditOp::Wire {
+                    node: 0,
+                    length: 5.0,
+                },
+                "root has no parent edge",
+            ),
+            (
+                EditOp::Wire {
+                    node: 1,
+                    length: f64::NAN,
+                },
+                "non-finite length",
+            ),
+        ] {
+            assert!(
+                matches!(
+                    service.execute(Request::Edit { handle: h, op }),
+                    Response::Error(RequestError::Malformed { .. })
+                ),
+                "{what} should be malformed"
+            );
+        }
+        // Rejected edits never bump the epoch.
+        let epoch = service.store().resolve(h).unwrap().epoch();
+        assert_eq!(epoch, 0);
+    }
+
+    #[test]
+    fn incremental_replay_is_byte_identical_to_cold() {
+        // The same open/edit/opt script against a cache-on and a
+        // cache-off service must render identical responses (the stats
+        // line is excluded — counters legitimately differ).
+        let run = |use_cache: bool| -> Vec<String> {
+            let mut service = Service::new(ServiceConfig {
+                use_cache,
+                ..ServiceConfig::default()
+            });
+            let h = match service.execute(Request::Open {
+                tree: Box::new(generate_benchmark(&BenchmarkSpec::random("t", 24, 11))),
+                spatial: SpatialKind::Heterogeneous,
+            }) {
+                Response::Opened { handle, .. } => handle,
+                other => panic!("expected Opened, got {other}"),
+            };
+            let sink = {
+                let tree = service.store().resolve(h).unwrap().tree();
+                tree.sinks().nth(2).unwrap()
+            };
+            let mut out = Vec::new();
+            // 2P/1P only: unconstrained 4P is intractable at this size
+            // (the bounds oracle caps it at 6 sinks); the fuzz oracle
+            // covers 4P replay identity on small nets.
+            for (rule, rat) in [
+                (RuleChoice::TwoP, 100.0),
+                (RuleChoice::OneP, 250.0),
+                (RuleChoice::TwoP, -50.0),
+            ] {
+                out.push(
+                    service
+                        .execute(Request::Edit {
+                            handle: h,
+                            op: EditOp::SinkRat {
+                                node: sink.0,
+                                required_arrival: rat,
+                            },
+                        })
+                        .to_string(),
+                );
+                out.push(
+                    service
+                        .execute(Request::Optimize {
+                            handle: h,
+                            params: OptimizeParams {
+                                rule,
+                                ..OptimizeParams::default()
+                            },
+                        })
+                        .to_string(),
+                );
+            }
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn protocol_parses_and_rejects() {
         assert!(matches!(
             parse_line("open random:8:7 homog"),
@@ -1455,6 +2016,27 @@ mod tests {
                 fault: RequestFault::Delay(_)
             })
         ));
+        assert!(matches!(
+            parse_line("edit rat s0.0 n5 250.5"),
+            Ok(Command::Req(Request::Edit {
+                op: EditOp::SinkRat { node: 5, .. },
+                ..
+            }))
+        ));
+        assert!(matches!(
+            parse_line("edit wire s0.0 3 140"),
+            Ok(Command::Req(Request::Edit {
+                op: EditOp::Wire { node: 3, .. },
+                ..
+            }))
+        ));
+        assert!(matches!(
+            parse_line("edit lib s1.2 single"),
+            Ok(Command::Req(Request::Edit {
+                op: EditOp::Lib(LibChoice::Single),
+                ..
+            }))
+        ));
         for bad in [
             "",
             "frobnicate",
@@ -1466,6 +2048,12 @@ mod tests {
             "opt notahandle",
             "inject panic",
             "inject fizzle 1",
+            "edit",
+            "edit sink s0.0 n1",
+            "edit sink s0.0 n1 abc",
+            "edit lib s0.0 tiny",
+            "edit wire s0.0 n1 5 extra",
+            "edit grow s0.0 n1 5",
         ] {
             assert!(
                 matches!(parse_line(bad), Err(RequestError::Malformed { .. })),

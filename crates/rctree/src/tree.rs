@@ -334,6 +334,34 @@ impl RoutingTree {
         self.nodes[id.index()].is_candidate = candidate;
     }
 
+    /// Overwrites the load capacitance and required arrival time of the
+    /// sink at `id`, keeping the node's position and links intact. This is
+    /// the mutation surface incremental re-optimization edits through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or not a sink, if `capacitance` is
+    /// negative, or if either parameter is non-finite.
+    pub fn set_sink(&mut self, id: NodeId, capacitance: f64, required_arrival: f64) {
+        assert!(
+            capacitance.is_finite() && capacitance >= 0.0,
+            "sink capacitance must be finite and non-negative"
+        );
+        assert!(
+            required_arrival.is_finite(),
+            "sink required arrival time must be finite"
+        );
+        let node = &mut self.nodes[id.index()];
+        assert!(
+            matches!(node.kind, NodeKind::Sink { .. }),
+            "set_sink target must be a sink"
+        );
+        node.kind = NodeKind::Sink {
+            capacitance,
+            required_arrival,
+        };
+    }
+
     /// Overrides the wire length of the edge above `id` (by default the
     /// Manhattan distance between the endpoints; detoured routes may be
     /// longer).
@@ -574,6 +602,27 @@ mod tests {
         assert_eq!(t.candidate_count(), 2);
         t.set_candidate(NodeId(2), true);
         assert_eq!(t.candidate_count(), 3);
+    }
+
+    #[test]
+    fn set_sink_updates_parameters_in_place() {
+        let mut t = two_sink_tree();
+        t.set_sink(NodeId(2), 42.0, -7.5);
+        assert_eq!(
+            t.node(NodeId(2)).kind,
+            NodeKind::Sink {
+                capacitance: 42.0,
+                required_arrival: -7.5
+            }
+        );
+        t.validate().expect("still valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a sink")]
+    fn set_sink_rejects_non_sinks() {
+        let mut t = two_sink_tree();
+        t.set_sink(NodeId(1), 10.0, 0.0);
     }
 
     #[test]

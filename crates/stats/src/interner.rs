@@ -244,6 +244,7 @@ impl TermInterner {
 pub struct ScatterPlanCache {
     plans: HashMap<Box<[SourceId]>, Rc<[u32]>>,
     hits: usize,
+    misses: usize,
 }
 
 impl ScatterPlanCache {
@@ -268,6 +269,7 @@ impl ScatterPlanCache {
             self.hits += 1;
             return Rc::clone(plan);
         }
+        self.misses += 1;
         let plan: Rc<[u32]> = ids
             .iter()
             .map(|&id| {
@@ -290,6 +292,20 @@ impl ScatterPlanCache {
     #[must_use]
     pub fn hits(&self) -> usize {
         self.hits
+    }
+
+    /// Number of `plan` calls that had to intern a new id-set (equals
+    /// [`distinct_sets`](Self::distinct_sets) — kept as a counter so
+    /// hit-rate math never touches the map).
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Total `plan` calls (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
     }
 }
 

@@ -102,13 +102,16 @@ usage:
   varbuf skew FILE [--spatial homog|hetero]
   varbuf serve [--jobs N] [--watchdog SECS] [--max-sessions N]
                [--queue-soft COST] [--queue-hard COST] [--faults]
-               [--budget-solutions N] [--budget-time SECS] [--budget-mem MB]
+               [--no-cache] [--budget-solutions N] [--budget-time SECS]
+               [--budget-mem MB]
       resident service on stdin/stdout (one command per line; `help`
       inside the session prints the protocol). --faults enables the
       `inject` fault-testing commands; --watchdog cancels any request
       past the deadline and returns its best-so-far design; requests
       queued past --queue-hard cost units are shed with a typed
-      `err overloaded` response.
+      `err overloaded` response; --no-cache disables the per-session
+      solution cache, so every opt after an `edit` runs cold (results
+      are byte-identical either way).
 
 exit codes:
   0  success
@@ -468,6 +471,7 @@ fn parse_serve_config(args: &[String]) -> Result<(ServiceConfig, usize), String>
     let mut config = ServiceConfig {
         budget: parse_budget(args)?,
         allow_faults: has_flag(args, "--faults"),
+        use_cache: !has_flag(args, "--no-cache"),
         ..ServiceConfig::default()
     };
     if let Some(v) = flag_value(args, "--watchdog") {
