@@ -31,11 +31,12 @@ echo "==> cargo test --workspace"
 cargo test --workspace
 
 echo "==> service smoke (varbuf serve: scripted mix with an injected panic)"
-SERVE_OUT=$(printf 'ping\nopen random:8:7\nedit wire s0.0 1 140\nopt s0.0\ninject panic 2\nopt s0.0\nopt s0.0\nclose s0.0\nstats\nquit\n' \
+SERVE_OUT=$(printf 'ping\nopen random:8:7\nedit wire s0.0 1 140\nopt s0.0\ncts s0.0 cut-nodes=12\ninject panic 3\nopt s0.0\nopt s0.0\nclose s0.0\nstats\nquit\n' \
   | ./target/debug/varbuf serve --faults --watchdog 10 2>/dev/null)
 echo "$SERVE_OUT" | sed 's/^/    /'
 echo "$SERVE_OUT" | grep -q '^ok edit'           || { echo "serve smoke: edit ack missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^ok opt id=1'       || { echo "serve smoke: clean optimize missing" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q '^ok opt id=2'       || { echo "serve smoke: hierarchical cts optimize missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^err internal'      || { echo "serve smoke: contained panic missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '^err poisoned'      || { echo "serve smoke: poisoned-session error missing" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q 'panics=1'           || { echo "serve smoke: stats missed the contained panic" >&2; exit 1; }
@@ -124,9 +125,26 @@ for key in ('scatter_plan_hits', 'scatter_plan_misses'):
     v = r.get(key)
     if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
         sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
+# Clock-tree pipeline: both hierarchical wall-clock points must be
+# present and positive, and the parked-frontier byte peak the governor
+# observed must fit inside the budget the run was governed under.
+for key in ('cts_16k_wall_ms', 'cts_64k_wall_ms'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite positive number')
+for key in ('peak_chunk_bytes', 'cts_budget_bytes'):
+    v = r.get(key)
+    if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+        sys.exit(f'BENCH_dp.json: {key} missing or not a finite non-negative number')
+if r['peak_chunk_bytes'] > r['cts_budget_bytes']:
+    sys.exit(f'BENCH_dp.json: peak_chunk_bytes {r["peak_chunk_bytes"]:.0f} exceeds '
+             f'the governed cts_budget_bytes {r["cts_budget_bytes"]:.0f}')
+if r['peak_chunk_bytes'] <= 0:
+    sys.exit('BENCH_dp.json: peak_chunk_bytes is zero — the decomposition '
+             'never parked a frontier, so the streaming path went unexercised')
 groups = {b.get('group') for b in r.get('benches', [])}
 for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service',
-                 'lishi', 'lane_kernels', 'incremental'):
+                 'lishi', 'lane_kernels', 'incremental', 'clock_cts'):
     if required not in groups:
         sys.exit(f'BENCH_dp.json: {required} bench group missing')
 print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '
@@ -137,6 +155,13 @@ EOF
 else
   echo "(python3 unavailable; skipped BENCH_dp.json schema check)"
 fi
+
+echo "==> cts capacity gate (64k-sink H-tree, hierarchical, governed memory budget)"
+cargo build --release --bin varbuf
+CTS_OUT=$(./target/release/varbuf cts --levels 16 --budget-mem 512)
+echo "$CTS_OUT" | sed 's/^/    /'
+echo "$CTS_OUT" | grep -q '^htree16: 65536 sinks' || { echo "cts gate: 64k run did not complete" >&2; exit 1; }
+echo "$CTS_OUT" | grep -q 'peak chunk bytes'      || { echo "cts gate: frontier ledger peak missing" >&2; exit 1; }
 
 echo "==> profile smoke (profile_stat --json: phase attribution well-formed)"
 cargo build --release -p varbuf-bench --examples

@@ -26,7 +26,7 @@ use crate::error::InsertionError;
 use crate::faultinject::FaultInjector;
 use crate::governor::{
     keep_best, solution_footprint, truncate_spread, Admission, Budget, CancelToken, Clock,
-    Degradation, Governor,
+    Degradation, Governor, GuardedFallback,
 };
 use crate::metrics::DpStats;
 use crate::ops::{
@@ -129,6 +129,18 @@ pub struct DpOptions {
     /// ~0.8× of sequential), but benchmarks probing the pool machinery
     /// itself can force the fan-out with `--jobs-force`.
     pub jobs_force: bool,
+    /// Combinatorial-blowup guard for governed runs: when the requested
+    /// primary rule merges by cross product (4P), the budget puts no
+    /// ceiling on solutions or memory, and the tree has more sinks than
+    /// this threshold, the run starts directly under the cascade's first
+    /// linear-merge rule instead of discovering the `n·m` blowup nodes
+    /// deep into the run. Recorded as [`Degradation::guard`] — a typed
+    /// planning note, not a degradation event, since the substituted run
+    /// completes at full fidelity. `0` disables the guard. Strict runs
+    /// are never guarded (they own their rule and abort by contract),
+    /// and neither are runs whose budget constrains solutions or memory
+    /// (the governor's ladder handles those, with full event reporting).
+    pub guard_4p_sinks: usize,
 }
 
 impl DpOptions {
@@ -159,6 +171,7 @@ impl Default for DpOptions {
             bound_k: 1.0,
             use_lishi: true,
             jobs_force: false,
+            guard_4p_sinks: 12,
         }
     }
 }
@@ -345,6 +358,56 @@ pub fn fallback_cascade(primary: Arc<dyn PruningRule>) -> Vec<Arc<dyn PruningRul
     cascade
 }
 
+/// The pre-run combinatorial-blowup guard (see
+/// [`DpOptions::guard_4p_sinks`]): rewrites `cascade` so a governed run
+/// that would start under a cross-product rule on a known-intractable
+/// tree starts under the first linear-merge fallback instead. Returns
+/// the [`GuardedFallback`] note to attach to the run's report, or
+/// `None` when the guard does not apply. Deterministic in the inputs,
+/// so the incremental and cold paths substitute identically.
+pub(crate) fn guard_cascade(
+    tree: &RoutingTree,
+    cascade: &mut Vec<Arc<dyn PruningRule>>,
+    options: &DpOptions,
+    budget: &Budget,
+) -> Option<GuardedFallback> {
+    let threshold = options.guard_4p_sinks;
+    if threshold == 0 || cascade.is_empty() {
+        return None;
+    }
+    if cascade[0].strategy() != MergeStrategy::CrossProduct {
+        return None;
+    }
+    let sinks = tree.sink_count();
+    if sinks <= threshold {
+        return None;
+    }
+    // A finite solution or memory ceiling means the governor's own
+    // ladder will catch the blowup (with full event reporting, which
+    // the degradation suite pins down) — only the unconstrained case
+    // has nothing between the caller and an `n·m` explosion.
+    let unconstrained = budget.soft_solutions == usize::MAX
+        && budget.hard_solutions == usize::MAX
+        && budget.soft_mem_bytes == usize::MAX
+        && budget.hard_mem_bytes == usize::MAX;
+    if !unconstrained {
+        return None;
+    }
+    let from = cascade[0].name().to_owned();
+    while cascade.len() > 1 && cascade[0].strategy() == MergeStrategy::CrossProduct {
+        cascade.remove(0);
+    }
+    if cascade[0].strategy() == MergeStrategy::CrossProduct {
+        cascade[0] = Arc::new(TwoParam::default());
+    }
+    Some(GuardedFallback {
+        from,
+        to: cascade[0].name().to_owned(),
+        sinks,
+        threshold,
+    })
+}
+
 /// Runs the DP under a degrading [`Governor`]: budget breaches relax the
 /// run (rule fallback, epsilon tightening, list truncation, panic
 /// completion) instead of aborting it, so even a pathological 4P run
@@ -425,6 +488,8 @@ pub fn optimize_governed_detailed(
     budget: &Budget,
     controls: RunControls<'_>,
 ) -> Result<GovernedResult, InsertionError> {
+    let mut cascade = cascade;
+    let guard = guard_cascade(tree, &mut cascade, options, budget);
     let mut governor = Governor::governed(*budget, cascade, options.sparsify_epsilon);
     if controls.has_cancellation() {
         governor = governor.with_cancellation(
@@ -445,7 +510,8 @@ pub fn optimize_governed_detailed(
         &mut governor,
         controls.faults,
     )?;
-    let degradation = governor.into_report();
+    let mut degradation = governor.into_report();
+    degradation.guard = guard;
     result.stats.rule_fallbacks = degradation.rule_fallbacks();
     result.stats.epsilon_tightenings = degradation.epsilon_tightenings();
     result.stats.list_truncations = degradation.truncations();
@@ -520,6 +586,10 @@ pub fn optimize_incremental(
         ));
     }
 
+    // The same deterministic guard substitution the cold path applies,
+    // so replayed and cold lists stay byte-identical.
+    let mut cascade = cascade;
+    let guard = guard_cascade(tree, &mut cascade, options, budget);
     let mut governor = Governor::governed(*budget, cascade, options.sparsify_epsilon);
     if controls.has_cancellation() {
         governor = governor.with_cancellation(
@@ -603,7 +673,8 @@ pub fn optimize_incremental(
     stats.jobs_requested = options.jobs.max(1);
     stats.jobs_effective = 1;
     let mut result = select_winner(tree, options, &lists[tree.root().index()], stats);
-    let degradation = governor.into_report();
+    let mut degradation = governor.into_report();
+    degradation.guard = guard;
     result.stats.rule_fallbacks = degradation.rule_fallbacks();
     result.stats.epsilon_tightenings = degradation.epsilon_tightenings();
     result.stats.list_truncations = degradation.truncations();
@@ -665,7 +736,7 @@ impl From<InsertionError> for EngineInterrupt {
 }
 
 impl EngineInterrupt {
-    fn into_error(self) -> InsertionError {
+    pub(crate) fn into_error(self) -> InsertionError {
         match self {
             EngineInterrupt::Error(e) => e,
             EngineInterrupt::Pressure => {
@@ -710,9 +781,9 @@ pub(crate) trait Supervisor<'r> {
 
 /// The sequential supervisor: a thin veneer over the caller's governor,
 /// preserving the exact call sequence the degradation tests pin down.
-struct GovSupervisor<'r, 'g> {
-    static_rule: Option<&'r dyn PruningRule>,
-    governor: &'g mut Governor,
+pub(crate) struct GovSupervisor<'r, 'g> {
+    pub(crate) static_rule: Option<&'r dyn PruningRule>,
+    pub(crate) governor: &'g mut Governor,
 }
 
 impl<'r> Supervisor<'r> for GovSupervisor<'r, '_> {
@@ -947,7 +1018,7 @@ impl SolPool {
         }
     }
 
-    fn put(&mut self, mut v: Vec<StatSolution>) {
+    pub(crate) fn put(&mut self, mut v: Vec<StatSolution>) {
         if self.sols.len() < Self::KEEP_SOLS {
             let room = Self::KEEP_SOLS - self.sols.len();
             let keep = v.len().min(room);
@@ -1337,7 +1408,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
 
 /// Driver step and winner selection at the root (by the configured
 /// root-selection key).
-fn select_winner(
+pub(crate) fn select_winner(
     tree: &RoutingTree,
     options: &DpOptions,
     root_list: &[StatSolution],
@@ -1374,7 +1445,7 @@ fn sparsify(s: &mut StatSolution, epsilon: f64) {
 /// Offers a node's candidate list to the supervisor, applying whatever
 /// the verdict requires (re-prune under a fallback rule, spread-
 /// preserving truncation) until the list is admitted.
-fn admit_list<'r, S: Supervisor<'r>>(
+pub(crate) fn admit_list<'r, S: Supervisor<'r>>(
     sup: &mut S,
     node: NodeId,
     sols: &mut Vec<StatSolution>,

@@ -357,6 +357,34 @@ impl fmt::Display for DegradationEvent {
     }
 }
 
+/// A pre-run guard substitution: an unconstrained 4P request on a tree
+/// large enough that its cross-product merges are known-intractable was
+/// started directly under a cheaper rule instead of discovering the
+/// blowup mid-run. Unlike a [`DegradationEvent`] this is a *planning*
+/// decision — the run itself then proceeds at full fidelity under the
+/// substituted rule, so it does not count as resource degradation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardedFallback {
+    /// Rule the caller asked for.
+    pub from: String,
+    /// Rule the run actually started under.
+    pub to: String,
+    /// Sink count of the offending tree.
+    pub sinks: usize,
+    /// The configured sink-count threshold that tripped the guard.
+    pub threshold: usize,
+}
+
+impl fmt::Display for GuardedFallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guarded {} -> {}: {} sinks over the {}-sink unconstrained-merge threshold",
+            self.from, self.to, self.sinks, self.threshold
+        )
+    }
+}
+
 /// Structured report of everything a governed run relaxed.
 ///
 /// An empty report (`degraded() == false`) means the run completed within
@@ -374,6 +402,13 @@ pub struct Degradation {
     /// Whether the run was cancelled (watchdog deadline or external
     /// token) and finished on the best-so-far path.
     pub cancelled: bool,
+    /// A pre-run rule substitution applied by the combinatorial-blowup
+    /// guard, if any. Deliberately *not* part of [`Degradation::degraded`]:
+    /// the substituted run completes within budget at full fidelity.
+    pub guard: Option<GuardedFallback>,
+    /// Peak bytes simultaneously resident in streaming solution chunks
+    /// (hierarchical runs; `0` for flat runs, which hold no chunks).
+    pub peak_chunk_bytes: usize,
 }
 
 impl Degradation {
@@ -426,7 +461,11 @@ impl Degradation {
     #[must_use]
     pub fn summary(&self) -> String {
         if !self.degraded() {
-            return "completed within budget (no degradation)".to_owned();
+            let mut out = "completed within budget (no degradation)".to_owned();
+            if let Some(guard) = &self.guard {
+                out.push_str(&format!("\n  {guard}\n"));
+            }
+            return out;
         }
         let mut out = format!(
             "degraded run: rule {} -> {}, {} event(s){}{}\n",
@@ -440,6 +479,9 @@ impl Degradation {
             },
             if self.cancelled { ", cancelled" } else { "" }
         );
+        if let Some(guard) = &self.guard {
+            out.push_str(&format!("  {guard}\n"));
+        }
         for e in &self.events {
             out.push_str(&format!("  {e}\n"));
         }
@@ -499,6 +541,9 @@ pub struct Governor {
     time_steps_taken: u32,
     mem_steps_taken: u32,
     live_bytes: usize,
+    /// High-water mark of bytes held in streaming solution chunks
+    /// (reported by the hierarchical engine via `note_chunk_bytes`).
+    peak_chunk_bytes: usize,
     events: Vec<DegradationEvent>,
     initial_rule: String,
     poisoned_total: usize,
@@ -531,6 +576,7 @@ impl Governor {
             time_steps_taken: 0,
             mem_steps_taken: 0,
             live_bytes: 0,
+            peak_chunk_bytes: 0,
             events: Vec::new(),
             initial_rule: String::new(),
             poisoned_total: 0,
@@ -566,6 +612,7 @@ impl Governor {
             time_steps_taken: 0,
             mem_steps_taken: 0,
             live_bytes: 0,
+            peak_chunk_bytes: 0,
             events: Vec::new(),
             initial_rule,
             poisoned_total: 0,
@@ -891,6 +938,18 @@ impl Governor {
         self.live_bytes
     }
 
+    /// Reports the bytes currently resident in streaming solution
+    /// chunks; the governor keeps the high-water mark for the report.
+    pub fn note_chunk_bytes(&mut self, bytes: usize) {
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(bytes);
+    }
+
+    /// High-water mark of streaming-chunk bytes observed so far.
+    #[must_use]
+    pub fn peak_chunk_bytes(&self) -> usize {
+        self.peak_chunk_bytes
+    }
+
     /// Total poisoned candidates dropped so far.
     #[must_use]
     pub fn poisoned_total(&self) -> usize {
@@ -911,6 +970,8 @@ impl Governor {
             final_rule,
             panic_completion: self.panic_mode,
             cancelled: self.cancelled,
+            guard: None,
+            peak_chunk_bytes: self.peak_chunk_bytes,
         }
     }
 }
@@ -1203,5 +1264,32 @@ mod tests {
         let report = g.into_report();
         assert!(!report.degraded());
         assert!(report.summary().contains("no degradation"));
+    }
+
+    #[test]
+    fn guard_note_is_not_degradation() {
+        let g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0);
+        let mut report = g.into_report();
+        report.guard = Some(GuardedFallback {
+            from: "4P".to_owned(),
+            to: "2P".to_owned(),
+            sinks: 120,
+            threshold: 12,
+        });
+        assert!(!report.degraded(), "guard alone must not read as degraded");
+        let summary = report.summary();
+        assert!(summary.contains("no degradation"));
+        assert!(summary.contains("guarded 4P -> 2P"));
+    }
+
+    #[test]
+    fn chunk_peak_is_high_water_marked() {
+        let mut g = Governor::governed(Budget::unlimited(), governed_cascade(), 0.0);
+        g.note_chunk_bytes(100);
+        g.note_chunk_bytes(5000);
+        g.note_chunk_bytes(200);
+        assert_eq!(g.peak_chunk_bytes(), 5000);
+        let report = g.into_report();
+        assert_eq!(report.peak_chunk_bytes, 5000);
     }
 }

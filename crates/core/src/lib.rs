@@ -31,6 +31,10 @@
 //! * [`cache`] — epoch-scoped per-node solution caching (Merkle content
 //!   signatures + a per-session solution arena) behind the service's
 //!   incremental re-optimization path;
+//! * [`hier`] — hierarchical decomposition for full-chip scale: cut-node
+//!   partitioning, epsilon-bounded frontier splicing, and chunked
+//!   streaming solution lists charged against the governor's memory
+//!   budget (64k-sink clock trees);
 //! * [`service`] — the resident optimization service behind
 //!   `varbuf serve`: a generational-arena session store, per-request
 //!   crash isolation (`catch_unwind` + session poisoning), watchdog
@@ -66,6 +70,7 @@ pub mod driver;
 pub mod error;
 pub mod faultinject;
 pub mod governor;
+pub mod hier;
 pub mod metrics;
 pub mod ops;
 pub mod pool;
@@ -81,12 +86,13 @@ pub use det::{optimize_deterministic, optimize_deterministic_with};
 pub use dp::{optimize_governed, optimize_incremental, GovernedResult};
 pub use driver::{optimize_nominal, optimize_statistical, OptimizeResult, Options};
 pub use error::{InsertionError, RequestError};
-pub use governor::{Budget, Degradation, DegradationEvent, Governor};
+pub use governor::{Budget, Degradation, DegradationEvent, Governor, GuardedFallback};
+pub use hier::{optimize_hier, HierOptions, HierReport, HierResult};
 pub use pool::{default_jobs, optimize_batch, optimize_batch_forced, BatchRequest};
 pub use prune::{FourParam, OneParam, PruningRule, TwoParam};
 pub use service::{
     EditOp, LibChoice, OptimizeParams, Request, Response, RuleChoice, Service, ServiceConfig,
     ServiceStats, SessionHandle,
 };
-pub use solution::StatSolution;
+pub use solution::{ChunkLedger, ChunkedList, StatSolution};
 pub use yield_eval::{YieldAnalysis, YieldEvaluator};

@@ -52,6 +52,7 @@ use crate::dp::{
 };
 use crate::error::InsertionError;
 use crate::governor::{Admission, Budget, Degradation, Governor};
+use crate::hier::HierOptions;
 use crate::metrics::DpStats;
 use crate::prune::PruningRule;
 use crate::solution::StatSolution;
@@ -94,6 +95,11 @@ pub struct BatchRequest<'a> {
     pub budget: Budget,
     /// Strict (typed errors on breach) vs governed (degrade) policy.
     pub strict: bool,
+    /// When set, governed requests route through the hierarchical
+    /// engine ([`crate::hier::optimize_hier`]) with these decomposition
+    /// knobs; strict requests ignore it. This is how a forest of
+    /// clock subtrees shards across the batch pool at full-chip scale.
+    pub hier: Option<HierOptions>,
 }
 
 impl<'a> BatchRequest<'a> {
@@ -115,7 +121,15 @@ impl<'a> BatchRequest<'a> {
             options: DpOptions::default(),
             budget: Budget::unlimited(),
             strict: false,
+            hier: None,
         }
+    }
+
+    /// Routes this request through the hierarchical engine.
+    #[must_use]
+    pub fn with_hier(mut self, hier: HierOptions) -> Self {
+        self.hier = Some(hier);
+        self
     }
 
     fn run(&self, inner_jobs: Option<usize>) -> Result<GovernedResult, InsertionError> {
@@ -141,6 +155,20 @@ impl<'a> BatchRequest<'a> {
                     ..Degradation::default()
                 },
             });
+        }
+        if let Some(hier) = &self.hier {
+            return crate::hier::optimize_hier(
+                self.tree,
+                self.model,
+                self.mode,
+                fallback_cascade(Arc::clone(&self.rule)),
+                &self.sizing,
+                &options,
+                hier,
+                &self.budget,
+                RunControls::default(),
+            )
+            .map(crate::hier::HierResult::into_governed);
         }
         optimize_governed_detailed(
             self.tree,

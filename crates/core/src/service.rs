@@ -45,6 +45,7 @@ use crate::dp::{
 use crate::error::{InsertionError, RequestError};
 use crate::faultinject::{FaultInjector, FaultPlan, RequestFault, RequestFaults, SkewedClock};
 use crate::governor::{Budget, CancelToken};
+use crate::hier::{optimize_hier, HierOptions, HierResult};
 use crate::prune::{FourParam, OneParam, PruningRule, TwoParam};
 use std::collections::VecDeque;
 use std::fmt;
@@ -372,6 +373,10 @@ pub struct OptimizeParams {
     pub rule: RuleChoice,
     /// Per-request budget override (`None` = the service baseline).
     pub budget: Option<Budget>,
+    /// When set, the request runs through the hierarchical engine
+    /// (the `cts` verb; large resident clock trees). Hierarchical
+    /// requests bypass the session solution cache.
+    pub hier: Option<HierOptions>,
 }
 
 impl Default for OptimizeParams {
@@ -380,6 +385,7 @@ impl Default for OptimizeParams {
             mode: VariationMode::WithinDie,
             rule: RuleChoice::TwoP,
             budget: None,
+            hier: None,
         }
     }
 }
@@ -1145,8 +1151,11 @@ fn run_envelope(
     // Arm the session cache only for runs whose lists are the
     // unconstrained fixpoint: a fault-injected or budget-constrained
     // run may produce (or want to consume) lists that differ from the
-    // cold result, so it takes the cold path untouched.
-    let armed = config.use_cache && fault.is_none() && !budget.constrains_run();
+    // cold result, so it takes the cold path untouched. Hierarchical
+    // runs splice cut-node frontiers, so their lists are not the flat
+    // fixpoint either — they bypass the cache the same way.
+    let armed =
+        config.use_cache && fault.is_none() && !budget.constrains_run() && params.hier.is_none();
     let mut cache_guard =
         armed.then(|| session.cache.lock().unwrap_or_else(PoisonError::into_inner));
     let inv_before = cache_guard.as_ref().map_or(0, |c| c.invalidations());
@@ -1177,8 +1186,20 @@ fn run_envelope(
             cancel: Some(CancelToken::new()),
             watchdog: config.watchdog,
         };
-        match cache_guard.as_mut() {
-            Some(cache) => optimize_incremental(
+        match (params.hier, cache_guard.as_mut()) {
+            (Some(hier), _) => optimize_hier(
+                tree,
+                model,
+                params.mode,
+                cascade,
+                &sizing,
+                &options,
+                &hier,
+                &budget,
+                controls,
+            )
+            .map(HierResult::into_governed),
+            (None, Some(cache)) => optimize_incremental(
                 tree,
                 model,
                 params.mode,
@@ -1191,7 +1212,7 @@ fn run_envelope(
                 cache,
                 run_sig,
             ),
-            None => optimize_governed_detailed(
+            (None, None) => optimize_governed_detailed(
                 tree,
                 model,
                 params.mode,
@@ -1415,9 +1436,19 @@ fn parse_opt_params(tokens: &[&str]) -> Result<OptimizeParams, RequestError> {
                 b.soft_time = Duration::from_secs_f64(secs);
                 b.hard_time = Duration::from_secs_f64(secs * 2.0);
             }
+            "cut-nodes" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad cut-nodes `{value}`")))?;
+                params
+                    .hier
+                    .get_or_insert_with(HierOptions::default)
+                    .cut_nodes = n;
+            }
             other => {
                 return Err(malformed(format!(
-                    "unknown opt key `{other}` (expected mode|rule|budget-solutions|budget-time)"
+                    "unknown opt key `{other}` \
+                     (expected mode|rule|budget-solutions|budget-time|cut-nodes)"
                 )))
             }
         }
@@ -1564,6 +1595,14 @@ pub fn parse_line(line: &str) -> Result<Command, RequestError> {
             let params = parse_opt_params(&rest[1..])?;
             Ok(Command::Req(Request::Optimize { handle, params }))
         }
+        "cts" => {
+            // `opt` routed through the hierarchical engine — the verb
+            // resident clock-tree sessions use at full-chip scale.
+            let handle = parse_handle(rest.first().copied(), "cts")?;
+            let mut params = parse_opt_params(&rest[1..])?;
+            params.hier.get_or_insert_with(HierOptions::default);
+            Ok(Command::Req(Request::Optimize { handle, params }))
+        }
         "edit" => parse_edit(rest),
         "info" => Ok(Command::Req(Request::Info {
             handle: parse_handle(rest.first().copied(), "info")?,
@@ -1586,6 +1625,9 @@ commands:
   load [homog|hetero]   read a varbuf-tree v1 net on following lines, until `end`
   close s<I>.<G>        close a session (frees the slot, bumps its generation)
   opt s<I>.<G> [mode=d2d|wid] [rule=2p|4p|1p] [budget-solutions=N] [budget-time=SECS]
+  cts s<I>.<G> [same keys as opt] [cut-nodes=N]
+                        opt through the hierarchical engine (cut-node
+                        decomposition + streamed frontiers; clock trees)
   edit sink s<I>.<G> <NODE> <CAP_FF> | edit rat s<I>.<G> <NODE> <RAT_PS>
   edit wire s<I>.<G> <NODE> <LEN_UM> | edit lib s<I>.<G> <full|single>
                         mutate the resident net in place; the next opt

@@ -340,6 +340,27 @@ pub fn generate_htree(spec: &HTreeSpec) -> RoutingTree {
             }
         }
     }
+    // Re-validate the geometry before handing the tree out. The arm
+    // halves every two levels, so deep subdivision drives edge lengths
+    // toward the die's floating-point resolution; if a future spec
+    // change (tiny die, huge level count) ever collapses an arm to
+    // zero, `at + off == at` silently produces coincident nodes and
+    // zero-length wires — a degenerate net that downstream Elmore and
+    // DP code would accept without complaint. Fail loudly here instead.
+    for id in tree.postorder() {
+        if tree.node(id).parent.is_none() {
+            continue;
+        }
+        let len = tree.node(id).edge_length;
+        assert!(
+            len.is_finite() && len > 0.0,
+            "H-tree level {} produced a degenerate edge (length {len}) at node {}: \
+             die {} um is too small for this subdivision depth",
+            spec.levels,
+            id.index(),
+            spec.die_um,
+        );
+    }
     tree
 }
 
@@ -488,6 +509,44 @@ mod tests {
         }
         let first = lengths[0];
         assert!(lengths.iter().all(|&l| (l - first).abs() < 1e-6));
+    }
+
+    #[test]
+    fn htree_deep_levels_round_trip() {
+        // Deep subdivision (above the historical bench range) must keep
+        // every wire non-degenerate and survive a serialize/parse
+        // round-trip intact.
+        for levels in [8u32, 10, 12] {
+            let tree = generate_htree(&HTreeSpec::with_levels(levels));
+            tree.validate().expect("valid");
+            assert_eq!(tree.sink_count(), 1 << levels, "levels={levels}");
+            let min_edge = tree
+                .postorder()
+                .into_iter()
+                .filter(|&id| tree.node(id).parent.is_some())
+                .map(|id| tree.node(id).edge_length)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_edge.is_finite() && min_edge > 0.0,
+                "levels={levels}: degenerate min edge {min_edge}"
+            );
+            let mut buf = Vec::new();
+            crate::io::write_tree(&tree, &mut buf).expect("write");
+            let back = crate::io::read_tree(buf.as_slice()).expect("read");
+            assert_eq!(back.len(), tree.len(), "levels={levels}: node count");
+            assert_eq!(back.sink_count(), tree.sink_count());
+            for id in tree.postorder() {
+                assert_eq!(
+                    back.node(id).edge_length.to_bits(),
+                    tree.node(id).edge_length.to_bits(),
+                    "levels={levels}: edge length bits at node {}",
+                    id.index()
+                );
+            }
+            // Generation is deterministic: a second call is identical.
+            let again = generate_htree(&HTreeSpec::with_levels(levels));
+            assert_eq!(again.len(), tree.len());
+        }
     }
 
     #[test]

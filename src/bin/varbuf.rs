@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("cts") => cmd_cts(&args[1..]),
         Some("skew") => cmd_skew(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
@@ -100,6 +101,16 @@ usage:
                 the next sweep would discard); results are bit-identical
                 either way
   varbuf skew FILE [--spatial homog|hetero]
+  varbuf cts [--levels N] [--spatial homog|hetero] [--rule 2p|4p|1p]
+             [--skew-target PS] [--flat] [--cut-nodes N] [--fanout-cut N]
+             [--budget-solutions N] [--budget-time SECS] [--budget-mem MB]
+      clock-tree pipeline: generate an H-tree with 2^N sinks
+      (default N=10), buffer it variation-aware (WID) through the
+      hierarchical engine, and score the result against skew targets.
+      --flat disables decomposition (byte-identical to the flat
+      engine); --cut-nodes / --fanout-cut tune where the tree is cut.
+      With a --budget-* flag the run is governed and exits 2 on
+      degradation, like `opt --degrade`.
   varbuf serve [--jobs N] [--watchdog SECS] [--max-sessions N]
                [--queue-soft COST] [--queue-hard COST] [--faults]
                [--no-cache] [--budget-solutions N] [--budget-time SECS]
@@ -611,6 +622,92 @@ fn cmd_serve(args: &[String]) -> Result<Outcome, String> {
     // session stats have already counted its admissions.
     say(&mut out, "ok bye")?;
     Ok(Outcome::Clean)
+}
+
+/// The CTS pipeline: H-tree generation, bottom-up variation-aware
+/// buffering through the hierarchical engine, skew scoring.
+fn cmd_cts(args: &[String]) -> Result<Outcome, String> {
+    let levels: u32 = match flag_value(args, "--levels") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|l| (1..=24).contains(l))
+            .ok_or_else(|| format!("--levels must be in 1..=24, got `{v}`"))?,
+        None => 10,
+    };
+    let tree = generate_htree(&HTreeSpec::with_levels(levels));
+    tree.validate().map_err(|e| e.to_string())?;
+    let model = ProcessModel::paper_defaults(tree.bounding_box(), spatial_kind(args)?);
+    let rule = parse_rule(args)?;
+    let budget = parse_budget(args)?;
+    let mut hier = if has_flag(args, "--flat") {
+        HierOptions::disabled()
+    } else {
+        HierOptions::default()
+    };
+    if let Some(v) = flag_value(args, "--cut-nodes") {
+        hier.cut_nodes = v
+            .parse()
+            .map_err(|_| "--cut-nodes needs an integer (0 disables cuts)".to_owned())?;
+    }
+    if let Some(v) = flag_value(args, "--fanout-cut") {
+        hier.fanout_cut = v
+            .parse()
+            .map_err(|_| "--fanout-cut needs an integer (0 = never by fanout)".to_owned())?;
+    }
+    let options = DpOptions::default();
+    let g = optimize_hier(
+        &tree,
+        &model,
+        VariationMode::WithinDie,
+        fallback_cascade(rule),
+        &WireSizing::single(),
+        &options,
+        &hier,
+        &budget,
+        RunControls::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut outcome = Outcome::Clean;
+    if g.degradation.degraded() {
+        outcome = Outcome::Degraded;
+        print!("{}", g.degradation.summary());
+    }
+    let r = &g.result;
+    println!(
+        "htree{levels}: {} sinks, {} buffers, RAT {:.1} ± {:.2} ps",
+        tree.sink_count(),
+        r.assignment.len(),
+        r.root_rat.mean(),
+        r.root_rat.std_dev()
+    );
+    println!(
+        "decomposition: {} cuts, {} spliced candidates dropped, peak chunk bytes {}, frontier cap {}",
+        g.hier.cut_count, g.hier.spliced_dropped, g.hier.peak_chunk_bytes, g.hier.final_frontier_cap
+    );
+    let analysis =
+        SkewAnalyzer::new(&tree, &model, VariationMode::WithinDie).analyze(&r.assignment);
+    let skew = analysis.global_skew();
+    println!("global skew {:.2} ± {:.2} ps", skew.mean(), skew.std_dev());
+    let targets: Vec<f64> = match flag_value(args, "--skew-target") {
+        Some(v) => vec![v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t > 0.0)
+            .ok_or_else(|| format!("--skew-target needs a positive number of ps, got `{v}`"))?],
+        None => [1.0, 1.5, 2.0]
+            .iter()
+            .map(|m| skew.mean() * m + 1e-9)
+            .collect(),
+    };
+    for target in targets {
+        println!(
+            "  P(skew <= {:.2} ps) = {:.1}%",
+            target,
+            100.0 * analysis.skew_yield(target)
+        );
+    }
+    Ok(outcome)
 }
 
 fn cmd_skew(args: &[String]) -> Result<Outcome, String> {

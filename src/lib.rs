@@ -57,6 +57,7 @@ pub mod prelude {
     };
     pub use varbuf_core::faultinject::{RequestFault, RequestFaults};
     pub use varbuf_core::governor::{Budget, CancelToken, Degradation, DegradationEvent};
+    pub use varbuf_core::hier::{optimize_hier, HierOptions, HierReport, HierResult};
     pub use varbuf_core::pool::{default_jobs, optimize_batch, BatchRequest};
     pub use varbuf_core::prune::{FourParam, OneParam, PruningRule, RuleConfigError, TwoParam};
     pub use varbuf_core::service::{
