@@ -92,6 +92,19 @@ if ratio > ceiling:
              f'results/ratchet.json ceiling {ceiling} — the statistical DP '
              f'regressed (or the deterministic baseline got faster; re-ratchet '
              f'deliberately if so)')
+# Lazy wire propagation: the deferred-transform path (the default) must
+# keep beating the eager per-segment kernels on the subdivision-heavy
+# bench by at least the ratchet floor. The oracle suite pins the two
+# paths equal-objective, so a collapse here means the deferral stopped
+# engaging (or its materialization points multiplied), not a tradeoff.
+lazy = r.get('lazy_wire_speedup')
+if not isinstance(lazy, (int, float)) or not math.isfinite(lazy) or lazy <= 0:
+    sys.exit('BENCH_dp.json: lazy_wire_speedup missing or not a finite positive number')
+lazy_floor = ratchet.get('lazy_wire_speedup_min', 1.0)
+if lazy < lazy_floor:
+    sys.exit(f'BENCH_dp.json: lazy_wire_speedup {lazy:.2f} below the '
+             f'results/ratchet.json floor {lazy_floor} — deferred wire '
+             f'transforms stopped paying for themselves')
 # Resident-service telemetry: latency percentiles and throughput must be
 # positive finite numbers, the percentiles ordered, and the overload
 # burst must actually have shed work.
@@ -144,7 +157,8 @@ if r['peak_chunk_bytes'] <= 0:
              'never parked a frontier, so the streaming path went unexercised')
 groups = {b.get('group') for b in r.get('benches', [])}
 for required in ('canonical_kernels', 'dp_scaling', 'bound_guided', 'service',
-                 'lishi', 'lane_kernels', 'incremental', 'clock_cts'):
+                 'lishi', 'lane_kernels', 'incremental', 'clock_cts',
+                 'wire_heavy'):
     if required not in groups:
         sys.exit(f'BENCH_dp.json: {required} bench group missing')
 print(f'BENCH_dp.json ok: stat_vs_det_ratio={ratio:.2f}, '
@@ -174,13 +188,13 @@ r = json.load(open(sys.argv[1]))
 # Every phase timer and counter the attribution tables are built from
 # must be present and finite; the phases must fit inside the wall clock
 # (generous slack: Instant overhead inflates fine-grained intervals).
-for key in ('wall_ns', 'merge_ns', 'prune_ns', 'buffer_ns', 'bound_ns'):
+for key in ('wall_ns', 'wire_ns', 'merge_ns', 'prune_ns', 'buffer_ns', 'bound_ns'):
     v = r.get(key)
     if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
         sys.exit(f'profile_stat: {key} missing or not a finite non-negative number')
 if r['wall_ns'] <= 0:
     sys.exit('profile_stat: wall_ns must be positive')
-phase_sum = r['merge_ns'] + r['prune_ns'] + r['buffer_ns'] + r['bound_ns']
+phase_sum = r['wire_ns'] + r['merge_ns'] + r['prune_ns'] + r['buffer_ns'] + r['bound_ns']
 if phase_sum > 1.5 * r['wall_ns']:
     sys.exit(f'profile_stat: phase timers ({phase_sum:.0f} ns) wildly exceed '
              f'the wall clock ({r["wall_ns"]:.0f} ns) — attribution is broken')

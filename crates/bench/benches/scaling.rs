@@ -247,6 +247,70 @@ fn main() {
         bg_stats.lishi_skipped
     );
 
+    // Lazy wire propagation: deferred affine wire transforms (the
+    // default) vs the eager per-segment kernels, on subdivision-heavy
+    // trees where the deferral pays — `subdiv` segments per ~1000 µm
+    // Steiner edge means the eager path rewrites every RAT term
+    // `subdiv` times per chain while the lazy path folds the whole
+    // chain into one materialization at the next merge/buffer. The
+    // oracle suite (`tests/lazy_wire_oracle.rs`) pins the two paths
+    // equal-objective, so the delta here is pure avoided term traffic.
+    // The heaviest configuration runs last so the headline
+    // `lazy_wire_speedup` aliases it.
+    let wire_cfgs: &[(usize, usize)] = if smoke {
+        &[(16, 64)]
+    } else {
+        &[(4, 256), (16, 256), (4, 1024), (16, 1024)]
+    };
+    let mut wh = Bencher::new("wire_heavy").with_config(config);
+    let mut lazy_speedup = f64::NAN;
+    let mut lazy_label = (0usize, 0usize);
+    for &(subdiv, sinks) in wire_cfgs {
+        // The random benchmarks place sinks on a 1000·√N µm die, so a
+        // typical Steiner edge runs ~1000 µm; this pitch splits it into
+        // ~`subdiv` buffer-candidate segments.
+        let pitch = 1000.0 / subdiv as f64;
+        let tree =
+            generate_benchmark(&BenchmarkSpec::random("wire-heavy", sinks, 77)).subdivided(pitch);
+        let model = ProcessModel::paper_defaults(tree.bounding_box(), SpatialKind::Heterogeneous);
+        let on_reqs = vec![request(&tree, &model, jobs)];
+        let mut off_reqs = vec![request(&tree, &model, jobs)];
+        off_reqs[0].options.use_lazy_wire = false;
+        let probe = optimize_batch(&on_reqs, 1)
+            .pop()
+            .expect("one request")
+            .expect("completes")
+            .result
+            .stats;
+        let on_median = wh
+            .bench(&format!("lazy_on/{subdiv}x{sinks}"), || {
+                optimize_batch(black_box(&on_reqs), 1)
+            })
+            .annotate_dp(probe.solutions_generated, probe.max_solutions_per_node)
+            .median;
+        let off_median = wh
+            .bench(&format!("lazy_off/{subdiv}x{sinks}"), || {
+                optimize_batch(black_box(&off_reqs), 1)
+            })
+            .median;
+        lazy_speedup = off_median.as_secs_f64() / on_median.as_secs_f64().max(f64::MIN_POSITIVE);
+        lazy_label = (subdiv, sinks);
+        report.meta_num(&format!("lazy_wire_speedup_{subdiv}x{sinks}"), lazy_speedup);
+        // The wire/merge split the deferral changes — from the lazy
+        // probe, so `wire_ns` covers defers + materializations.
+        report.meta_num(
+            &format!("wire_pass_ns_{subdiv}x{sinks}"),
+            probe.wire_time.as_nanos() as f64,
+        );
+    }
+    wh.finish();
+    report.record_group("wire_heavy", wh.results());
+    report.meta_num("lazy_wire_speedup", lazy_speedup);
+    println!(
+        "lazy wire propagation at {}x{}: {lazy_speedup:.2}x over eager per-segment kernels",
+        lazy_label.0, lazy_label.1
+    );
+
     // Batch throughput: independent nets fanned across the worker pool.
     let (net_count, net_sinks) = if smoke { (3, 24) } else { (8, 64) };
     let trees: Vec<RoutingTree> = (0..net_count)

@@ -65,6 +65,7 @@ fn main() {
         report.meta_str("profile", "stat");
         report.meta_num("sinks", n as f64);
         report.meta_num("wall_ns", wall.as_nanos() as f64);
+        report.meta_num("wire_ns", r.stats.wire_time.as_nanos() as f64);
         report.meta_num("merge_ns", r.stats.merge_time.as_nanos() as f64);
         report.meta_num("prune_ns", r.stats.prune_time.as_nanos() as f64);
         report.meta_num("buffer_ns", r.stats.buffer_time.as_nanos() as f64);

@@ -136,20 +136,25 @@ impl NodeSigs {
 /// Run-wide cache signature: everything that changes a node's pruned
 /// list *without* changing the node's subtree content. `rule_tag` is the
 /// pruning-rule discriminant, `mode_tag` the variation mode, `epsilon`
-/// the sparsify threshold, `widths` the wire-sizing width count, and
-/// `model_epoch` the session's library/model generation.
+/// the sparsify threshold, `widths` the wire-sizing width count,
+/// `lazy_wire` whether lazy wire propagation is enabled (cached lists
+/// carry deferred-coupling state and slightly different term bits, so
+/// lazy and eager runs must never share entries), and `model_epoch` the
+/// session's library/model generation.
 #[must_use]
 pub fn run_signature(
     rule_tag: u64,
     mode_tag: u64,
     epsilon: f64,
     widths: usize,
+    lazy_wire: bool,
     model_epoch: u64,
 ) -> u64 {
     let mut acc = fold(0x7255_4e53_4947, rule_tag);
     acc = fold(acc, mode_tag);
     acc = fold_f64(acc, epsilon);
     acc = fold(acc, widths as u64);
+    acc = fold(acc, u64::from(lazy_wire));
     fold(acc, model_epoch)
 }
 
@@ -324,13 +329,15 @@ mod tests {
         let t = chain_tree(2);
         let sigs = NodeSigs::build(&t);
         let mut cache = SolutionCache::new();
-        let rs = run_signature(2, 1, 0.0, 1, 0);
+        let rs = run_signature(2, 1, 0.0, 1, true, 0);
         cache.begin_run(rs, t.len());
         cache.store(t.root(), sigs.get(t.root()), &[]);
         assert_eq!(cache.live_entries(), 1);
         cache.begin_run(rs, t.len());
         assert_eq!(cache.live_entries(), 1, "same signature keeps entries");
-        cache.begin_run(run_signature(2, 1, 0.0, 1, 1), t.len());
+        cache.begin_run(run_signature(2, 1, 0.0, 1, false, 0), t.len());
+        assert_eq!(cache.live_entries(), 0, "lazy-wire toggle flushes");
+        cache.begin_run(run_signature(2, 1, 0.0, 1, false, 1), t.len());
         assert_eq!(cache.live_entries(), 0, "model epoch bump flushes");
         assert_eq!(cache.invalidations(), 1);
     }

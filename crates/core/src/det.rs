@@ -10,7 +10,7 @@
 
 use crate::error::InsertionError;
 use crate::metrics::DpStats;
-use crate::ops::{buffer_extend_det, driver_rat_det, merge_pair_det, wire_extend_det};
+use crate::ops::{buffer_extend_det, driver_rat_det, merge_pair_det, PendingWire};
 use crate::solution::DetSolution;
 use crate::trace::Trace;
 use std::sync::Arc;
@@ -108,11 +108,17 @@ pub fn optimize_deterministic_with(
             NodeKind::Internal | NodeKind::Source { .. } => {
                 let mut acc: Option<Vec<DetSolution>> = None;
                 for &c in &node.children {
-                    // Lift the child's list across its edge.
+                    // Lift the child's list across its edge, applied as a
+                    // single affine [`PendingWire`] transform. For one
+                    // segment the transform is the eager kernel bit for
+                    // bit (`from_segment` keeps its exact grouping), and
+                    // the same type composes chains of segments in O(1)
+                    // each for subdivision-heavy trees.
                     let seg = wire.segment(tree.node(c).edge_length);
+                    let pending = PendingWire::from_segment(&seg);
                     let mut lifted: Vec<DetSolution> = lists[c.index()]
                         .iter()
-                        .map(|s| wire_extend_det(s, &seg))
+                        .map(|s| pending.apply_det(s))
                         .collect();
                     lists[c.index()].clear(); // free memory eagerly
                     stats.solutions_generated += lifted.len();

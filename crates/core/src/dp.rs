@@ -30,7 +30,8 @@ use crate::governor::{
 };
 use crate::metrics::DpStats;
 use crate::ops::{
-    buffer_extend_stat_into, driver_rat_stat, merge_pair_stat_into, wire_extend_stat_in_place,
+    buffer_extend_stat_into, driver_rat_stat, materialize_wire_stat, merge_pair_stat_into,
+    wire_defer_stat_in_place, wire_defer_stat_into, wire_extend_stat_in_place,
     wire_extend_stat_into,
 };
 use crate::prune::{prune_solutions_keyed, MergeStrategy, PruneScratch, PruningRule, TwoParam};
@@ -122,6 +123,24 @@ pub struct DpOptions {
     /// finite budgets (list sizes feed the degradation schedule).
     /// `--no-lishi` on the CLI.
     pub use_lishi: bool,
+    /// Lazy list-level wire propagation: the wire lift updates only the
+    /// *means* per segment (two scalar adds, bit-identical to the eager
+    /// kernel's nominal path) and defers the O(terms) coupling
+    /// `rat ← rat − r·load` by accumulating the segment resistances in
+    /// [`StatSolution::wire_pending`]; the whole deferred chain is paid
+    /// off with one term update at the points that read RAT
+    /// sensitivities (merges, buffering, σ envelopes, winner selection).
+    /// Mean-keyed pruning runs pre-materialization — dominance order is
+    /// preserved under the shared transform (see DESIGN.md) — while
+    /// non-mean-keyed rules materialize before every prune, which
+    /// degenerates to the eager kernel bit for bit. Equal-objective for
+    /// mean-keyed rules on subdivided chains (root RAT within 1e-9
+    /// relative; the lazy-wire oracle pins this plus solution-count
+    /// identity), byte-identical everywhere chains have unit length.
+    /// Disarmed under a degradable governor (pending-aware footprints
+    /// would shift *when* degradation triggers) and under fault
+    /// injection. `--no-lazy-wire` on the CLI.
+    pub use_lazy_wire: bool,
     /// Honor `jobs` literally even when it exceeds the host's available
     /// parallelism. By default a request for more workers than the
     /// machine has hardware threads is clamped (oversubscribed pools
@@ -170,6 +189,7 @@ impl Default for DpOptions {
             use_bounds: true,
             bound_k: 1.0,
             use_lishi: true,
+            use_lazy_wire: true,
             jobs_force: false,
             guard_4p_sinks: 12,
         }
@@ -602,9 +622,12 @@ pub fn optimize_incremental(
     }
 
     // Bounds stay off (see the soundness rules above); Li–Shi is list-
-    // neutral and arms exactly as it would on this run's cold path.
+    // neutral and arms exactly as it would on this run's cold path, and
+    // so does lazy wire propagation (this path already excludes faults
+    // and constraining budgets — the cold path's disarm conditions).
     let mut ctx = RunCtx::new(tree, model, mode, sizing);
     ctx.lishi = options.use_lishi;
+    ctx.lazy = options.use_lazy_wire;
 
     cache.begin_run(run_sig, tree.len());
 
@@ -672,7 +695,7 @@ pub fn optimize_incremental(
     stats.runtime = governor.elapsed();
     stats.jobs_requested = options.jobs.max(1);
     stats.jobs_effective = 1;
-    let mut result = select_winner(tree, options, &lists[tree.root().index()], stats);
+    let mut result = select_winner(tree, options, &mut lists[tree.root().index()], stats);
     let mut degradation = governor.into_report();
     degradation.guard = guard;
     result.stats.rule_fallbacks = degradation.rule_fallbacks();
@@ -870,6 +893,10 @@ pub(crate) struct RunCtx<'a> {
     /// [`DpOptions::use_lishi`] for the arming conditions). Shared by the
     /// parallel workers and the sequential engine.
     pub(crate) lishi: bool,
+    /// Whether lazy wire propagation is armed for this run (see
+    /// [`DpOptions::use_lazy_wire`] for the arming conditions). Shared by
+    /// the parallel workers and the sequential engine.
+    pub(crate) lazy: bool,
     /// Per-node bound-pass probe aggregates, packed as
     /// `invocations << 32 | retired` over the node's whole subtree.
     /// Sized `tree.len()` only when bounds arm; the aggregates drive the
@@ -931,6 +958,7 @@ impl<'a> RunCtx<'a> {
             segments,
             bounds: None,
             lishi: false,
+            lazy: false,
             bound_probe: Vec::new(),
         }
     }
@@ -1031,7 +1059,10 @@ impl SolPool {
     }
 
     /// A recycled solution carcass (or a fresh empty one): the caller
-    /// must overwrite load, RAT and trace before the solution is read.
+    /// must overwrite load, RAT, trace *and* `wire_pending` before the
+    /// solution is read — every `_into` kernel writes all four, so a
+    /// carcass retiring with deferred wire coupling still pending cannot
+    /// leak it into its next life.
     fn take_sol(&mut self) -> StatSolution {
         self.sols.pop().unwrap_or_else(|| {
             StatSolution::new(CanonicalForm::constant(0.0), CanonicalForm::constant(0.0))
@@ -1094,6 +1125,11 @@ fn run_engine(
     // never changes the post-prune list, but it does shrink the
     // *pre*-prune list a governed degradation schedule keys off.
     ctx.lishi = options.use_lishi && !degradable;
+    // Lazy wire propagation shares it too (pending-aware footprints
+    // would shift the degradation schedule's memory estimates), and
+    // additionally disarms under fault injection so injected lists keep
+    // their legacy eager shape.
+    ctx.lazy = options.use_lazy_wire && !degradable && faults.is_none();
 
     // Speculative parallel phase: `None` means ineligible or aborted on
     // pressure — fall through to the sequential engine with the
@@ -1102,12 +1138,12 @@ fn run_engine(
         if let Some(outcome) = crate::pool::try_parallel_tree(&ctx, static_rule, options, governor)
         {
             return match outcome {
-                Ok((root_list, mut stats)) => {
+                Ok((mut root_list, mut stats)) => {
                     stats.runtime = governor.elapsed();
                     stats.bound_time += bound_setup;
                     stats.jobs_requested = options.jobs.max(1);
                     stats.jobs_effective = options.effective_jobs();
-                    Ok(select_winner(tree, options, &root_list, stats))
+                    Ok(select_winner(tree, options, &mut root_list, stats))
                 }
                 Err(e) => Err(e),
             };
@@ -1149,7 +1185,7 @@ fn run_engine(
     Ok(select_winner(
         tree,
         options,
-        &lists[tree.root().index()],
+        &mut lists[tree.root().index()],
         stats,
     ))
 }
@@ -1204,11 +1240,22 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                     let freed: usize = child_list.iter().map(solution_footprint).sum();
                     let mut lifted = child_list;
                     let seg = ctx.segment(c, 0);
-                    for s in &mut lifted {
-                        wire_extend_stat_in_place(s, seg);
-                        sparsify(s, sup.epsilon());
+                    if ctx.lazy {
+                        // Deferred: fold the segment's mean effects in
+                        // eagerly (bitwise the eager kernel's nominal
+                        // path) and bank its resistance; the O(terms)
+                        // coupling and the epsilon pass run once at the
+                        // next materialization point.
+                        for s in &mut lifted {
+                            wire_defer_stat_in_place(s, seg);
+                        }
+                    } else {
+                        for s in &mut lifted {
+                            wire_extend_stat_in_place(s, seg);
+                            sparsify(s, sup.epsilon());
+                        }
                     }
-                    stats.merge_time += t_lift.elapsed();
+                    stats.wire_time += t_lift.elapsed();
                     sup.note_memory(&[], freed);
                     lifted
                 } else {
@@ -1216,21 +1263,43 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                     for s in &child_list {
                         for wi in 0..widths {
                             let mut out = pool.take_sol();
-                            wire_extend_stat_into(&mut out, s, ctx.segment(c, wi));
+                            if ctx.lazy {
+                                wire_defer_stat_into(&mut out, s, ctx.segment(c, wi));
+                            } else {
+                                wire_extend_stat_into(&mut out, s, ctx.segment(c, wi));
+                                sparsify(&mut out, sup.epsilon());
+                            }
                             if record_width {
                                 out.trace = crate::trace::Trace::wire(c, wi as u8, out.trace);
                             }
-                            sparsify(&mut out, sup.epsilon());
                             lifted.push(out);
                         }
                     }
-                    stats.merge_time += t_lift.elapsed();
+                    stats.wire_time += t_lift.elapsed();
                     let freed: usize = child_list.iter().map(solution_footprint).sum();
                     pool.put(child_list);
                     sup.note_memory(&[], freed);
                     lifted
                 };
                 stats.solutions_generated += lifted.len();
+                // Mean-keyed rules prune on nominals alone, which lazy
+                // extension keeps bit-identical to eager (deferral only
+                // touches the RAT's sensitivity terms) — so their keyed
+                // sweep runs on pending solutions as-is. Any rule whose
+                // keys read the terms (percentile keys, and every
+                // CrossProduct dominance check) gets the list
+                // materialized first, which also makes those rules'
+                // whole runs byte-identical to eager.
+                if ctx.lazy {
+                    let term_keyed = {
+                        let rh = sup.rule();
+                        let rule = rh.get();
+                        !rule.mean_keys() || rule.strategy() == MergeStrategy::CrossProduct
+                    };
+                    if term_keyed {
+                        materialize_list(&mut lifted, sup.epsilon(), stats);
+                    }
+                }
                 let before = lifted.len();
                 let t_prune = Instant::now();
                 prune_solutions_keyed(sup.rule().get(), &mut lifted, &mut pool.scratch);
@@ -1241,7 +1310,7 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
 
                 acc = Some(match acc {
                     None => lifted,
-                    Some(prev) => merge_lists(sup, prev, lifted, id, pool, stats)?,
+                    Some(prev) => merge_lists(ctx, sup, prev, lifted, id, pool, stats)?,
                 });
                 if let Some(list) = acc.as_mut() {
                     admit_list(sup, id, list, pool, stats)?;
@@ -1269,12 +1338,21 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                     MergeStrategy::SortedLinear => {
                         // All buffered options share the load form, so only
                         // the best RAT (by the rule's scalar key) survives:
-                        // generate just that one.
-                        if let Some(best) = sols.iter().filter(drivable).max_by(|a, b| {
-                            let ka = a.rat_mean() - resistance * a.load_mean();
-                            let kb = b.rat_mean() - resistance * b.load_mean();
-                            ka.total_cmp(&kb)
-                        }) {
+                        // generate just that one. Index-based so the winner
+                        // can be materialized in place below; the keys are
+                        // means, which deferral never perturbs.
+                        let best_idx = sols
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| drivable(s))
+                            .max_by(|(_, a), (_, b)| {
+                                let ka = a.rat_mean() - resistance * a.load_mean();
+                                let kb = b.rat_mean() - resistance * b.load_mean();
+                                ka.total_cmp(&kb)
+                            })
+                            .map(|(i, _)| i);
+                        if let Some(bi) = best_idx {
+                            let best = &sols[bi];
                             // Li–Shi predecessor dominance: predict the
                             // candidate's scalar keys without building its
                             // forms and skip the (expensive) generation when
@@ -1322,9 +1400,18 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
                                     continue;
                                 }
                             }
+                            if ctx.lazy {
+                                // The buffer kernel reads the partner's RAT
+                                // terms: land its deferred coupling first.
+                                // The argmax and Li–Shi keys above are
+                                // means, so neither decision moves; the
+                                // cost stays inside this arm's
+                                // `buffer_time` window.
+                                materialize_solution(&mut sols[bi], sup.epsilon());
+                            }
                             let mut s = pool.take_sol();
                             buffer_extend_stat_into(
-                                &mut s, best, cap_form, delay_form, resistance, id, ty,
+                                &mut s, &sols[bi], cap_form, delay_form, resistance, id, ty,
                             );
                             sparsify(&mut s, sup.epsilon());
                             buffered.push(s);
@@ -1408,12 +1495,17 @@ pub(crate) fn process_node<'r, S: Supervisor<'r>>(
 
 /// Driver step and winner selection at the root (by the configured
 /// root-selection key).
+///
+/// Takes the list mutably: any deferred wire transforms still pending on
+/// root candidates are materialized (and epsilon-sparsified) here, since
+/// both the selection key's σ and the reported root RAT read the terms.
 pub(crate) fn select_winner(
     tree: &RoutingTree,
     options: &DpOptions,
-    root_list: &[StatSolution],
-    stats: DpStats,
+    root_list: &mut [StatSolution],
+    mut stats: DpStats,
 ) -> StatResult {
+    materialize_list(root_list, options.sparsify_epsilon, &mut stats);
     let root = tree.root();
     let driver_res = match tree.node(root).kind {
         NodeKind::Source { driver_resistance } => driver_resistance,
@@ -1439,6 +1531,30 @@ fn sparsify(s: &mut StatSolution, epsilon: f64) {
     if epsilon > 0.0 {
         s.load.sparsify(epsilon);
         s.rat.sparsify(epsilon);
+    }
+}
+
+/// Lands one solution's deferred wire coupling and runs the single
+/// deferred epsilon pass over the result. No-op when nothing is pending,
+/// so mixed lists (some entries already consumed by a merge or buffer)
+/// cost one float compare per settled entry.
+fn materialize_solution(s: &mut StatSolution, epsilon: f64) {
+    if s.wire_pending != 0.0 {
+        materialize_wire_stat(s);
+        sparsify(s, epsilon);
+    }
+}
+
+/// Materializes a whole list, charging the pass to
+/// [`DpStats::wire_time`] — it is wire work that lazy extension moved
+/// out of the lift loop, not merge or prune work.
+pub(crate) fn materialize_list(sols: &mut [StatSolution], epsilon: f64, stats: &mut DpStats) {
+    if sols.iter().any(|s| s.wire_pending != 0.0) {
+        let t = Instant::now();
+        for s in sols.iter_mut() {
+            materialize_solution(s, epsilon);
+        }
+        stats.wire_time += t.elapsed();
     }
 }
 
@@ -1480,7 +1596,9 @@ pub(crate) fn admit_list<'r, S: Supervisor<'r>>(
 }
 
 /// Merges two candidate lists at a branch node.
+#[allow(clippy::too_many_arguments)]
 fn merge_lists<'r, S: Supervisor<'r>>(
+    ctx: &RunCtx<'_>,
     sup: &mut S,
     mut a: Vec<StatSolution>,
     mut b: Vec<StatSolution>,
@@ -1489,7 +1607,17 @@ fn merge_lists<'r, S: Supervisor<'r>>(
     stats: &mut DpStats,
 ) -> Result<Vec<StatSolution>, EngineInterrupt> {
     if a.is_empty() || b.is_empty() {
+        // The surviving list keeps its pending transforms; they ride on
+        // to the next materialization point untouched.
         return Ok(if a.is_empty() { b } else { a });
+    }
+    // A merge adds the operands' RAT *forms* (terms included), so any
+    // deferred wire coupling must land first. This is one of the three
+    // places lazy runs pay the O(terms) wire cost — the others are the
+    // buffering arm and winner selection.
+    if ctx.lazy {
+        materialize_list(&mut a, sup.epsilon(), stats);
+        materialize_list(&mut b, sup.epsilon(), stats);
     }
     // Admission may switch the rule (re-prune and retry with a linear
     // merge) or shrink the operands; `forced` breaks the loop if a
@@ -1704,7 +1832,19 @@ fn bound_filter(
         // paid by candidates already failing on their means.
         let keep = bounds.keeps_envelope(node, s.load.mean(), s.rat.mean()) || {
             let (load_lo, _) = s.load.envelope(k);
-            let (_, rat_hi) = s.rat.envelope(k);
+            // A pending lazy-wire transform changes the RAT's σ, so the
+            // envelope is taken on a scratch materialization. The stored
+            // solution is left untouched: mutating it here would make
+            // the downstream materialize-and-sparsify points see
+            // different inputs with bounding on vs. off, breaking the
+            // bounds oracle's bit-identity contract.
+            let rat_hi = if s.wire_pending != 0.0 {
+                let mut rat = s.rat.clone();
+                rat.add_scaled_terms_assign(&s.load, -s.wire_pending);
+                rat.envelope(k).1
+            } else {
+                s.rat.envelope(k).1
+            };
             bounds.keeps_envelope(node, load_lo, rat_hi)
         };
         kept += usize::from(keep);

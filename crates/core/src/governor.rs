@@ -511,7 +511,16 @@ pub enum Admission {
 /// allocator.
 #[must_use]
 pub fn solution_footprint(s: &StatSolution) -> usize {
-    128 + 16 * (s.load.term_count() + s.rat.term_count())
+    // A pending lazy-wire transform will add up to the load's term set
+    // to the RAT at materialization; charge that growth now so parked
+    // or cached pending solutions don't under-report what they are
+    // about to cost.
+    let pending_rat = if s.wire_pending != 0.0 {
+        s.load.term_count()
+    } else {
+        0
+    };
+    128 + 16 * (s.load.term_count() + s.rat.term_count() + pending_rat)
 }
 
 /// The resource-governing policy object threaded through the DP.
@@ -907,6 +916,7 @@ impl Governor {
                 && s.rat.variance().is_finite()
                 && s.load.variance() >= 0.0
                 && s.rat.variance() >= 0.0
+                && s.wire_pending.is_finite()
         });
         let dropped = before - sols.len();
         if dropped > 0 {

@@ -30,8 +30,8 @@
 //! deterministic anchor presumes the flat fixpoint.
 
 use crate::dp::{
-    guard_cascade, optimize_governed_detailed, process_node, select_winner, DpOptions,
-    GovSupervisor, GovernedResult, RunControls, RunCtx, SolPool, StatResult, Supervisor,
+    guard_cascade, materialize_list, optimize_governed_detailed, process_node, select_winner,
+    DpOptions, GovSupervisor, GovernedResult, RunControls, RunCtx, SolPool, StatResult, Supervisor,
     WireSizing,
 };
 use crate::error::InsertionError;
@@ -287,6 +287,10 @@ pub fn optimize_hier(
     // engine: only when the run cannot degrade.
     let mut ctx = RunCtx::new(tree, model, mode, sizing);
     ctx.lishi = options.use_lishi && !budget.constrains_run();
+    // Lazy wire propagation arms under the same no-degradation condition
+    // (pending-aware footprints would shift a degradation schedule);
+    // this path never injects faults.
+    ctx.lazy = options.use_lazy_wire && !budget.constrains_run();
 
     let ledger = Arc::new(ChunkLedger::new());
     let mut parked: Vec<Option<ChunkedList>> = Vec::new();
@@ -317,6 +321,13 @@ pub fn optimize_hier(
                 .collect();
             let mut sols = process_node(&ctx, sup, id, children, None, pool, stats)?;
             if cuts[id.index()] {
+                // A parked frontier outlives its region's DP, so any
+                // deferred wire coupling must land *before* the splice:
+                // the epsilon thinning and the bytes charged to the
+                // chunk ledger must both see settled solutions, not
+                // pending ones whose RAT terms (and footprint) are
+                // still about to grow.
+                materialize_list(&mut sols, sup.epsilon(), stats);
                 // Splice: thin the region's frontier, free the dropped
                 // footprint from the governor's live estimate, park the
                 // survivors in budget-charged chunks.
@@ -364,7 +375,7 @@ pub fn optimize_hier(
     stats.runtime = governor.elapsed();
     stats.jobs_requested = options.jobs.max(1);
     stats.jobs_effective = 1;
-    let mut result = select_winner(tree, options, &lists[tree.root().index()], stats);
+    let mut result = select_winner(tree, options, &mut lists[tree.root().index()], stats);
     let mut degradation = governor.into_report();
     degradation.guard = guard;
     degradation.peak_chunk_bytes = degradation.peak_chunk_bytes.max(ledger.peak());

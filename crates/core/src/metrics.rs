@@ -20,6 +20,13 @@ pub struct DpStats {
     /// walk and the 4P cross product). Under the parallel engine this is
     /// the *sum* across workers, so it can exceed `runtime`.
     pub merge_time: Duration,
+    /// Time spent extending solutions along wire segments (the lift
+    /// loops, eager or deferred) plus materializing pending lazy-wire
+    /// transforms at consumption points. Was folded into `merge_time`
+    /// before lazy wire propagation made the split worth watching.
+    /// Summed across workers in parallel runs. Materialization that
+    /// happens inside the buffering arm is charged to `buffer_time`.
+    pub wire_time: Duration,
     /// Time spent in dominance pruning (list pruning plus the quadratic
     /// cross-product sweep). Summed across workers in parallel runs.
     pub prune_time: Duration,
@@ -100,8 +107,9 @@ impl DpStats {
     #[must_use]
     pub fn phase_summary(&self) -> String {
         format!(
-            "merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms, bounds {:.1}ms \
+            "wire {:.1}ms, merge {:.1}ms, prune {:.1}ms, buffering {:.1}ms, bounds {:.1}ms \
              (of {:.1}ms total; cache {}/{} hit/miss, {} bound-skipped)",
+            self.wire_time.as_secs_f64() * 1e3,
             self.merge_time.as_secs_f64() * 1e3,
             self.prune_time.as_secs_f64() * 1e3,
             self.buffer_time.as_secs_f64() * 1e3,
@@ -121,6 +129,7 @@ impl DpStats {
     pub fn sans_times(mut self) -> Self {
         self.runtime = Duration::ZERO;
         self.merge_time = Duration::ZERO;
+        self.wire_time = Duration::ZERO;
         self.prune_time = Duration::ZERO;
         self.buffer_time = Duration::ZERO;
         self.bound_time = Duration::ZERO;
@@ -142,6 +151,7 @@ impl DpStats {
         self.solutions_pruned += other.solutions_pruned;
         self.runtime = self.runtime.max(other.runtime);
         self.merge_time += other.merge_time;
+        self.wire_time += other.wire_time;
         self.prune_time += other.prune_time;
         self.buffer_time += other.buffer_time;
         self.pruned_by_bound += other.pruned_by_bound;

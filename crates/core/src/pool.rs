@@ -370,6 +370,7 @@ impl<'r> Supervisor<'r> for ProbeSupervisor<'r, '_> {
                 && s.rat.variance().is_finite()
                 && s.load.variance() >= 0.0
                 && s.rat.variance() >= 0.0
+                && s.wire_pending.is_finite()
         });
         if clean {
             Ok(())

@@ -1172,6 +1172,7 @@ fn run_envelope(
         },
         options.sparsify_epsilon,
         sizing.widths().len(),
+        options.use_lazy_wire,
         session.model_epoch,
     );
     let outcome = catch_unwind(AssertUnwindSafe(|| {

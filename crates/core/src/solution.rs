@@ -42,6 +42,16 @@ pub struct StatSolution {
     pub load: CanonicalForm,
     /// Required arrival time `T` as a canonical form, ps.
     pub rat: CanonicalForm,
+    /// Deferred wire-coupling resistance (lazy wire propagation): the
+    /// summed `Σrᵢ` of wire segments whose mean effects have been folded
+    /// into `rat` eagerly but whose term coupling
+    /// `rat ← rat − (Σrᵢ)·load` (terms only) is still pending. `0.0`
+    /// means the solution is fully materialized; every consumer of the
+    /// RAT's *sensitivities* (merge, buffer, σ envelopes, winner
+    /// selection) must materialize first. Load terms are invariant under
+    /// wire extension, so one scalar captures the whole deferred chain
+    /// exactly.
+    pub wire_pending: f64,
     /// The buffer decisions that produced this candidate.
     pub trace: Arc<Trace>,
 }
@@ -53,6 +63,7 @@ impl StatSolution {
         Self {
             load,
             rat,
+            wire_pending: 0.0,
             trace: Trace::empty(),
         }
     }

@@ -123,6 +123,7 @@ fn mutation_fuzz_replay_matches_cold() {
                     2, // within-die
                     options.sparsify_epsilon,
                     sizing.widths().len(),
+                    options.use_lazy_wire,
                     0,
                 );
                 for step in 0..EDITS_PER_SCRIPT {
@@ -188,7 +189,14 @@ fn replay_without_edit_is_all_hits() {
     let budget = Budget::unlimited();
     let sigs = NodeSigs::build(&tree);
     let mut cache = SolutionCache::new();
-    let run_sig = run_signature(2, 2, options.sparsify_epsilon, sizing.widths().len(), 0);
+    let run_sig = run_signature(
+        2,
+        2,
+        options.sparsify_epsilon,
+        sizing.widths().len(),
+        options.use_lazy_wire,
+        0,
+    );
     let run = |cache: &mut SolutionCache| {
         optimize_incremental(
             &tree,
@@ -226,8 +234,22 @@ fn run_signature_mismatch_flushes() {
     let budget = Budget::unlimited();
     let sigs = NodeSigs::build(&tree);
     let mut cache = SolutionCache::new();
-    let sig_a = run_signature(2, 2, options.sparsify_epsilon, sizing.widths().len(), 0);
-    let sig_b = run_signature(4, 2, options.sparsify_epsilon, sizing.widths().len(), 0);
+    let sig_a = run_signature(
+        2,
+        2,
+        options.sparsify_epsilon,
+        sizing.widths().len(),
+        options.use_lazy_wire,
+        0,
+    );
+    let sig_b = run_signature(
+        4,
+        2,
+        options.sparsify_epsilon,
+        sizing.widths().len(),
+        options.use_lazy_wire,
+        0,
+    );
     assert_ne!(sig_a, sig_b);
     let run = |cache: &mut SolutionCache, rule: Arc<dyn PruningRule>, sig: u64| {
         optimize_incremental(

@@ -374,6 +374,23 @@ impl CanonicalForm {
         });
     }
 
+    /// Adds `k · other`'s *sensitivity terms* into `self`, leaving the
+    /// nominal untouched.
+    ///
+    /// This is the materialization kernel of the DP's lazy wire
+    /// propagation: deferring a chain of wire couplings leaves the RAT's
+    /// mean already correct (it was updated eagerly, segment by segment)
+    /// while the term update collapses to a single
+    /// `rat += (−Σrᵢ)·load` over the terms alone. The term arithmetic
+    /// is exactly [`add_scaled_assign`](Self::add_scaled_assign) — same
+    /// walk, same grouping, same cancellation fallback — so a unit-length
+    /// chain reproduces the eager kernel's term bits verbatim.
+    pub fn add_scaled_terms_assign(&mut self, other: &Self, k: f64) {
+        let nominal = self.nominal;
+        self.add_scaled_assign(other, k);
+        self.nominal = nominal;
+    }
+
     /// The `α`-percentile `π_α = μ + z_α·σ` of this (normal) form.
     ///
     /// # Panics
@@ -907,6 +924,42 @@ mod tests {
                 "{reference} vs {inplace}"
             );
             for (x, y) in reference.terms().zip(inplace.terms()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_terms_assign_updates_terms_and_fixes_nominal() {
+        let cases: Vec<(CanonicalForm, CanonicalForm, f64)> = vec![
+            // Pure update, insertions, mixed, and the cancellation
+            // fallback path — mirroring the add_scaled_assign matrix.
+            (
+                form(1.25, &[(0, 1.0), (2, 2.0), (7, -0.5), (11, 3.0)]),
+                form(-2.5, &[(2, -0.25), (11, 4.0)]),
+                -1.7,
+            ),
+            (
+                form(0.5, &[(2, 2.0), (7, -0.5)]),
+                form(1.0, &[(0, 1.0), (4, 3.0), (9, -2.0)]),
+                0.3,
+            ),
+            (
+                form(0.0, &[(3, 1.5), (4, 1.0)]),
+                form(7.0, &[(3, 1.5), (8, 2.0)]),
+                -1.0,
+            ),
+        ];
+        for (a, b, k) in cases {
+            let mut full = a.clone();
+            full.add_scaled_assign(&b, k);
+            let mut terms_only = a.clone();
+            terms_only.add_scaled_terms_assign(&b, k);
+            // Nominal frozen, every term bit equal to the full kernel.
+            assert_eq!(terms_only.mean().to_bits(), a.mean().to_bits());
+            assert_eq!(terms_only.term_count(), full.term_count());
+            for (x, y) in full.terms().zip(terms_only.terms()) {
                 assert_eq!(x.0, y.0);
                 assert_eq!(x.1.to_bits(), y.1.to_bits());
             }

@@ -164,6 +164,29 @@ pub fn lane_lin_comb_dot_ref(
     reduce_lanes(acc)
 }
 
+/// Scalar reference for the fused apply + variance kernel: writes
+/// `dst[j] ← dst[j] + k·src[j]` and simultaneously folds `Σ dst[j]²`
+/// of the *updated* row with the lane schedule — one logical pass where
+/// the unfused pipeline would traverse the row twice. This is the dense
+/// analogue of the lazy-wire materialization step
+/// `rat ← rat − (Σrᵢ)·load` followed by a σ read: applying a deferred
+/// affine transform to a whole solution list batches into exactly this
+/// shape, one row per solution.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn lane_axpy_var_ref(dst: &mut [f64], src: &[f64], k: f64) -> f64 {
+    assert_eq!(dst.len(), src.len(), "axpy operands must match in length");
+    let mut acc = [0.0f64; LANES];
+    for (j, d) in dst.iter_mut().enumerate() {
+        let v = *d + k * src[j];
+        *d = v;
+        acc[j % LANES] += v * v;
+    }
+    reduce_lanes(acc)
+}
+
 /// A run-global map from sparse [`SourceId`]s to dense column indices.
 ///
 /// Built once per optimization run from the enumerable universe of
@@ -664,6 +687,39 @@ impl FormBatch {
         reduce_lanes(acc)
     }
 
+    /// Fused apply + variance: updates row `dst`'s coefficients in place
+    /// to `row[dst] + k·row[src]` and returns the lane variance of the
+    /// updated row from the same pass. The nominal is deliberately left
+    /// untouched, mirroring `CanonicalForm::add_scaled_terms_assign`:
+    /// this is the batch form of the lazy-wire materialization
+    /// `rat ← rat − p·load` (terms only — the mean was folded eagerly at
+    /// deferral time), and one call per solution applies the deferred
+    /// transform *and* yields the σ² the very next consumer (envelope
+    /// test, winner key) would otherwise pay a second traversal for.
+    /// Bitwise identical to [`lane_axpy_var_ref`] over the padded rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` or `src` is out of range, or if `dst == src`.
+    pub fn apply_scaled_var(&mut self, dst: usize, src: usize, k: f64) -> f64 {
+        assert!(dst < self.len() && src < self.len(), "row out of range");
+        assert_ne!(dst, src, "in-place apply needs distinct rows");
+        let (a, b) = (dst.min(src), dst.max(src));
+        let (head, rest) = self.rows.split_at_mut(b * self.stride);
+        let low = &mut head[a * self.stride..a * self.stride + self.stride];
+        let high = &mut rest[..self.stride];
+        let (d, s): (&mut [f64], &[f64]) = if dst < src { (low, high) } else { (high, low) };
+        let mut acc = [0.0f64; LANES];
+        for (blk_d, blk_s) in d.chunks_exact_mut(LANES).zip(s.chunks_exact(LANES)) {
+            for l in 0..LANES {
+                let v = blk_d[l] + k * blk_s[l];
+                blk_d[l] = v;
+                acc[l] += v * v;
+            }
+        }
+        reduce_lanes(acc)
+    }
+
     /// Batched `±k·σ` envelopes: `lo[i] = mean[i] − k·σ[i]`,
     /// `hi[i] = mean[i] + k·σ[i]`, fused with the lane variance sweep.
     /// The spread arithmetic matches [`ColumnForm::envelope`]'s
@@ -842,6 +898,45 @@ mod tests {
             batch.means()[new].to_bits(),
             (0.75 * batch.means()[a] + -1.25 * batch.means()[b]).to_bits()
         );
+    }
+
+    #[test]
+    fn fused_apply_scaled_var_matches_reference() {
+        // Widths straddling the lane boundary, both apply directions
+        // (dst before and after src in the matrix).
+        for &width in &[7u32, 8, 25] {
+            let mut rng = SplitMix64::new(u64::from(width) * 31 + 5);
+            let universe: Vec<SourceId> = (0..width).map(SourceId).collect();
+            let it = TermInterner::new(universe.iter().copied());
+            for &(dst, src) in &[(0usize, 1usize), (2, 0)] {
+                let mut batch = FormBatch::new(&it);
+                for _ in 0..3 {
+                    batch.push(
+                        &it,
+                        &random_form(&mut rng, &universe, width as usize / 2 + 1),
+                    );
+                }
+                let k = -(rng.next_f64() * 2.0 + 0.1);
+                let mut want_row = batch.row_padded(dst).to_vec();
+                let src_row = batch.row_padded(src).to_vec();
+                let want_var = lane_axpy_var_ref(&mut want_row, &src_row, k);
+                let mean_before = batch.means()[dst];
+                let got_var = batch.apply_scaled_var(dst, src, k);
+                assert_eq!(got_var.to_bits(), want_var.to_bits());
+                assert_eq!(
+                    batch.means()[dst].to_bits(),
+                    mean_before.to_bits(),
+                    "apply is terms-only: the nominal must not move"
+                );
+                for (x, y) in batch.row_padded(dst).iter().zip(&want_row) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                // src is untouched.
+                for (x, y) in batch.row_padded(src).iter().zip(&src_row) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub use clark::{stat_max, stat_min, MinMaxResult};
 pub use gaussian::{norm_cdf, norm_pdf, norm_quantile, prob_greater_normal};
 pub use histogram::Histogram;
 pub use interner::{
-    lane_dot_ref, lane_lin_comb_dot_ref, lane_variance_ref, ColumnForm, FormArena, FormBatch,
-    ScatterPlanCache, TermInterner, LANES,
+    lane_axpy_var_ref, lane_dot_ref, lane_lin_comb_dot_ref, lane_variance_ref, ColumnForm,
+    FormArena, FormBatch, ScatterPlanCache, TermInterner, LANES,
 };
 pub use ks::{ks_critical, ks_statistic};
 pub use mc::{MonteCarlo, SampleVector};

@@ -89,7 +89,7 @@ usage:
                   [--rule 2p|4p|1p] [--p THRESH] [--sizing] [--mc SAMPLES]
                   [--degrade] [--budget-solutions N] [--budget-time SECS]
                   [--budget-mem MB] [--jobs N] [--jobs-force]
-                  [--no-bounds] [--no-lishi]
+                  [--no-bounds] [--no-lishi] [--no-lazy-wire]
       --jobs N: worker threads for the DP (0 = all cores); results are
                 bit-identical to --jobs 1. Requests beyond the host's
                 available parallelism are clamped unless --jobs-force.
@@ -100,6 +100,10 @@ usage:
                 predecessor dominance that avoids building candidates
                 the next sweep would discard); results are bit-identical
                 either way
+      --no-lazy-wire: disable lazy wire propagation (deferred affine
+                wire transforms materialized at merges, buffers and the
+                winner); solution counts and decisions are identical,
+                the objective agrees to ~1e-9 relative
   varbuf skew FILE [--spatial homog|hetero]
   varbuf cts [--levels N] [--spatial homog|hetero] [--rule 2p|4p|1p]
              [--skew-target PS] [--flat] [--cut-nodes N] [--fanout-cut N]
@@ -339,6 +343,9 @@ fn cmd_opt(args: &[String]) -> Result<Outcome, String> {
     }
     if has_flag(args, "--no-lishi") {
         options.dp.use_lishi = false;
+    }
+    if has_flag(args, "--no-lazy-wire") {
+        options.dp.use_lazy_wire = false;
     }
     if has_flag(args, "--jobs-force") {
         options.dp.jobs_force = true;
